@@ -1,0 +1,160 @@
+package rasa
+
+import (
+	"fmt"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+)
+
+// ClusterBuilder assembles a Problem incrementally with validation at
+// Build time. It is the recommended way to construct problems from real
+// cluster inventories.
+type ClusterBuilder struct {
+	resourceNames []string
+	services      []Service
+	machines      []Machine
+	edges         []affinityEdge
+	anti          []AntiAffinityRule
+	restrictions  map[int][]int // service -> allowed machines
+	priorities    map[int]PriorityLevel
+	err           error
+}
+
+type affinityEdge struct {
+	a, b   int
+	weight float64
+}
+
+// NewClusterBuilder starts a builder with the given resource-type names
+// (e.g. "cpu", "memory"). Every service request and machine capacity
+// must use the same ordering.
+func NewClusterBuilder(resourceNames ...string) *ClusterBuilder {
+	b := &ClusterBuilder{
+		resourceNames: append([]string(nil), resourceNames...),
+		restrictions:  make(map[int][]int),
+	}
+	if len(resourceNames) == 0 {
+		b.err = fmt.Errorf("rasa: at least one resource type is required")
+	}
+	return b
+}
+
+func (b *ClusterBuilder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("rasa: "+format, args...)
+	}
+}
+
+// AddService registers a service and returns its index. replicas is the
+// SLA container count d_s; request is the per-container resource vector.
+func (b *ClusterBuilder) AddService(name string, replicas int, request Resources) int {
+	if replicas <= 0 {
+		b.fail("service %q: replicas must be positive, got %d", name, replicas)
+	}
+	if len(request) != len(b.resourceNames) {
+		b.fail("service %q: request has %d resources, want %d", name, len(request), len(b.resourceNames))
+	}
+	b.services = append(b.services, Service{Name: name, Replicas: replicas, Request: request.Clone()})
+	return len(b.services) - 1
+}
+
+// AddMachine registers a machine and returns its index.
+func (b *ClusterBuilder) AddMachine(name string, capacity Resources) int {
+	if len(capacity) != len(b.resourceNames) {
+		b.fail("machine %q: capacity has %d resources, want %d", name, len(capacity), len(b.resourceNames))
+	}
+	b.machines = append(b.machines, Machine{Name: name, Capacity: capacity.Clone()})
+	return len(b.machines) - 1
+}
+
+// SetAffinity declares the affinity weight between two services —
+// typically the traffic volume between them (Section II-B of the
+// paper). Repeated calls for the same pair accumulate.
+func (b *ClusterBuilder) SetAffinity(s1, s2 int, weight float64) *ClusterBuilder {
+	if weight < 0 {
+		b.fail("affinity (%d,%d): negative weight %v", s1, s2, weight)
+		return b
+	}
+	b.edges = append(b.edges, affinityEdge{a: s1, b: s2, weight: weight})
+	return b
+}
+
+// AddAntiAffinity caps the number of containers from the given services
+// that may share one machine (constraint (5); h_k in the paper).
+func (b *ClusterBuilder) AddAntiAffinity(services []int, maxPerHost int) *ClusterBuilder {
+	b.anti = append(b.anti, AntiAffinityRule{
+		Services:   append([]int(nil), services...),
+		MaxPerHost: maxPerHost,
+	})
+	return b
+}
+
+// RestrictService limits a service to the listed machines (the
+// schedulability matrix b of constraint (6)). Unrestricted services may
+// run anywhere.
+func (b *ClusterBuilder) RestrictService(service int, machines ...int) *ClusterBuilder {
+	b.restrictions[service] = append(b.restrictions[service], machines...)
+	return b
+}
+
+// SetServicePriority declares how much the service's network performance
+// matters (Section II-B): the affinity of its edges is scaled by the
+// level's multiplier at Build time, steering the optimizer toward
+// collocating high-priority services when capacity is contended.
+func (b *ClusterBuilder) SetServicePriority(service int, level PriorityLevel) *ClusterBuilder {
+	if b.priorities == nil {
+		b.priorities = make(map[int]PriorityLevel)
+	}
+	b.priorities[service] = level
+	return b
+}
+
+// Build validates and returns the Problem.
+func (b *ClusterBuilder) Build() (*Problem, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n, m := len(b.services), len(b.machines)
+	g := graph.New(n)
+	for _, e := range b.edges {
+		if e.a < 0 || e.a >= n || e.b < 0 || e.b >= n {
+			return nil, fmt.Errorf("rasa: affinity edge (%d,%d) references unknown service", e.a, e.b)
+		}
+		g.AddEdge(e.a, e.b, e.weight)
+	}
+	if len(b.priorities) > 0 {
+		scaled, err := cluster.ApplyPriorities(g, b.priorities)
+		if err != nil {
+			return nil, err
+		}
+		g = scaled
+	}
+	p := &Problem{
+		ResourceNames: append([]string(nil), b.resourceNames...),
+		Services:      append([]Service(nil), b.services...),
+		Machines:      append([]Machine(nil), b.machines...),
+		Affinity:      g,
+		AntiAffinity:  append([]AntiAffinityRule(nil), b.anti...),
+	}
+	if len(b.restrictions) > 0 {
+		p.Schedulable = make([]cluster.Bitmap, n)
+		for s, machines := range b.restrictions {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("rasa: restriction references unknown service %d", s)
+			}
+			bm := cluster.NewBitmap(m)
+			for _, mach := range machines {
+				if mach < 0 || mach >= m {
+					return nil, fmt.Errorf("rasa: restriction for service %d references unknown machine %d", s, mach)
+				}
+				bm.Set(mach)
+			}
+			p.Schedulable[s] = bm
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

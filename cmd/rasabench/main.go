@@ -1,0 +1,181 @@
+// Command rasabench regenerates the tables and figures of the paper's
+// evaluation (Section V) on synthetic clusters mirroring Table II.
+//
+// Usage:
+//
+//	rasabench [flags] [experiment...]
+//
+// Experiments: table2, fig5, fig6, fig7, fig8, fig9, fig10, production
+// (figs 11-13), supplementary, lemma1, ablations, all (default).
+//
+// Flags:
+//
+//	-budget 1.5s   per-optimization time-out (the paper's 60 s scaled)
+//	-small         quarter-scale clusters for quick runs
+//	-seed 1        random seed
+//	-csv DIR       additionally write each figure's data series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/experiments"
+)
+
+func main() {
+	budget := flag.Duration("budget", 0, "per-optimization time-out (default 1.5s or RASA_BENCH_BUDGET)")
+	small := flag.Bool("small", false, "use quarter-scale clusters")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "directory to write CSV data series into")
+	flag.Parse()
+
+	cfg := experiments.FromEnv()
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *small {
+		cfg.Presets = experiments.SmallPresets()
+	}
+	cfg.Seed = *seed
+	cfg.Out = os.Stdout
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
+	which := flag.Args()
+	if len(which) == 0 {
+		which = []string{"all"}
+	}
+	start := time.Now()
+	for _, name := range which {
+		if err := runOne(cfg, name, *csvDir); err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rasabench: %v\n", err)
+	os.Exit(1)
+}
+
+// withCSV opens DIR/name.csv and passes it to write, when a CSV
+// directory was requested.
+func withCSV(csvDir, name string, write func(io.Writer) error) error {
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func runOne(cfg experiments.Config, name, csvDir string) error {
+	runners := map[string]func() error{
+		"table2": func() error {
+			_, err := experiments.Table2(cfg)
+			return err
+		},
+		"fig5": func() error {
+			r, err := experiments.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "fig5", func(w io.Writer) error { return experiments.WriteFig5CSV(w, r) })
+		},
+		"fig6": func() error {
+			r, err := experiments.Fig6(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "fig6", func(w io.Writer) error { return experiments.WriteFig6CSV(w, r) })
+		},
+		"fig7": func() error {
+			r, err := experiments.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "fig7", func(w io.Writer) error { return experiments.WriteFig7CSV(w, r) })
+		},
+		"fig8": func() error {
+			r, err := experiments.Fig8(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "fig8", func(w io.Writer) error { return experiments.WriteFig8CSV(w, r) })
+		},
+		"fig9": func() error {
+			r, err := experiments.Fig9(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "fig9", func(w io.Writer) error { return experiments.WriteFig9CSV(w, r) })
+		},
+		"fig10": func() error {
+			r, err := experiments.Fig10(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "fig10", func(w io.Writer) error { return experiments.WriteFig10CSV(w, r) })
+		},
+		"production": func() error {
+			r, err := experiments.Production(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "production", func(w io.Writer) error { return experiments.WriteProductionCSV(w, r) })
+		},
+		"supplementary": func() error {
+			_, err := experiments.Supplementary(cfg)
+			return err
+		},
+		"lemma1": func() error {
+			r, err := experiments.Lemma1(cfg)
+			if err != nil {
+				return err
+			}
+			return withCSV(csvDir, "lemma1", func(w io.Writer) error { return experiments.WriteLemma1CSV(w, r) })
+		},
+		"ablations": func() error {
+			for _, f := range []func(experiments.Config) (*experiments.AblationResult, error){
+				experiments.AblationMachineGrouping,
+				experiments.AblationAnytime,
+				experiments.AblationSampleCount,
+				experiments.AblationBranching,
+			} {
+				if _, err := f(cfg); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	if name == "all" {
+		for _, n := range []string{
+			"table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			"production", "supplementary", "lemma1", "ablations",
+		} {
+			if err := runners[n](); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	f, ok := runners[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment (want table2|fig5|fig6|fig7|fig8|fig9|fig10|production|supplementary|lemma1|ablations|all)")
+	}
+	return f()
+}

@@ -1,0 +1,146 @@
+// Command rasad simulates the production control loop of Section III: a
+// CronJob that periodically collects the cluster state, runs the RASA
+// algorithm, and applies the resulting migration plan when the dry-run
+// gate passes. Given a snapshot it runs the workflow once and prints the
+// migration plan; with -loop it drives the full production simulator and
+// reports the latency/error improvements of Section V-F.
+//
+// Usage:
+//
+//	rasad -snapshot m1.json            # one optimization pass + plan
+//	rasad -loop -ticks 48              # simulated continuous operation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/prodsim"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+func main() {
+	snapPath := flag.String("snapshot", "", "cluster snapshot JSON (from rasagen or a data collector)")
+	budget := flag.Duration("budget", 2*time.Second, "optimization budget per pass")
+	loop := flag.Bool("loop", false, "run the continuous production simulation instead of one pass")
+	ticks := flag.Int("ticks", 48, "half-hour ticks to simulate with -loop")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print every migration command")
+	flag.Parse()
+
+	if *loop {
+		runLoop(*budget, *ticks, *seed)
+		return
+	}
+	runOnce(*snapPath, *budget, *seed, *verbose)
+}
+
+func runOnce(snapPath string, budget time.Duration, seed int64, verbose bool) {
+	var (
+		p   *snapshotCluster
+		err error
+	)
+	p, err = loadOrGenerate(snapPath, seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cluster: %d services, %d machines, %d affinity edges\n",
+		p.problem.N(), p.problem.M(), p.problem.Affinity.M())
+	total := p.problem.Affinity.TotalWeight()
+	fmt.Printf("current gained affinity: %.4f\n", p.current.GainedAffinity(p.problem)/total)
+
+	res, err := core.Optimize(p.problem, p.current, core.Options{
+		Budget:    budget,
+		Partition: partition.Options{Seed: seed},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("optimized gained affinity: %.4f (improvement %.1f%%)\n",
+		res.GainedAffinity/total, 100*res.ImprovementRatio())
+	fmt.Printf("subproblems: %d (trivial services: %d), elapsed %s\n",
+		len(res.Partition.Subproblems), len(res.Partition.Trivial), res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("migration plan: %d steps, %d container moves\n", len(res.Plan.Steps), res.Plan.Moves)
+	if verbose {
+		for i, step := range res.Plan.Steps {
+			fmt.Printf("  step %d: %v\n", i, step)
+		}
+	}
+}
+
+func runLoop(budget time.Duration, ticks int, seed int64) {
+	cfg := prodsim.Config{
+		Workload: workload.Preset{
+			Name: "rasad", Services: 120, Containers: 700, Machines: 30,
+			Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: seed,
+		},
+		Ticks:         ticks,
+		OptimizeEvery: 1,
+		Budget:        budget,
+		ChurnServices: 3,
+		Seed:          seed,
+	}
+	cmp, err := prodsim.RunAll(cfg)
+	if err != nil {
+		fail(err)
+	}
+	wo, wi, co := cmp.Without.MeanWeighted(), cmp.With.MeanWeighted(), cmp.Collocated.MeanWeighted()
+	fmt.Printf("%-16s %12s %12s\n", "scenario", "latency(ms)", "error rate")
+	fmt.Printf("%-16s %12.3f %12.5f\n", "WITHOUT RASA", wo.Latency, wo.ErrorRate)
+	fmt.Printf("%-16s %12.3f %12.5f\n", "WITH RASA", wi.Latency, wi.ErrorRate)
+	fmt.Printf("%-16s %12.3f %12.5f\n", "ONLY COLLOCATED", co.Latency, co.ErrorRate)
+	fmt.Printf("latency improvement: %.2f%%, error improvement: %.2f%%\n",
+		100*(wo.Latency-wi.Latency)/wo.Latency,
+		100*(wo.ErrorRate-wi.ErrorRate)/wo.ErrorRate)
+}
+
+type snapshotCluster struct {
+	problem *cluster.Problem
+	current *cluster.Assignment
+}
+
+func loadOrGenerate(path string, seed int64) (*snapshotCluster, error) {
+	if path == "" {
+		c, err := workload.Generate(workload.Preset{
+			Name: "default", Services: 200, Containers: 1100, Machines: 45,
+			Beta: 1.6, AffinityFraction: 0.6, Zones: 2, Utilization: 0.55, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &snapshotCluster{problem: c.Problem, current: c.Original}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := snapshot.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	p, a, err := s.ToCluster()
+	if err != nil {
+		return nil, err
+	}
+	if a == nil {
+		// No recorded deployment: bootstrap with the ORIGINAL scheduler.
+		a, err = sched.Original(p, seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &snapshotCluster{problem: p, current: a}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rasad: %v\n", err)
+	os.Exit(1)
+}

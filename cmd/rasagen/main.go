@@ -1,0 +1,77 @@
+// Command rasagen generates synthetic cluster snapshots (services,
+// machines, traffic/affinity data, and an initial deployment from the
+// ORIGINAL scheduler) as JSON — the same artifact the paper's data
+// collector produces from a live cluster.
+//
+// Usage:
+//
+//	rasagen -preset M1 -out m1.json
+//	rasagen -services 500 -containers 2500 -machines 100 -out custom.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+func main() {
+	preset := flag.String("preset", "", "named preset: M1, M2, M3, M4, T1, T2, T3, T4")
+	services := flag.Int("services", 200, "number of services (custom preset)")
+	containers := flag.Int("containers", 1200, "total containers (custom preset)")
+	machines := flag.Int("machines", 50, "number of machines (custom preset)")
+	beta := flag.Float64("beta", 1.6, "power-law exponent of total affinity (>1)")
+	zones := flag.Int("zones", 1, "compatibility zones")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "-", "output file ('-' for stdout)")
+	flag.Parse()
+
+	ps, err := resolvePreset(*preset, *services, *containers, *machines, *beta, *zones, *seed)
+	if err != nil {
+		fail(err)
+	}
+	c, err := workload.Generate(ps)
+	if err != nil {
+		fail(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := snapshot.Write(w, snapshot.FromCluster(c.Problem, c.Original)); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d services, %d machines, %d affinity edges, gained affinity %.4f\n",
+		ps.Name, c.Problem.N(), c.Problem.M(), c.Problem.Affinity.M(),
+		c.Original.GainedAffinity(c.Problem)/c.Problem.Affinity.TotalWeight())
+}
+
+func resolvePreset(name string, services, containers, machines int, beta float64, zones int, seed int64) (workload.Preset, error) {
+	if name == "" {
+		return workload.Preset{
+			Name: "custom", Services: services, Containers: containers, Machines: machines,
+			Beta: beta, AffinityFraction: 0.6, Zones: zones, Utilization: 0.55, Seed: seed,
+		}, nil
+	}
+	all := append(workload.EvaluationPresets(), workload.TrainingPresets()...)
+	for _, ps := range all {
+		if ps.Name == name {
+			ps.Seed = seed
+			return ps, nil
+		}
+	}
+	return workload.Preset{}, fmt.Errorf("unknown preset %q", name)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rasagen: %v\n", err)
+	os.Exit(1)
+}

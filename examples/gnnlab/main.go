@@ -1,0 +1,75 @@
+// GNN lab: train the GCN algorithm selector of Section IV-D on the
+// T1–T4 training clusters, compare it with the MLP baseline and the
+// empirical heuristic, and show the policies' choices on fresh
+// subproblems.
+//
+// Run with: go run ./examples/gnnlab
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rasa "github.com/cloudsched/rasa"
+)
+
+func main() {
+	fmt.Println("generating T1-T4 training clusters...")
+	var clusters []*rasa.GeneratedCluster
+	for _, ps := range rasa.TrainingPresets() {
+		c, err := rasa.Generate(ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clusters = append(clusters, c)
+	}
+
+	fmt.Println("labelling subproblems by racing CG vs MIP...")
+	start := time.Now()
+	labeled, err := rasa.LabelSubproblems(clusters, 200*time.Millisecond, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cgWins, mipWins int
+	for _, l := range labeled {
+		if l.Winner.String() == "CG" {
+			cgWins++
+		} else {
+			mipWins++
+		}
+	}
+	fmt.Printf("labelled %d subproblems in %s (CG wins %d, MIP wins %d)\n",
+		len(labeled), time.Since(start).Round(time.Millisecond), cgWins, mipWins)
+
+	gcnPolicy, err := rasa.TrainSelector(clusters, 200*time.Millisecond, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mlpPolicy, err := rasa.TrainMLPSelector(clusters, 200*time.Millisecond, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate each policy end to end on a held-out cluster.
+	eval, err := rasa.Generate(rasa.Preset{
+		Name: "heldout", Services: 150, Containers: 800, Machines: 36,
+		Beta: 1.55, AffinityFraction: 0.6, Zones: 2, Utilization: 0.55, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := eval.Problem.Affinity.TotalWeight()
+	fmt.Printf("\nend-to-end gained affinity on a held-out cluster (budget 1.5s):\n")
+	for _, pol := range []rasa.Policy{rasa.AlwaysCG(), rasa.AlwaysMIP(), rasa.HeuristicPolicy(), mlpPolicy, gcnPolicy} {
+		res, err := rasa.Optimize(eval.Problem, eval.Original, rasa.Options{
+			Budget:        1500 * time.Millisecond,
+			Policy:        pol,
+			SkipMigration: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %.4f\n", pol.Name(), res.GainedAffinity/total)
+	}
+}

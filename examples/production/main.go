@@ -1,0 +1,57 @@
+// Production example: continuous affinity optimization under churn,
+// reproducing the Section V-F deployment story — a CronJob re-optimizes
+// the cluster every tick while services are independently redeployed,
+// and end-to-end latency / error rates are compared across WITHOUT
+// RASA, WITH RASA, and the ONLY COLLOCATED upper bound.
+//
+// Run with: go run ./examples/production
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rasa "github.com/cloudsched/rasa"
+)
+
+func main() {
+	cfg := rasa.Simulation{
+		Workload: rasa.Preset{
+			Name: "prod-example", Services: 100, Containers: 560, Machines: 24,
+			Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: 11,
+		},
+		Ticks:         16, // 8 simulated hours of half-hour ticks
+		OptimizeEvery: 2,  // CronJob period
+		Budget:        time.Second,
+		ChurnServices: 3, // owner-driven redeployments per tick
+		TrackedPairs:  4,
+		Seed:          11,
+	}
+	cmp, err := rasa.SimulateAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("tick-by-tick gained affinity (WITH RASA):")
+	fmt.Printf("%5s %10s %8s %8s\n", "tick", "affinity", "applied", "moves")
+	for i, tm := range cmp.With.Ticks {
+		mark := ""
+		if tm.Applied {
+			mark = "yes"
+		}
+		fmt.Printf("%5d %10.4f %8s %8d\n", i, tm.GainedAffinity, mark, tm.Moves)
+	}
+
+	wo := cmp.Without.MeanWeighted()
+	wi := cmp.With.MeanWeighted()
+	co := cmp.Collocated.MeanWeighted()
+	fmt.Printf("\n%-16s %14s %12s\n", "scenario", "latency (ms)", "error rate")
+	fmt.Printf("%-16s %14.3f %12.5f\n", "WITHOUT RASA", wo.Latency, wo.ErrorRate)
+	fmt.Printf("%-16s %14.3f %12.5f\n", "WITH RASA", wi.Latency, wi.ErrorRate)
+	fmt.Printf("%-16s %14.3f %12.5f\n", "ONLY COLLOCATED", co.Latency, co.ErrorRate)
+	fmt.Printf("\nlatency improvement: %.1f%%   error improvement: %.1f%%\n",
+		100*(wo.Latency-wi.Latency)/wo.Latency,
+		100*(wo.ErrorRate-wi.ErrorRate)/wo.ErrorRate)
+	fmt.Println("(paper reports 23.75% and 24.09% in the ByteDance deployment)")
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a small cluster, optimize service affinity, and
+// print the migration plan.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rasa "github.com/cloudsched/rasa"
+)
+
+func main() {
+	// A cluster with two resource types, three small services and four
+	// machines. The web service talks heavily to the cache, and the
+	// worker talks to the queue.
+	b := rasa.NewClusterBuilder("cpu", "memory")
+	web := b.AddService("web", 4, rasa.Resources{2, 4})
+	cache := b.AddService("cache", 4, rasa.Resources{1, 8})
+	worker := b.AddService("worker", 2, rasa.Resources{2, 2})
+	queue := b.AddService("queue", 2, rasa.Resources{1, 4})
+	for i := 0; i < 4; i++ {
+		b.AddMachine(fmt.Sprintf("node-%d", i), rasa.Resources{8, 32})
+	}
+	// Affinity weights are traffic volumes between the services.
+	b.SetAffinity(web, cache, 0.7)
+	b.SetAffinity(worker, queue, 0.3)
+	// Keep the web tier spread for fault tolerance: at most 2 web
+	// containers per machine.
+	b.AddAntiAffinity([]int{web}, 2)
+
+	p, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bootstrap with an affinity-oblivious placement (in production this
+	// is the cluster's real current state from the data collector).
+	current, err := rasa.Schedule(p, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := p.Affinity.TotalWeight()
+	fmt.Printf("before: %.1f%% of traffic localized\n", 100*current.GainedAffinity(p)/total)
+
+	res, err := rasa.Optimize(p, current, rasa.Options{Budget: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after:  %.1f%% of traffic localized (%d subproblems, %s)\n",
+		100*res.GainedAffinity/total, len(res.Partition.Subproblems), res.Elapsed.Round(time.Millisecond))
+
+	fmt.Printf("\nmigration plan (%d moves in %d steps):\n", res.Plan.Moves, len(res.Plan.Steps))
+	for i, step := range res.Plan.Steps {
+		fmt.Printf("  step %d:", i+1)
+		for _, cmd := range step {
+			fmt.Printf(" %s %s on %s;", cmd.Op, p.Services[cmd.Service].Name, p.Machines[cmd.Machine].Name)
+		}
+		fmt.Println()
+	}
+
+	// Replay the plan to confirm it reaches the optimized mapping while
+	// honouring the 75% SLA floor at every step.
+	final, err := rasa.SimulateMigration(p, current, res.Plan, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter migration: %.1f%% localized, SLA held throughout\n",
+		100*final.GainedAffinity(p)/total)
+}

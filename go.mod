@@ -1,0 +1,3 @@
+module github.com/cloudsched/rasa
+
+go 1.22

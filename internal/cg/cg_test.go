@@ -1,0 +1,208 @@
+package cg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/mip"
+	"github.com/cloudsched/rasa/internal/model"
+)
+
+func pairProblem(capacity float64) *cluster.Problem {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1.0)
+	return &cluster.Problem{
+		ResourceNames: []string{"cpu"},
+		Services: []cluster.Service{
+			{Name: "A", Replicas: 2, Request: cluster.Resources{1}},
+			{Name: "B", Replicas: 2, Request: cluster.Resources{1}},
+		},
+		Machines: []cluster.Machine{
+			{Name: "m0", Capacity: cluster.Resources{capacity}},
+			{Name: "m1", Capacity: cluster.Resources{capacity}},
+			{Name: "m2", Capacity: cluster.Resources{capacity}},
+		},
+		Affinity: g,
+	}
+}
+
+func toAssignment(p *cluster.Problem, pls []model.Placement) *cluster.Assignment {
+	a := cluster.NewAssignment(p.N(), p.M())
+	for _, pl := range pls {
+		a.Add(pl.Service, pl.Machine, pl.Count)
+	}
+	return a
+}
+
+func TestCGFullCollocation(t *testing.T) {
+	p := pairProblem(4)
+	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-1.0) > 1e-6 {
+		t.Fatalf("objective = %v, want 1.0", res.Objective)
+	}
+	a := toAssignment(p, res.Placements)
+	if vs := a.Check(p, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestCGPairedPacking(t *testing.T) {
+	// Capacity 2: optimum still 1.0 via two (A,B) pairs.
+	p := pairProblem(2)
+	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-1.0) > 1e-6 {
+		t.Fatalf("objective = %v, want 1.0", res.Objective)
+	}
+}
+
+func TestCGPlacesAllContainersWhenPossible(t *testing.T) {
+	p := pairProblem(2)
+	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := toAssignment(p, res.Placements)
+	if a.Placed(0) != 2 || a.Placed(1) != 2 {
+		t.Fatalf("placed %d/%d, want 2/2", a.Placed(0), a.Placed(1))
+	}
+}
+
+func TestCGAntiAffinity(t *testing.T) {
+	p := pairProblem(10)
+	p.AntiAffinity = []cluster.AntiAffinityRule{{Services: []int{0, 1}, MaxPerHost: 1}}
+	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > 1e-9 {
+		t.Fatalf("objective = %v, want 0", res.Objective)
+	}
+	a := toAssignment(p, res.Placements)
+	if vs := a.Check(p, false); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestCGDeadlineAnytime(t *testing.T) {
+	// An expired deadline must still return a feasible (possibly greedy)
+	// schedule without error.
+	p := pairProblem(4)
+	res, err := Solve(cluster.FullSubproblem(p), Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := toAssignment(p, res.Placements)
+	if vs := a.Check(p, false); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestCGMatchesMIPOnSmallInstances(t *testing.T) {
+	// On small instances CG should match the exact MIP optimum: the
+	// sub-optimality the GCN classifier learns about appears only at
+	// scale, not on toy problems.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		sp := randomSubproblem(rng)
+		mm, err := model.BuildMIP(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msol, err := mip.Solve(&mm.Prob, mip.Options{Rounder: mm.Rounder()})
+		if err != nil || msol.X == nil {
+			t.Fatalf("mip failed: %v %v", err, msol.Status)
+		}
+		exact := mm.AffinityValue(msol.X)
+
+		res, err := Solve(sp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective < exact-0.15*(exact+1e-9)-1e-6 {
+			t.Fatalf("trial %d: cg %v far below mip %v", trial, res.Objective, exact)
+		}
+	}
+}
+
+func randomSubproblem(rng *rand.Rand) *cluster.Subproblem {
+	n := 2 + rng.Intn(4)
+	mN := 2 + rng.Intn(3)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64()+0.1)
+	}
+	p := &cluster.Problem{ResourceNames: []string{"cpu"}, Affinity: g}
+	for s := 0; s < n; s++ {
+		p.Services = append(p.Services, cluster.Service{
+			Name: "s", Replicas: 1 + rng.Intn(3), Request: cluster.Resources{1},
+		})
+	}
+	for j := 0; j < mN; j++ {
+		p.Machines = append(p.Machines, cluster.Machine{
+			Name: "m", Capacity: cluster.Resources{float64(2 + rng.Intn(6))},
+		})
+	}
+	return cluster.FullSubproblem(p)
+}
+
+// Property: CG schedules are always feasible and never over-place.
+func TestPropertyCGFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := randomSubproblem(rng)
+		res, err := Solve(sp, Options{MaxIters: 10})
+		if err != nil {
+			return false
+		}
+		a := toAssignment(sp.P, res.Placements)
+		for s := range sp.P.Services {
+			if a.Placed(s) > sp.P.Services[s].Replicas {
+				return false
+			}
+		}
+		return len(a.Check(sp.P, false)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reported objective matches an independent evaluation of
+// the returned placements.
+func TestPropertyCGObjectiveConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := randomSubproblem(rng)
+		res, err := Solve(sp, Options{MaxIters: 10})
+		if err != nil {
+			return false
+		}
+		a := toAssignment(sp.P, res.Placements)
+		return math.Abs(a.GainedAffinity(sp.P)-res.Objective) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCGSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	sp := randomSubproblem(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(sp, Options{MaxIters: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

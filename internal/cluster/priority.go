@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/cloudsched/rasa/internal/graph"
+)
+
+// PriorityLevel expresses how much a service's network performance
+// matters relative to others (Section II-B of the paper: "the cluster
+// manager can set up multiple priority levels and ask each microservice
+// developer to specify the priority of network performance for their
+// services"). The effective affinity of an edge is the measured traffic
+// scaled by the maximum of its endpoints' priority multipliers, so
+// high-priority services are collocated preferentially when capacity is
+// contended.
+type PriorityLevel int
+
+// Priority levels and their traffic multipliers.
+const (
+	// PriorityLow de-emphasizes a service's traffic (multiplier 0.5).
+	PriorityLow PriorityLevel = iota
+	// PriorityNormal leaves traffic unscaled (multiplier 1.0); the
+	// default for services with no explicit priority.
+	PriorityNormal
+	// PriorityHigh doubles the service's traffic weight.
+	PriorityHigh
+	// PriorityCritical quadruples the service's traffic weight.
+	PriorityCritical
+)
+
+func (l PriorityLevel) String() string {
+	switch l {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	case PriorityCritical:
+		return "critical"
+	}
+	return "unknown"
+}
+
+// Multiplier returns the traffic scaling factor of the level.
+func (l PriorityLevel) Multiplier() float64 {
+	switch l {
+	case PriorityLow:
+		return 0.5
+	case PriorityNormal:
+		return 1.0
+	case PriorityHigh:
+		return 2.0
+	case PriorityCritical:
+		return 4.0
+	}
+	return 1.0
+}
+
+// ApplyPriorities returns a new affinity graph whose edge weights are
+// the original traffic volumes scaled by the maximum priority multiplier
+// of each edge's endpoints. priorities maps service index to level;
+// absent services default to PriorityNormal. The returned graph is what
+// the optimizer should consume; the original traffic graph remains the
+// ground truth for reporting localized-traffic shares.
+func ApplyPriorities(traffic *graph.Graph, priorities map[int]PriorityLevel) (*graph.Graph, error) {
+	n := traffic.N()
+	for s := range priorities {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("cluster: priority for unknown service %d", s)
+		}
+	}
+	mult := func(s int) float64 {
+		if l, ok := priorities[s]; ok {
+			return l.Multiplier()
+		}
+		return PriorityNormal.Multiplier()
+	}
+	out := graph.New(n)
+	for _, e := range traffic.Edges() {
+		m := mult(e.U)
+		if m2 := mult(e.V); m2 > m {
+			m = m2
+		}
+		out.AddEdge(e.U, e.V, e.Weight*m)
+	}
+	return out, nil
+}

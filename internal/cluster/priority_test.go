@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cloudsched/rasa/internal/graph"
+)
+
+func TestPriorityMultipliers(t *testing.T) {
+	cases := map[PriorityLevel]float64{
+		PriorityLow:      0.5,
+		PriorityNormal:   1.0,
+		PriorityHigh:     2.0,
+		PriorityCritical: 4.0,
+		PriorityLevel(9): 1.0,
+	}
+	for l, want := range cases {
+		if got := l.Multiplier(); got != want {
+			t.Fatalf("%v multiplier = %v, want %v", l, got, want)
+		}
+	}
+	if PriorityHigh.String() != "high" || PriorityLevel(9).String() != "unknown" {
+		t.Fatal("String()")
+	}
+}
+
+func TestApplyPriorities(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1.0)
+	g.AddEdge(1, 2, 1.0)
+	out, err := ApplyPriorities(g, map[int]PriorityLevel{
+		0: PriorityCritical, // edge (0,1) x4
+		2: PriorityLow,      // edge (1,2): max(normal, low) = 1.0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := out.Weight(0, 1); math.Abs(w-4.0) > 1e-12 {
+		t.Fatalf("edge (0,1) = %v, want 4.0", w)
+	}
+	if w := out.Weight(1, 2); math.Abs(w-1.0) > 1e-12 {
+		t.Fatalf("edge (1,2) = %v, want 1.0 (max of normal and low)", w)
+	}
+	// The original graph is untouched.
+	if w := g.Weight(0, 1); w != 1.0 {
+		t.Fatal("input graph mutated")
+	}
+}
+
+func TestApplyPrioritiesBothLow(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 2.0)
+	out, err := ApplyPriorities(g, map[int]PriorityLevel{0: PriorityLow, 1: PriorityLow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := out.Weight(0, 1); math.Abs(w-1.0) > 1e-12 {
+		t.Fatalf("both-low edge = %v, want 1.0", w)
+	}
+}
+
+func TestApplyPrioritiesRejectsUnknownService(t *testing.T) {
+	g := graph.New(2)
+	if _, err := ApplyPriorities(g, map[int]PriorityLevel{5: PriorityHigh}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestApplyPrioritiesNilMap(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 3.0)
+	out, err := ApplyPriorities(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := out.Weight(0, 1); w != 3.0 {
+		t.Fatalf("weight = %v, want unchanged 3.0", w)
+	}
+}

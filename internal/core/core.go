@@ -1,0 +1,364 @@
+// Package core implements the full three-phase RASA algorithm of
+// Section IV: service partitioning, algorithm selection, parallel
+// subproblem solving, solution merging, and migration-path computation.
+// It is the paper's primary contribution; everything else under
+// internal/ is substrate.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/migrate"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/selector"
+)
+
+// Strategy selects the service-partitioning algorithm (the Fig. 6
+// comparison).
+type Strategy int
+
+// Partitioning strategies.
+const (
+	// Multistage is the paper's four-stage partitioner (default).
+	Multistage Strategy = iota
+	// RandomPartition splits affinity services uniformly at random.
+	RandomPartition
+	// KWayPartition uses the multilevel min-cut partitioner (KaHIP
+	// stand-in).
+	KWayPartition
+	// NoPartition solves the whole cluster as one subproblem with the
+	// direct MIP solver; expected to go out-of-time beyond small
+	// clusters.
+	NoPartition
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Multistage:
+		return "MULTI-STAGE-PARTITION"
+	case RandomPartition:
+		return "RANDOM-PARTITION"
+	case KWayPartition:
+		return "KAHIP"
+	case NoPartition:
+		return "NO-PARTITION"
+	}
+	return "unknown"
+}
+
+// Options tune an optimization pass.
+type Options struct {
+	// Budget is the end-to-end optimization budget (the paper evaluates
+	// under a one-minute time-out; scaled budgets reproduce the same
+	// shapes on this substrate). Default 2s.
+	Budget time.Duration
+	// Strategy picks the partitioner; default Multistage.
+	Strategy Strategy
+	// Partition forwards partitioner tuning (master ratio, target size,
+	// sampling, seed).
+	Partition partition.Options
+	// Policy selects the pool algorithm per subproblem; default the
+	// empirical Heuristic. Pass a trained selector.GCNPolicy for the
+	// full paper configuration.
+	Policy selector.Policy
+	// Parallelism bounds concurrent subproblem solves; 0 = GOMAXPROCS.
+	Parallelism int
+	// MinAlive is the migration SLA floor; default 0.75.
+	MinAlive float64
+	// SkipMigration skips migration-path computation (pure quality
+	// benchmarks).
+	SkipMigration bool
+}
+
+// Result is the outcome of one optimization pass.
+type Result struct {
+	// Assignment is the optimized container-to-machine mapping.
+	Assignment *cluster.Assignment
+	// Plan transitions the cluster from the input assignment to
+	// Assignment (nil when SkipMigration).
+	Plan *migrate.Plan
+	// GainedAffinity of Assignment and of the input mapping, in affinity
+	// units (workload-generated clusters normalize total affinity to 1).
+	GainedAffinity   float64
+	OriginalAffinity float64
+	// Partition reports the partitioning phase.
+	Partition *partition.Result
+	// SubResults holds the per-subproblem solver outcomes, aligned with
+	// Partition.Subproblems.
+	SubResults []pool.Result
+	// Selected records the algorithm chosen per subproblem.
+	Selected []pool.Algorithm
+	// OutOfTime reports that the solver phase produced nothing: every
+	// subproblem exhausted the budget without placements (the paper's
+	// OOT outcome — e.g. NO-PARTITION beyond small clusters). Individual
+	// failed subproblems merely fall back to the default scheduler.
+	OutOfTime bool
+	// PartialMigration reports that the migration planner hit a
+	// resource-ordering deadlock and Assignment was adjusted to the
+	// reachable state (Plan transitions exactly to it).
+	PartialMigration bool
+	// Elapsed is the total wall time of the pass.
+	Elapsed time.Duration
+}
+
+// reconcileSLA keeps under-placed services' surplus containers at their
+// current machines where capacity (and constraints) allow. The optimizer
+// tolerates failed deployments, but a target that places fewer
+// containers than currently run would force the migration to scale a
+// service down; keeping those containers in place is strictly better.
+func reconcileSLA(p *cluster.Problem, current, next *cluster.Assignment) {
+	used := next.UsedResources(p)
+	antiUsed := make([][]int, len(p.AntiAffinity))
+	for k := range antiUsed {
+		antiUsed[k] = make([]int, p.M())
+	}
+	memberOf := make([][]int, p.N())
+	for k, rule := range p.AntiAffinity {
+		for _, s := range rule.Services {
+			memberOf[s] = append(memberOf[s], k)
+		}
+	}
+	next.EachPlacement(func(s, m, count int) {
+		for _, k := range memberOf[s] {
+			antiUsed[k][m] += count
+		}
+	})
+	for s := 0; s < p.N(); s++ {
+		deficit := current.Placed(s) - next.Placed(s)
+		if deficit <= 0 {
+			continue
+		}
+		req := p.Services[s].Request
+		for _, m := range current.MachinesOf(s) {
+			for deficit > 0 && next.Get(s, m) < current.Get(s, m) {
+				if !used[m].Add(req).Fits(p.Machines[m].Capacity) {
+					break
+				}
+				blocked := false
+				for _, k := range memberOf[s] {
+					if antiUsed[k][m]+1 > p.AntiAffinity[k].MaxPerHost {
+						blocked = true
+						break
+					}
+				}
+				if blocked {
+					break
+				}
+				next.Add(s, m, 1)
+				used[m] = used[m].Add(req)
+				for _, k := range memberOf[s] {
+					antiUsed[k][m]++
+				}
+				deficit--
+			}
+			if deficit == 0 {
+				break
+			}
+		}
+	}
+}
+
+// evictForSLA makes room for under-placed compatibility-restricted
+// services by evicting containers of unrestricted services (which can
+// run anywhere) from the restricted services' compatible machines.
+// Returns true if any eviction happened; callers must re-run the default
+// scheduler to re-place the evicted containers.
+func evictForSLA(p *cluster.Problem, next *cluster.Assignment) bool {
+	if p.Schedulable == nil {
+		return false
+	}
+	evicted := false
+	used := next.UsedResources(p)
+	for s := 0; s < p.N(); s++ {
+		if p.Schedulable[s] == nil {
+			continue
+		}
+		deficit := p.Services[s].Replicas - next.Placed(s)
+		if deficit <= 0 {
+			continue
+		}
+		req := p.Services[s].Request
+		for m := 0; m < p.M() && deficit > 0; m++ {
+			if !p.CanHost(s, m) {
+				continue
+			}
+			for deficit > 0 {
+				if used[m].Add(req).Fits(p.Machines[m].Capacity) {
+					next.Add(s, m, 1)
+					used[m] = used[m].Add(req)
+					deficit--
+					continue
+				}
+				// Evict one container of the unrestricted service with
+				// the largest per-container request on this machine.
+				victim := -1
+				var victimReq float64
+				for cand := 0; cand < p.N(); cand++ {
+					if cand == s || next.Get(cand, m) == 0 {
+						continue
+					}
+					if p.Schedulable[cand] != nil {
+						continue // never evict another restricted service
+					}
+					if r := p.Services[cand].Request[0]; victim < 0 || r > victimReq {
+						victim, victimReq = cand, r
+					}
+				}
+				if victim < 0 {
+					break // nothing evictable here; try the next machine
+				}
+				next.Add(victim, m, -1)
+				used[m] = used[m].Sub(p.Services[victim].Request)
+				evicted = true
+			}
+		}
+	}
+	return evicted
+}
+
+// ImprovementRatio returns (new - old) / old gained affinity; +Inf when
+// the original affinity is zero and the new one positive.
+func (r *Result) ImprovementRatio() float64 {
+	if r.OriginalAffinity <= 0 {
+		if r.GainedAffinity > 0 {
+			return 1e18
+		}
+		return 0
+	}
+	return (r.GainedAffinity - r.OriginalAffinity) / r.OriginalAffinity
+}
+
+// Optimize runs the full RASA algorithm on the cluster: compute a new
+// mapping that maximizes overall gained affinity under the given budget
+// and the migration plan that realizes it.
+func Optimize(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if current == nil {
+		return nil, fmt.Errorf("core: nil current assignment")
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 2 * time.Second
+	}
+	if opts.Policy == nil {
+		opts.Policy = selector.Heuristic{}
+	}
+
+	// Phase 1: service partitioning.
+	var (
+		pres *partition.Result
+		err  error
+	)
+	switch opts.Strategy {
+	case Multistage:
+		pres, err = partition.Multistage(p, current, opts.Partition)
+	case RandomPartition:
+		pres, err = partition.Random(p, current, opts.Partition)
+	case KWayPartition:
+		pres, err = partition.KWay(p, current, opts.Partition)
+	case NoPartition:
+		pres, err = partition.None(p)
+	default:
+		err = fmt.Errorf("core: unknown strategy %d", opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: algorithm selection + parallel solving under the
+	// remaining budget.
+	selected := make([]pool.Algorithm, len(pres.Subproblems))
+	for i, sp := range pres.Subproblems {
+		if opts.Strategy == NoPartition {
+			// NO-PARTITION is defined as handing the whole problem to
+			// the solver (Section V-B).
+			selected[i] = pool.MIP
+			continue
+		}
+		selected[i] = opts.Policy.Select(sp)
+	}
+	remaining := opts.Budget - time.Since(start)
+	results := pool.SolveAll(pres.Subproblems, func(i int) pool.Algorithm { return selected[i] }, remaining, opts.Parallelism)
+
+	// Phase 3: merge and migration path.
+	newAssign := sched.Merge(p, current, pres, results)
+	reconcileSLA(p, current, newAssign)
+	if evictForSLA(p, newAssign) {
+		// Evicted containers need re-placing; reconcile again so nothing
+		// regresses below the current deployment.
+		newAssign = sched.Complete(p, newAssign)
+		reconcileSLA(p, current, newAssign)
+	}
+	res := &Result{
+		Assignment:       newAssign,
+		GainedAffinity:   newAssign.GainedAffinity(p),
+		OriginalAffinity: current.GainedAffinity(p),
+		Partition:        pres,
+		SubResults:       results,
+		Selected:         selected,
+	}
+	if len(results) > 0 {
+		res.OutOfTime = true
+		for _, r := range results {
+			if !r.OutOfTime {
+				res.OutOfTime = false
+				break
+			}
+		}
+	}
+	if !opts.SkipMigration {
+		plan, err := migrate.Compute(p, current, newAssign, migrate.Options{MinAlive: opts.MinAlive})
+		switch {
+		case err == nil:
+			res.Plan = plan
+			if plan.Relocations > 0 {
+				// Deadlock-breaking bounces steered some containers to
+				// different machines than planned; the replayed state is
+				// the authoritative new mapping.
+				reached, simErr := migrate.Simulate(p, current, plan, opts.MinAlive)
+				if simErr != nil {
+					return nil, fmt.Errorf("core: migration replay: %w", simErr)
+				}
+				res.Assignment = reached
+				res.GainedAffinity = reached.GainedAffinity(p)
+			}
+		case errors.Is(err, migrate.ErrStalled):
+			// A resource-ordering deadlock keeps part of the target out of
+			// reach (rare, but possible when the cluster is tight). The
+			// returned plan is still valid up to the stall point: adopt
+			// the reachable state as the result instead of failing.
+			reached, simErr := migrate.Simulate(p, current, plan, opts.MinAlive)
+			if simErr != nil {
+				return nil, fmt.Errorf("core: partial migration replay: %w", simErr)
+			}
+			// Re-place still-offline containers with the default
+			// scheduler and append those creations as a final step, so
+			// the plan still transitions exactly to the result.
+			completed := sched.Complete(p, reached)
+			var finalStep migrate.Step
+			completed.EachPlacement(func(s, m, count int) {
+				for extra := count - reached.Get(s, m); extra > 0; extra-- {
+					finalStep = append(finalStep, migrate.Command{Op: migrate.Create, Service: s, Machine: m})
+				}
+			})
+			if len(finalStep) > 0 {
+				plan.Steps = append(plan.Steps, finalStep)
+			}
+			res.Plan = plan
+			res.PartialMigration = true
+			res.Assignment = completed
+			res.GainedAffinity = completed.GainedAffinity(p)
+		default:
+			return nil, fmt.Errorf("core: migration planning: %w", err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,295 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	. "github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/migrate"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// schedOriginal aliases the baseline scheduler for test bootstrap.
+var schedOriginal = sched.Original
+
+func testCluster(t testing.TB, seed int64) *workload.Cluster {
+	t.Helper()
+	c, err := workload.Generate(workload.Preset{
+		Name: "core-test", Services: 70, Containers: 380, Machines: 16,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 2, Utilization: 0.55, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOptimizeImprovesAffinity(t *testing.T) {
+	c := testCluster(t, 1)
+	res, err := Optimize(c.Problem, c.Original, Options{
+		Budget:    3 * time.Second,
+		Partition: partition.Options{TargetSize: 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GainedAffinity <= res.OriginalAffinity {
+		t.Fatalf("no improvement: %v -> %v", res.OriginalAffinity, res.GainedAffinity)
+	}
+	if res.ImprovementRatio() <= 0 {
+		t.Fatalf("improvement ratio = %v", res.ImprovementRatio())
+	}
+	// The new assignment must satisfy every constraint including SLA.
+	if vs := res.Assignment.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+}
+
+func TestOptimizeMigrationPlanReachesTarget(t *testing.T) {
+	c := testCluster(t, 2)
+	res, err := Optimize(c.Problem, c.Original, Options{
+		Budget:    2 * time.Second,
+		Partition: partition.Options{TargetSize: 10, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("no migration plan")
+	}
+	final, err := migrate.Simulate(c.Problem, c.Original, res.Plan, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !migrate.Equal(final, res.Assignment) {
+		t.Fatal("plan does not reach the optimized mapping")
+	}
+}
+
+func TestOptimizeSkipMigration(t *testing.T) {
+	c := testCluster(t, 3)
+	res, err := Optimize(c.Problem, c.Original, Options{
+		Budget:        time.Second,
+		SkipMigration: true,
+		Partition:     partition.Options{TargetSize: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != nil {
+		t.Fatal("plan computed despite SkipMigration")
+	}
+}
+
+func TestOptimizeStrategies(t *testing.T) {
+	c := testCluster(t, 4)
+	gains := map[Strategy]float64{}
+	for _, st := range []Strategy{Multistage, RandomPartition, KWayPartition} {
+		res, err := Optimize(c.Problem, c.Original, Options{
+			Budget:        2 * time.Second,
+			Strategy:      st,
+			SkipMigration: true,
+			Partition:     partition.Options{TargetSize: 10, Seed: 4},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if vs := res.Assignment.Check(c.Problem, true); len(vs) != 0 {
+			t.Fatalf("%v violations: %v", st, vs[0])
+		}
+		gains[st] = res.GainedAffinity
+	}
+	if gains[Multistage] < gains[RandomPartition] {
+		t.Fatalf("multistage %v below random %v", gains[Multistage], gains[RandomPartition])
+	}
+}
+
+func TestOptimizeNoPartitionSmall(t *testing.T) {
+	// A tiny cluster should be solvable even without partitioning.
+	c, err := workload.Generate(workload.Preset{
+		Name: "tiny", Services: 12, Containers: 60, Machines: 5,
+		Beta: 1.7, AffinityFraction: 0.8, Zones: 1, Utilization: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(c.Problem, c.Original, Options{
+		Budget:        3 * time.Second,
+		Strategy:      NoPartition,
+		SkipMigration: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfTime {
+		t.Fatal("tiny NO-PARTITION went OOT")
+	}
+	if res.GainedAffinity <= 0 {
+		t.Fatalf("gained = %v", res.GainedAffinity)
+	}
+}
+
+func TestOptimizeNoPartitionLargeGoesOOT(t *testing.T) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "large", Services: 400, Containers: 2400, Machines: 110,
+		Beta: 1.5, AffinityFraction: 0.7, Zones: 1, Utilization: 0.55, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(c.Problem, c.Original, Options{
+		Budget:        300 * time.Millisecond,
+		Strategy:      NoPartition,
+		SkipMigration: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either OOT or (if somehow solved) feasible — but on this size the
+	// MIP formulation must exceed the tractable-cell bound.
+	if !res.OutOfTime {
+		t.Fatalf("expected OOT; gained=%v", res.GainedAffinity)
+	}
+	// The fallback (current placement + default completion) still yields
+	// a valid assignment.
+	if vs := res.Assignment.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	c := testCluster(t, 7)
+	if _, err := Optimize(c.Problem, nil, Options{}); err == nil {
+		t.Fatal("nil current accepted")
+	}
+	bad := *c.Problem
+	bad.Services = nil
+	if _, err := Optimize(&bad, c.Original, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+	if _, err := Optimize(c.Problem, c.Original, Options{Strategy: Strategy(42)}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// TestRestrictedServiceNeverStranded reproduces the zone-pinning
+// failure: a low-affinity service restricted to a few machines must
+// never end the optimization under-placed, even when the solver would
+// rather fill its zone with high-affinity containers (the eviction
+// repair guarantees this).
+func TestRestrictedServiceNeverStranded(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c, err := workload.Generate(workload.Preset{
+			Name: "pin", Services: 60, Containers: 340, Machines: 14,
+			Beta: 1.6, AffinityFraction: 0.7, Zones: 1, Utilization: 0.6, Seed: 400 + seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.Problem
+		// Pin the last (low-affinity) service to two machines only, and
+		// drop any spread rule on it (two machines cannot satisfy both a
+		// pin and a spread cap — that combination is infeasible by
+		// construction, not a scheduling failure).
+		pinned := p.N() - 1
+		p.Schedulable = make([]cluster.Bitmap, p.N())
+		bm := cluster.NewBitmap(p.M())
+		bm.Set(0)
+		bm.Set(1)
+		p.Schedulable[pinned] = bm
+		var rules []cluster.AntiAffinityRule
+		for _, r := range p.AntiAffinity {
+			keep := true
+			for _, s := range r.Services {
+				if s == pinned {
+					keep = false
+				}
+			}
+			if keep {
+				rules = append(rules, r)
+			}
+		}
+		p.AntiAffinity = rules
+		cur, err := Optimize(p, mustSchedule(t, p, seed), Options{
+			Budget:    time.Second,
+			Partition: partition.Options{Seed: seed},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := cur.Assignment.Placed(pinned); got != p.Services[pinned].Replicas {
+			t.Fatalf("seed %d: pinned service placed %d of %d", seed, got, p.Services[pinned].Replicas)
+		}
+		if vs := cur.Assignment.Check(p, true); len(vs) != 0 {
+			t.Fatalf("seed %d: violations: %v", seed, vs[0])
+		}
+	}
+}
+
+func mustSchedule(t *testing.T, p *cluster.Problem, seed int64) *cluster.Assignment {
+	t.Helper()
+	a, err := schedOriginal(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		Multistage:      "MULTI-STAGE-PARTITION",
+		RandomPartition: "RANDOM-PARTITION",
+		KWayPartition:   "KAHIP",
+		NoPartition:     "NO-PARTITION",
+		Strategy(9):     "unknown",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %v", s, s.String())
+		}
+	}
+}
+
+func TestOptimizeDeterministicPartitioning(t *testing.T) {
+	// With a fixed seed the partitioning and selection are deterministic;
+	// solver timing can vary, so compare the partition structure only.
+	c := testCluster(t, 8)
+	opts := Options{
+		Budget:        time.Second,
+		SkipMigration: true,
+		Partition:     partition.Options{TargetSize: 10, Seed: 9},
+	}
+	r1, err := Optimize(c.Problem, c.Original, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Optimize(c.Problem, c.Original, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Partition.Subproblems) != len(r2.Partition.Subproblems) {
+		t.Fatal("non-deterministic partitioning")
+	}
+	for i := range r1.Selected {
+		if r1.Selected[i] != r2.Selected[i] {
+			t.Fatal("non-deterministic selection")
+		}
+	}
+}
+
+func BenchmarkOptimizeSmallCluster(b *testing.B) {
+	c := testCluster(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(c.Problem, c.Original, Options{
+			Budget:        500 * time.Millisecond,
+			SkipMigration: true,
+			Partition:     partition.Options{TargetSize: 10, Seed: int64(i)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

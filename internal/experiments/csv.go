@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSV writers: each experiment's typed result can be exported as a CSV
+// series for external plotting (cmd/rasabench -csv). Columns mirror the
+// axes of the corresponding paper figure.
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteFig5CSV exports rank, observed T(s), and both fitted curves.
+func WriteFig5CSV(w io.Writer, r *Fig5Result) error {
+	rows := [][]string{{"rank", "total_affinity", "powerlaw_fit", "exponential_fit"}}
+	for i, y := range r.Top {
+		rows = append(rows, []string{
+			strconv.Itoa(i + 1), f(y), f(r.PowerLaw.Eval(i + 1)), f(r.Exponential.Eval(i + 1)),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteFig6CSV exports cluster x strategy gained affinity ("OOT" for
+// out-of-time cells).
+func WriteFig6CSV(w io.Writer, r Fig6Result) error {
+	strategies := []string{"NO-PARTITION", "RANDOM-PARTITION", "KAHIP", "MULTI-STAGE-PARTITION"}
+	rows := [][]string{append([]string{"cluster"}, strategies...)}
+	names := make([]string, 0, len(r))
+	for name := range r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := []string{name}
+		for _, st := range strategies {
+			c := r[name][st]
+			if c.OOT {
+				row = append(row, "OOT")
+			} else {
+				row = append(row, f(c.Gained))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return writeAll(w, rows)
+}
+
+// WriteFig7CSV exports the master-ratio sweep, one row per
+// (cluster, ratio).
+func WriteFig7CSV(w io.Writer, series []Fig7Series) error {
+	rows := [][]string{{"cluster", "ratio", "gained", "master_total_affinity", "chosen_alpha"}}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			rows = append(rows, []string{
+				s.Cluster, f(pt.Ratio), f(pt.Gained), f(pt.MasterAffinity), f(s.ChosenRatio),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteFig8CSV exports cluster x policy gained affinity.
+func WriteFig8CSV(w io.Writer, r Fig8Result) error {
+	policies := []string{"CG", "MIP", "HEURISTIC", "MLP-BASED", "GCN-BASED"}
+	rows := [][]string{append([]string{"cluster"}, policies...)}
+	names := make([]string, 0, len(r))
+	for name := range r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := []string{name}
+		for _, pol := range policies {
+			row = append(row, f(r[name][pol]))
+		}
+		rows = append(rows, row)
+	}
+	return writeAll(w, rows)
+}
+
+// WriteFig9CSV exports cluster x algorithm gained affinity.
+func WriteFig9CSV(w io.Writer, r *Fig9Result) error {
+	algs := []string{"ORIGINAL", "POP", "K8s+", "APPLSCI19", "RASA"}
+	rows := [][]string{append([]string{"cluster"}, algs...)}
+	names := make([]string, 0, len(r.Cells))
+	for name := range r.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := []string{name}
+		for _, a := range algs {
+			row = append(row, f(r.Cells[name][a]))
+		}
+		rows = append(rows, row)
+	}
+	return writeAll(w, rows)
+}
+
+// WriteFig10CSV exports (cluster, algorithm, budget, runtime, gained).
+func WriteFig10CSV(w io.Writer, series []Fig10Series) error {
+	rows := [][]string{{"cluster", "algorithm", "budget_ms", "runtime_ms", "gained"}}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			rows = append(rows, []string{
+				s.Cluster, s.Algorithm,
+				f(float64(pt.Budget.Milliseconds())),
+				f(float64(pt.Runtime.Milliseconds())),
+				f(pt.Gained),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// WriteProductionCSV exports the Figs. 11-13 time series: per tick and
+// scenario, the weighted latency/error plus per-pair metrics.
+func WriteProductionCSV(w io.Writer, r *ProductionResult) error {
+	rows := [][]string{{"scenario", "tick", "weighted_latency_ms", "weighted_error_rate", "gained_affinity", "pair", "pair_latency_ms", "pair_error_rate"}}
+	add := func(name string, ticks []tickLike, pairs int) {
+		for ti, tm := range ticks {
+			for pi := 0; pi < pairs; pi++ {
+				rows = append(rows, []string{
+					name, strconv.Itoa(ti),
+					f(tm.weightedLatency), f(tm.weightedError), f(tm.gained),
+					strconv.Itoa(pi), f(tm.pairLatency[pi]), f(tm.pairError[pi]),
+				})
+			}
+		}
+	}
+	for _, sc := range []struct {
+		name string
+		rep  *reportAccessor
+	}{
+		{"WITHOUT_RASA", newReportAccessor(r, 0)},
+		{"WITH_RASA", newReportAccessor(r, 1)},
+		{"ONLY_COLLOCATED", newReportAccessor(r, 2)},
+	} {
+		add(sc.name, sc.rep.ticks, sc.rep.pairs)
+	}
+	return writeAll(w, rows)
+}
+
+// tickLike flattens one prodsim tick for CSV.
+type tickLike struct {
+	weightedLatency, weightedError, gained float64
+	pairLatency, pairError                 []float64
+}
+
+type reportAccessor struct {
+	ticks []tickLike
+	pairs int
+}
+
+func newReportAccessor(r *ProductionResult, which int) *reportAccessor {
+	rep := r.Comparison.Without
+	switch which {
+	case 1:
+		rep = r.Comparison.With
+	case 2:
+		rep = r.Comparison.Collocated
+	}
+	out := &reportAccessor{pairs: len(rep.TrackedPairs)}
+	for _, tm := range rep.Ticks {
+		tl := tickLike{
+			weightedLatency: tm.Weighted.Latency,
+			weightedError:   tm.Weighted.ErrorRate,
+			gained:          tm.GainedAffinity,
+		}
+		for _, pm := range tm.Pairs {
+			tl.pairLatency = append(tl.pairLatency, pm.Latency)
+			tl.pairError = append(tl.pairError, pm.ErrorRate)
+		}
+		out.ticks = append(out.ticks, tl)
+	}
+	return out
+}
+
+// WriteLemma1CSV exports the tail-share measurements.
+func WriteLemma1CSV(w io.Writer, pts []Lemma1Point) error {
+	rows := [][]string{{"n", "alpha", "masters", "tail_share"}}
+	for _, pt := range pts {
+		rows = append(rows, []string{
+			strconv.Itoa(pt.N), f(pt.Alpha), strconv.Itoa(pt.MasterCount), f(pt.TailShare),
+		})
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the synthetic M1–M4 clusters. Each function
+// prints the same rows/series the paper reports; cmd/rasabench and the
+// root bench_test.go both drive this package, so the CLI and `go test
+// -bench` produce identical artifacts.
+//
+// Absolute numbers differ from the paper (the substrate is a pure-Go
+// solver on scaled clusters, not Gurobi on a production fleet); the
+// reproduction targets are the *shapes*: who wins, by what rough factor,
+// and where the crossovers fall. EXPERIMENTS.md records paper-vs-
+// measured for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Budget is the per-optimization time-out. The paper uses 60 s on
+	// production hardware; the default here is 1.5 s, which produces the
+	// same qualitative shapes on the scaled clusters. Override with the
+	// RASA_BENCH_BUDGET environment variable (e.g. "10s") or the
+	// -budget flag of cmd/rasabench.
+	Budget time.Duration
+	// LabelBudget is the per-algorithm budget when labelling GCN
+	// training subproblems.
+	LabelBudget time.Duration
+	// Presets are the evaluation clusters; default M1–M4.
+	Presets []workload.Preset
+	// Seed drives all randomized components.
+	Seed int64
+	// Out receives the formatted tables; default os.Stdout.
+	Out io.Writer
+}
+
+// FromEnv builds the default config, honouring RASA_BENCH_BUDGET and
+// RASA_BENCH_SMALL=1 (use quarter-scale clusters for quick runs).
+func FromEnv() Config {
+	cfg := Config{}
+	if v := os.Getenv("RASA_BENCH_BUDGET"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			cfg.Budget = d
+		}
+	}
+	if os.Getenv("RASA_BENCH_SMALL") == "1" {
+		cfg.Presets = SmallPresets()
+	}
+	return cfg
+}
+
+// SmallPresets returns quarter-scale variants of M1–M4 for fast runs.
+func SmallPresets() []workload.Preset {
+	var out []workload.Preset
+	for _, ps := range workload.EvaluationPresets() {
+		ps.Services /= 4
+		ps.Containers /= 4
+		ps.Machines /= 4
+		if ps.Machines < 4 {
+			ps.Machines = 4
+		}
+		if ps.Services < 10 {
+			ps.Services = 10
+		}
+		if ps.Containers < 4*ps.Services {
+			ps.Containers = 4 * ps.Services
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 1500 * time.Millisecond
+	}
+	if c.LabelBudget <= 0 {
+		// The paper labels subproblems under the same one-minute limit it
+		// evaluates with; here half the evaluation budget keeps labels
+		// predictive while bounding the one-off training cost (hundreds
+		// of subproblems are raced twice each).
+		c.LabelBudget = c.Budget / 2
+	}
+	if len(c.Presets) == 0 {
+		c.Presets = workload.EvaluationPresets()
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	return c
+}
+
+// clusterCache avoids regenerating the same preset across experiments
+// in one process (generation of M2 costs seconds).
+var clusterCache sync.Map // preset name+seed -> *workload.Cluster
+
+func getCluster(ps workload.Preset) (*workload.Cluster, error) {
+	key := ps.Name + "/" + strconv.FormatInt(ps.Seed, 10) + "/" + strconv.Itoa(ps.Services)
+	if v, ok := clusterCache.Load(key); ok {
+		return v.(*workload.Cluster), nil
+	}
+	c, err := workload.Generate(ps)
+	if err != nil {
+		return nil, err
+	}
+	clusterCache.Store(key, c)
+	return c, nil
+}
+
+// normalized converts an absolute gained affinity into the paper's
+// normalized objective (total affinity of workload clusters is 1.0, but
+// divide anyway to stay correct for custom presets).
+func normalized(p *cluster.Problem, gained float64) float64 {
+	total := p.Affinity.TotalWeight()
+	if total == 0 {
+		return 0
+	}
+	return gained / total
+}
+
+// header prints an experiment banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+}
+
+// row prints one formatted table row.
+func row(w io.Writer, cols ...any) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(w, "%.4f", v)
+		default:
+			fmt.Fprintf(w, "%v", v)
+		}
+	}
+	fmt.Fprintln(w)
+}

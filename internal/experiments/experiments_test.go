@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// quickConfig is a fast configuration for CI: tiny clusters and tight
+// budgets. It still exercises every experiment end to end.
+func quickConfig(out *bytes.Buffer) Config {
+	return Config{
+		Budget:      400 * time.Millisecond,
+		LabelBudget: 60 * time.Millisecond,
+		Seed:        1,
+		Out:         out,
+		Presets: []workload.Preset{
+			{Name: "Q1", Services: 60, Containers: 300, Machines: 14, Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: 301},
+			{Name: "Q2", Services: 90, Containers: 500, Machines: 22, Beta: 1.5, AffinityFraction: 0.55, Zones: 2, Utilization: 0.55, Seed: 302},
+		},
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table2(quickConfig(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Services == 0 || r.Containers == 0 || r.Machines == 0 || r.Edges == 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatal("missing banner")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Fig5(quickConfig(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PowerLawWins {
+		t.Fatalf("power law should fit better: PL R2=%v EXP R2=%v", res.PowerLaw.R2, res.Exponential.R2)
+	}
+	if res.PowerLaw.Param <= 1 {
+		t.Fatalf("beta = %v, want > 1", res.PowerLaw.Param)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Fig6(quickConfig(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cells := range res {
+		ms := cells["MULTI-STAGE-PARTITION"]
+		rd := cells["RANDOM-PARTITION"]
+		if ms.OOT {
+			t.Fatalf("%s: multistage OOT", name)
+		}
+		if !rd.OOT && ms.Gained < rd.Gained*0.9 {
+			t.Fatalf("%s: multistage %.4f well below random %.4f", name, ms.Gained, rd.Gained)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	var buf bytes.Buffer
+	series, err := Fig7(quickConfig(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: empty sweep", s.Cluster)
+		}
+		// Master affinity must be monotone non-decreasing in the ratio.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].MasterAffinity < s.Points[i-1].MasterAffinity-1e-9 {
+				t.Fatalf("%s: master affinity not monotone", s.Cluster)
+			}
+		}
+		last := s.Points[len(s.Points)-1]
+		if last.MasterAffinity < 0.99 {
+			t.Fatalf("%s: master affinity at ratio 1.0 = %v", s.Cluster, last.MasterAffinity)
+		}
+	}
+}
+
+func TestFig8AndFig9AndFig10(t *testing.T) {
+	// These share the trained selector (sync.Once), so run in sequence
+	// within one test to keep the cache warm and the test budget bounded.
+	var buf bytes.Buffer
+	cfg := quickConfig(&buf)
+
+	f8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cells := range f8 {
+		if len(cells) != 5 {
+			t.Fatalf("%s: %d policies", name, len(cells))
+		}
+		gcn := cells["GCN-BASED"]
+		best := 0.0
+		for _, v := range cells {
+			if v > best {
+				best = v
+			}
+		}
+		if gcn < 0.75*best {
+			t.Fatalf("%s: GCN %.4f far below best policy %.4f", name, gcn, best)
+		}
+	}
+
+	f9, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cells := range f9.Cells {
+		if cells["RASA"] <= cells["ORIGINAL"] {
+			t.Fatalf("%s: RASA %.4f <= ORIGINAL %.4f", name, cells["RASA"], cells["ORIGINAL"])
+		}
+	}
+	if f9.RASAvsOriginal < 1.5 {
+		t.Fatalf("RASA vs ORIGINAL = %.2fx, want clear multiple", f9.RASAvsOriginal)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := WriteFig8CSV(&csvBuf, f8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "GCN-BASED") {
+		t.Fatal("fig8 csv missing policy column")
+	}
+	csvBuf.Reset()
+	if err := WriteFig9CSV(&csvBuf, f9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "RASA") {
+		t.Fatal("fig9 csv missing algorithm column")
+	}
+
+	f10, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10) != 2*len(cfg.Presets) {
+		t.Fatalf("series = %d", len(f10))
+	}
+	csvBuf.Reset()
+	if err := WriteFig10CSV(&csvBuf, f10); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csvBuf.String(), "\n"); lines != len(f10)*5+1 {
+		t.Fatalf("fig10 csv lines = %d", lines)
+	}
+	// RASA should beat POP at the largest budget on every cluster.
+	for i := 0; i < len(f10); i += 2 {
+		r := f10[i].Points[len(f10[i].Points)-1]
+		p := f10[i+1].Points[len(f10[i+1].Points)-1]
+		if r.Gained < p.Gained {
+			t.Fatalf("%s: RASA %.4f below POP %.4f at max budget", f10[i].Cluster, r.Gained, p.Gained)
+		}
+	}
+}
+
+func TestProduction(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickConfig(&buf)
+	res, err := Production(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightedLatencyImprovement <= 0 {
+		t.Fatalf("weighted latency improvement = %v", res.WeightedLatencyImprovement)
+	}
+	if res.WeightedErrorImprovement <= 0 {
+		t.Fatalf("weighted error improvement = %v", res.WeightedErrorImprovement)
+	}
+	if len(res.PairLatencyImprovement) != 4 {
+		t.Fatalf("tracked pairs = %d", len(res.PairLatencyImprovement))
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteProductionCSV(&csvBuf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WITHOUT_RASA", "WITH_RASA", "ONLY_COLLOCATED"} {
+		if !strings.Contains(csvBuf.String(), want) {
+			t.Fatalf("production csv missing scenario %s", want)
+		}
+	}
+}
+
+func TestSupplementaryAndAblations(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickConfig(&buf)
+	rows, err := Supplementary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Overhead < 0 || r.Overhead > 1 {
+			t.Fatalf("overhead = %v", r.Overhead)
+		}
+		if r.LostAffinity < 0 || r.LostAffinity > 1 {
+			t.Fatalf("lost affinity = %v", r.LostAffinity)
+		}
+	}
+
+	if _, err := AblationMachineGrouping(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationAnytime(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := AblationSampleCount(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.On < 0 || sc.On > 1 || sc.Off < 0 || sc.Off > 1 {
+		t.Fatalf("sample-count ablation out of range: %v vs %v", sc.On, sc.Off)
+	}
+	if _, err := AblationBranching(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallPresets(t *testing.T) {
+	sp := SmallPresets()
+	if len(sp) != 4 {
+		t.Fatalf("small presets = %d", len(sp))
+	}
+	for _, ps := range sp {
+		if ps.Containers < ps.Services {
+			t.Fatalf("invalid small preset %+v", ps)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("RASA_BENCH_BUDGET", "250ms")
+	t.Setenv("RASA_BENCH_SMALL", "1")
+	cfg := FromEnv()
+	if cfg.Budget != 250*time.Millisecond {
+		t.Fatalf("budget = %v", cfg.Budget)
+	}
+	if len(cfg.Presets) != 4 {
+		t.Fatalf("presets = %d", len(cfg.Presets))
+	}
+}
+
+func TestLemma1TailDecays(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickConfig(&buf)
+	pts, err := Lemma1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// At these (pre-asymptotic) sizes the tail share converges to a few
+	// percent rather than visibly decaying; the operative claim of
+	// Lemma 1 — that the ignored tail carries a negligible share of the
+	// total affinity under the production alpha — must hold at every N.
+	for _, pt := range pts {
+		if pt.TailShare > 0.10 {
+			t.Fatalf("N=%d: tail share %v exceeds 10%%", pt.N, pt.TailShare)
+		}
+	}
+	for _, pt := range pts {
+		if pt.TailShare < 0 || pt.TailShare > 1 {
+			t.Fatalf("tail share out of range: %+v", pt)
+		}
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var out bytes.Buffer
+	cfg := quickConfig(&out)
+
+	f5, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(f5.Top)+1 {
+		t.Fatalf("fig5 csv lines = %d, want %d", lines, len(f5.Top)+1)
+	}
+
+	l1, err := Lemma1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteLemma1CSV(&buf, l1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "n,alpha,masters,tail_share") {
+		t.Fatalf("lemma1 csv header: %q", buf.String()[:40])
+	}
+
+	// Fig6/7 reuse cached clusters, so they are cheap here.
+	f6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig6CSV(&buf, f6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MULTI-STAGE-PARTITION") {
+		t.Fatal("fig6 csv missing strategy column")
+	}
+
+	f7, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFig7CSV(&buf, f7); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 2 {
+		t.Fatal("fig7 csv empty")
+	}
+}

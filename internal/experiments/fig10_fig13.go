@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/prodsim"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// Fig10Point is one (runtime, quality) measurement.
+type Fig10Point struct {
+	Budget  time.Duration
+	Runtime time.Duration // actual wall time used
+	Gained  float64       // normalized
+}
+
+// Fig10Series is the quality-over-runtime curve for one algorithm on
+// one cluster.
+type Fig10Series struct {
+	Cluster   string
+	Algorithm string // "RASA" or "POP"
+	Points    []Fig10Point
+}
+
+// Fig10 regenerates Fig. 10: optimization quality as a function of
+// runtime for RASA and POP (the two anytime algorithms). Expected
+// shape: RASA dominates POP at every budget and plateaus early.
+func Fig10(cfg Config) ([]Fig10Series, error) {
+	cfg = cfg.withDefaults()
+	gcn, _, _, err := trainedSelectors(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fractions := []float64{0.25, 0.5, 1, 2, 4}
+	var out []Fig10Series
+	header(cfg.Out, "Fig. 10", "Optimization quality vs runtime (RASA and POP)")
+	row(cfg.Out, "Cluster", "Algorithm", "budget", "runtime", "gained")
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		rasaSeries := Fig10Series{Cluster: ps.Name, Algorithm: "RASA"}
+		popSeries := Fig10Series{Cluster: ps.Name, Algorithm: "POP"}
+		for _, f := range fractions {
+			budget := time.Duration(float64(cfg.Budget) * f)
+
+			start := time.Now()
+			res, err := core.Optimize(c.Problem, c.Original, core.Options{
+				Budget:        budget,
+				Policy:        gcn,
+				SkipMigration: true,
+				Partition:     partition.Options{Seed: cfg.Seed},
+			})
+			if err != nil {
+				return nil, err
+			}
+			rp := Fig10Point{Budget: budget, Runtime: time.Since(start), Gained: normalized(c.Problem, res.GainedAffinity)}
+			rasaSeries.Points = append(rasaSeries.Points, rp)
+			row(cfg.Out, ps.Name, "RASA", budget.String(), rp.Runtime.Round(time.Millisecond).String(), rp.Gained)
+
+			start = time.Now()
+			popA, err := sched.POP(c.Problem, c.Original, sched.Options{Deadline: budget, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			pp := Fig10Point{Budget: budget, Runtime: time.Since(start), Gained: normalized(c.Problem, popA.GainedAffinity(c.Problem))}
+			popSeries.Points = append(popSeries.Points, pp)
+			row(cfg.Out, ps.Name, "POP", budget.String(), pp.Runtime.Round(time.Millisecond).String(), pp.Gained)
+		}
+		out = append(out, rasaSeries, popSeries)
+	}
+	return out, nil
+}
+
+// ProductionResult aggregates the Section V-F artifacts.
+type ProductionResult struct {
+	Comparison *prodsim.Comparison
+	// Per tracked pair: relative latency/error improvement of WITH RASA
+	// over WITHOUT RASA (Figs. 11 and 12).
+	PairLatencyImprovement []float64
+	PairErrorImprovement   []float64
+	// Weighted improvements (Fig. 13; paper: 23.75% and 24.09%).
+	WeightedLatencyImprovement float64
+	WeightedErrorImprovement   float64
+	// Gap of WITH RASA to the ONLY COLLOCATED bound, normalized by the
+	// WITHOUT RASA baseline span (paper: < 10% absolute on normalized
+	// metrics).
+	LatencyGapToCollocated float64
+	ErrorGapToCollocated   float64
+}
+
+// productionPreset is the cluster used for the production simulation:
+// the CronJob runs a full optimization per tick, so the simulated
+// cluster is mid-sized.
+func productionPreset(seed int64) workload.Preset {
+	return workload.Preset{
+		Name: "PROD", Services: 120, Containers: 700, Machines: 30,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: seed,
+	}
+}
+
+// Production regenerates Figs. 11, 12 and 13: normalized end-to-end
+// latency and request error rate for the four critical service pairs and
+// the QPS-weighted cluster aggregate, under WITHOUT RASA / WITH RASA /
+// ONLY COLLOCATED. Expected shape: WITH RASA between the other two, and
+// within ~10% (normalized) of ONLY COLLOCATED.
+func Production(cfg Config) (*ProductionResult, error) {
+	cfg = cfg.withDefaults()
+	cmp, err := prodsim.RunAll(prodsim.Config{
+		Workload:      productionPreset(cfg.Seed + 500),
+		Ticks:         24,
+		OptimizeEvery: 2,
+		Budget:        cfg.Budget / 2,
+		ChurnServices: 3,
+		TrackedPairs:  4,
+		Partition:     partition.Options{Seed: cfg.Seed},
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ProductionResult{Comparison: cmp}
+
+	header(cfg.Out, "Fig. 11/12", "Normalized latency and error rate for 4 critical service pairs")
+	row(cfg.Out, "pair", "lat WITHOUT", "lat WITH", "lat COLLOCATED", "err WITHOUT", "err WITH", "err COLLOCATED", "lat improv%", "err improv%")
+	for i := range cmp.Without.TrackedPairs {
+		wo := cmp.Without.MeanPair(i)
+		wi := cmp.With.MeanPair(i)
+		co := cmp.Collocated.MeanPair(i)
+		// Normalize each metric so the maximum across scenarios is 1.0,
+		// as the paper does.
+		latMax := maxF(wo.Latency, wi.Latency, co.Latency)
+		errMax := maxF(wo.ErrorRate, wi.ErrorRate, co.ErrorRate)
+		latImp := improvement(wo.Latency, wi.Latency)
+		errImp := improvement(wo.ErrorRate, wi.ErrorRate)
+		res.PairLatencyImprovement = append(res.PairLatencyImprovement, latImp)
+		res.PairErrorImprovement = append(res.PairErrorImprovement, errImp)
+		row(cfg.Out, fmt.Sprintf("(%d,%d)", cmp.Without.TrackedPairs[i][0], cmp.Without.TrackedPairs[i][1]),
+			wo.Latency/latMax, wi.Latency/latMax, co.Latency/latMax,
+			wo.ErrorRate/errMax, wi.ErrorRate/errMax, co.ErrorRate/errMax,
+			100*latImp, 100*errImp)
+	}
+
+	wo := cmp.Without.MeanWeighted()
+	wi := cmp.With.MeanWeighted()
+	co := cmp.Collocated.MeanWeighted()
+	res.WeightedLatencyImprovement = improvement(wo.Latency, wi.Latency)
+	res.WeightedErrorImprovement = improvement(wo.ErrorRate, wi.ErrorRate)
+	res.LatencyGapToCollocated = (wi.Latency - co.Latency) / maxF(wo.Latency, 1e-12)
+	res.ErrorGapToCollocated = (wi.ErrorRate - co.ErrorRate) / maxF(wo.ErrorRate, 1e-12)
+
+	header(cfg.Out, "Fig. 13", "Weighted end-to-end latency and error rate")
+	row(cfg.Out, "scenario", "latency(norm)", "error(norm)")
+	latMax := maxF(wo.Latency, wi.Latency, co.Latency)
+	errMax := maxF(wo.ErrorRate, wi.ErrorRate, co.ErrorRate)
+	row(cfg.Out, "WITHOUT RASA", wo.Latency/latMax, wo.ErrorRate/errMax)
+	row(cfg.Out, "WITH RASA", wi.Latency/latMax, wi.ErrorRate/errMax)
+	row(cfg.Out, "ONLY COLLOCATED", co.Latency/latMax, co.ErrorRate/errMax)
+	fmt.Fprintf(cfg.Out, "weighted latency improvement: %.2f%% (paper: 23.75%%)\n", 100*res.WeightedLatencyImprovement)
+	fmt.Fprintf(cfg.Out, "weighted error improvement:   %.2f%% (paper: 24.09%%)\n", 100*res.WeightedErrorImprovement)
+	fmt.Fprintf(cfg.Out, "gap to ONLY COLLOCATED: latency %.2f%%, error %.2f%% (paper: <10%%)\n",
+		100*res.LatencyGapToCollocated, 100*res.ErrorGapToCollocated)
+	return res, nil
+}
+
+func improvement(before, after float64) float64 {
+	if before <= 0 {
+		return 0
+	}
+	return (before - after) / before
+}
+
+func maxF(vals ...float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/partition"
+)
+
+// Fig6Cell is one (cluster, strategy) measurement.
+type Fig6Cell struct {
+	Gained float64 // normalized gained affinity
+	OOT    bool
+}
+
+// Fig6Result maps cluster name -> strategy name -> cell.
+type Fig6Result map[string]map[string]Fig6Cell
+
+// Fig6 regenerates Fig. 6: gained affinity of different partitioning
+// algorithms under the time-out budget. Expected shape: MULTI-STAGE >
+// KAHIP > RANDOM, and NO-PARTITION OOT on all but the small cluster.
+func Fig6(cfg Config) (Fig6Result, error) {
+	cfg = cfg.withDefaults()
+	strategies := []core.Strategy{core.NoPartition, core.RandomPartition, core.KWayPartition, core.Multistage}
+	out := make(Fig6Result)
+
+	header(cfg.Out, "Fig. 6", "Gained affinity by partitioning algorithm (time-out "+cfg.Budget.String()+")")
+	row(cfg.Out, "Cluster", "NO-PARTITION", "RANDOM-PARTITION", "KAHIP", "MULTI-STAGE-PARTITION")
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		cells := make(map[string]Fig6Cell)
+		for _, st := range strategies {
+			res, err := core.Optimize(c.Problem, c.Original, core.Options{
+				Budget:        cfg.Budget,
+				Strategy:      st,
+				SkipMigration: true,
+				Partition:     partition.Options{Seed: cfg.Seed},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%s: %w", ps.Name, st, err)
+			}
+			cell := Fig6Cell{Gained: normalized(c.Problem, res.GainedAffinity), OOT: res.OutOfTime}
+			cells[st.String()] = cell
+		}
+		out[ps.Name] = cells
+		row(cfg.Out, ps.Name,
+			cellString(cells["NO-PARTITION"]),
+			cellString(cells["RANDOM-PARTITION"]),
+			cellString(cells["KAHIP"]),
+			cellString(cells["MULTI-STAGE-PARTITION"]))
+	}
+	return out, nil
+}
+
+func cellString(c Fig6Cell) string {
+	if c.OOT {
+		return "OOT"
+	}
+	return fmt.Sprintf("%.4f", c.Gained)
+}
+
+// Fig7Point is one master-ratio measurement for one cluster.
+type Fig7Point struct {
+	Ratio          float64
+	Gained         float64 // normalized gained affinity
+	MasterAffinity float64 // share of total affinity held by master services
+}
+
+// Fig7Series is the sweep for one cluster plus its chosen ratio.
+type Fig7Series struct {
+	Cluster     string
+	Points      []Fig7Point
+	ChosenRatio float64 // alpha = 45 ln^0.66(N) / N
+	ChosenIdx   int     // index of the sweep point nearest the chosen ratio
+}
+
+// Fig7 regenerates Fig. 7: gained affinity and master total affinity as
+// the master ratio varies, with the production-formula ratio marked.
+// Expected shape: master affinity saturates quickly; gained affinity
+// rises to a peak near the chosen ratio, then plateaus (small clusters)
+// or falls (large clusters, where the budget runs out).
+func Fig7(cfg Config) ([]Fig7Series, error) {
+	cfg = cfg.withDefaults()
+	ratios := []float64{0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0}
+	var out []Fig7Series
+	header(cfg.Out, "Fig. 7", "Gained affinity and master total affinity vs master ratio")
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		p := c.Problem
+		total := p.Affinity.TotalWeight()
+		rank := p.Affinity.RankByTotalAffinity()
+
+		series := Fig7Series{Cluster: ps.Name, ChosenRatio: partition.Options{}.Alpha(p.N())}
+		fmt.Fprintf(cfg.Out, "-- %s (chosen alpha = %.4f)\n", ps.Name, series.ChosenRatio)
+		row(cfg.Out, "ratio", "gained", "master-total-affinity")
+		for _, r := range ratios {
+			res, err := core.Optimize(p, c.Original, core.Options{
+				Budget:        cfg.Budget,
+				SkipMigration: true,
+				Partition:     partition.Options{MasterRatio: r, Seed: cfg.Seed},
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Master total affinity: the share of total affinity on
+			// edges with both endpoints among the top ceil(r*N) services
+			// — the affinity the master subproblem can still gain.
+			quota := int(math.Ceil(r * float64(p.N())))
+			inMaster := make(map[int]bool, quota)
+			for i := 0; i < quota && i < len(rank); i++ {
+				inMaster[rank[i]] = true
+			}
+			var masterAff float64
+			for _, e := range p.Affinity.Edges() {
+				if inMaster[e.U] && inMaster[e.V] {
+					masterAff += e.Weight
+				}
+			}
+			pt := Fig7Point{
+				Ratio:          r,
+				Gained:         normalized(p, res.GainedAffinity),
+				MasterAffinity: masterAff / total,
+			}
+			series.Points = append(series.Points, pt)
+			row(cfg.Out, pt.Ratio, pt.Gained, pt.MasterAffinity)
+		}
+		best := 0
+		for i, pt := range series.Points {
+			if math.Abs(pt.Ratio-series.ChosenRatio) < math.Abs(series.Points[best].Ratio-series.ChosenRatio) {
+				best = i
+			}
+		}
+		series.ChosenIdx = best
+		out = append(out, series)
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// trainedModels caches the labelled training set and the two trained
+// selectors; labelling races both solvers on ~dozens of subproblems and
+// is the most expensive setup step.
+var (
+	trainOnce   sync.Once
+	trainGCN    selector.GCNPolicy
+	trainMLP    selector.MLPPolicy
+	trainGCNAcc float64
+	trainErr    error
+)
+
+func trainedSelectors(cfg Config) (selector.GCNPolicy, selector.MLPPolicy, float64, error) {
+	trainOnce.Do(func() {
+		var labeled []selector.Labeled
+		for ci, ps := range workload.TrainingPresets() {
+			c, err := getCluster(ps)
+			if err != nil {
+				trainErr = err
+				return
+			}
+			for round := 0; round < 4; round++ {
+				pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{
+					TargetSize: 6 + 3*round,
+					Seed:       cfg.Seed + int64(ci*10+round),
+				})
+				if err != nil {
+					trainErr = err
+					return
+				}
+				for _, sp := range pres.Subproblems {
+					l, err := selector.Label(sp, cfg.LabelBudget)
+					if err != nil {
+						trainErr = err
+						return
+					}
+					labeled = append(labeled, l)
+				}
+			}
+		}
+		gcn := selector.TrainGCN(labeled, cfg.Seed)
+		mlp := selector.TrainMLP(labeled, cfg.Seed)
+		trainGCN = selector.GCNPolicy{Model: gcn}
+		trainMLP = selector.MLPPolicy{Model: mlp}
+		trainGCNAcc = gcn.Accuracy(selector.ToSamples(labeled))
+	})
+	return trainGCN, trainMLP, trainGCNAcc, trainErr
+}
+
+// Fig8Result maps cluster -> policy name -> normalized gained affinity.
+type Fig8Result map[string]map[string]float64
+
+// Fig8 regenerates Fig. 8: gained affinity under different
+// algorithm-selection policies. Expected shape: GCN-BASED matches the
+// best fixed/heuristic choice on every cluster; no other policy does so
+// across all clusters.
+func Fig8(cfg Config) (Fig8Result, error) {
+	cfg = cfg.withDefaults()
+	gcn, mlp, acc, err := trainedSelectors(cfg)
+	if err != nil {
+		return nil, err
+	}
+	policies := []selector.Policy{
+		selector.Fixed{Algorithm: pool.CG},
+		selector.Fixed{Algorithm: pool.MIP},
+		selector.Heuristic{},
+		mlp,
+		gcn,
+	}
+	out := make(Fig8Result)
+	header(cfg.Out, "Fig. 8", fmt.Sprintf("Gained affinity by selection policy (GCN train acc %.2f)", acc))
+	row(cfg.Out, "Cluster", "CG", "MIP", "HEURISTIC", "MLP-BASED", "GCN-BASED")
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		cells := make(map[string]float64)
+		var cols []any
+		cols = append(cols, ps.Name)
+		for _, pol := range policies {
+			res, err := core.Optimize(c.Problem, c.Original, core.Options{
+				Budget:        cfg.Budget,
+				Policy:        pol,
+				SkipMigration: true,
+				Partition:     partition.Options{Seed: cfg.Seed},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s/%s: %w", ps.Name, pol.Name(), err)
+			}
+			g := normalized(c.Problem, res.GainedAffinity)
+			cells[pol.Name()] = g
+			cols = append(cols, g)
+		}
+		out[ps.Name] = cells
+		row(cfg.Out, cols...)
+	}
+	return out, nil
+}
+
+// Fig9Result maps cluster -> algorithm name -> normalized gained
+// affinity (math.NaN means OOT).
+type Fig9Result struct {
+	Cells map[string]map[string]float64
+	// Headline aggregates (Section V-D): mean improvement of RASA over
+	// each baseline.
+	RASAvsOriginal float64 // multiplicative (paper: 13.83x)
+	RASAvsPOP      float64 // relative improvement (paper: 54.91%)
+	RASAvsK8s      float64 // relative improvement (paper: 54.69%)
+	RASAvsAPPLSCI  float64 // relative improvement (paper: 17.66%)
+}
+
+// Fig9 regenerates Fig. 9: gained affinity of POP, K8s+, APPLSCI19,
+// RASA and ORIGINAL under the time-out. Expected shape: RASA best on
+// every cluster; ORIGINAL an order of magnitude below.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	gcn, _, _, err := trainedSelectors(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{Cells: make(map[string]map[string]float64)}
+	header(cfg.Out, "Fig. 9", "Gained affinity by algorithm (time-out "+cfg.Budget.String()+")")
+	row(cfg.Out, "Cluster", "ORIGINAL", "POP", "K8s+", "APPLSCI19", "RASA")
+
+	var ratioOrig, ratioPOP, ratioK8s, ratioAppl float64
+	n := 0
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		p := c.Problem
+		cells := make(map[string]float64)
+
+		cells["ORIGINAL"] = normalized(p, c.Original.GainedAffinity(p))
+
+		popA, err := sched.POP(p, c.Original, sched.Options{Deadline: cfg.Budget, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		cells["POP"] = normalized(p, popA.GainedAffinity(p))
+
+		k8sA, err := sched.K8sPlus(p, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cells["K8s+"] = normalized(p, k8sA.GainedAffinity(p))
+
+		applA, err := sched.APPLSCI19(p, c.Original, sched.Options{Deadline: cfg.Budget, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		cells["APPLSCI19"] = normalized(p, applA.GainedAffinity(p))
+
+		rasaRes, err := core.Optimize(p, c.Original, core.Options{
+			Budget:        cfg.Budget,
+			Policy:        gcn,
+			SkipMigration: true,
+			Partition:     partition.Options{Seed: cfg.Seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cells["RASA"] = normalized(p, rasaRes.GainedAffinity)
+
+		out.Cells[ps.Name] = cells
+		row(cfg.Out, ps.Name, cells["ORIGINAL"], cells["POP"], cells["K8s+"], cells["APPLSCI19"], cells["RASA"])
+
+		if cells["ORIGINAL"] > 0 {
+			ratioOrig += cells["RASA"] / cells["ORIGINAL"]
+		}
+		if cells["POP"] > 0 {
+			ratioPOP += (cells["RASA"] - cells["POP"]) / cells["POP"]
+		}
+		if cells["K8s+"] > 0 {
+			ratioK8s += (cells["RASA"] - cells["K8s+"]) / cells["K8s+"]
+		}
+		if cells["APPLSCI19"] > 0 {
+			ratioAppl += (cells["RASA"] - cells["APPLSCI19"]) / cells["APPLSCI19"]
+		}
+		n++
+	}
+	if n > 0 {
+		out.RASAvsOriginal = ratioOrig / float64(n)
+		out.RASAvsPOP = ratioPOP / float64(n)
+		out.RASAvsK8s = ratioK8s / float64(n)
+		out.RASAvsAPPLSCI = ratioAppl / float64(n)
+	}
+	fmt.Fprintf(cfg.Out, "RASA vs ORIGINAL: %.2fx (paper: 13.83x)\n", out.RASAvsOriginal)
+	fmt.Fprintf(cfg.Out, "RASA vs POP: +%.2f%% (paper: +54.91%%)\n", 100*out.RASAvsPOP)
+	fmt.Fprintf(cfg.Out, "RASA vs K8s+: +%.2f%% (paper: +54.69%%)\n", 100*out.RASAvsK8s)
+	fmt.Fprintf(cfg.Out, "RASA vs APPLSCI19: +%.2f%% (paper: +17.66%%)\n", 100*out.RASAvsAPPLSCI)
+	return out, nil
+}

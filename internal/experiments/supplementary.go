@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cg"
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/mip"
+	"github.com/cloudsched/rasa/internal/model"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// clusterNewAssignment aliases the constructor for readability in the
+// ablation helpers.
+var clusterNewAssignment = cluster.NewAssignment
+
+// SupplementaryRow reports the partitioning cost metrics for one
+// cluster (supplementary material of the paper: optimality loss
+// generally below 12%, time overhead below 10%).
+type SupplementaryRow struct {
+	Cluster       string
+	LostAffinity  float64 // share of total affinity cut away by partitioning
+	Overhead      float64 // partition time / total optimization time
+	PartitionTime time.Duration
+	TotalTime     time.Duration
+}
+
+// Supplementary regenerates the partitioning-cost analysis.
+func Supplementary(cfg Config) ([]SupplementaryRow, error) {
+	cfg = cfg.withDefaults()
+	header(cfg.Out, "Supplementary", "Multi-stage partitioning optimality loss and time overhead")
+	row(cfg.Out, "Cluster", "lost-affinity", "partition-time", "total-time", "overhead")
+	var out []SupplementaryRow
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := core.Optimize(c.Problem, c.Original, core.Options{
+			Budget:        cfg.Budget,
+			SkipMigration: true,
+			Partition:     partition.Options{Seed: cfg.Seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		total := time.Since(start)
+		r := SupplementaryRow{
+			Cluster:       ps.Name,
+			LostAffinity:  res.Partition.LostAffinity / c.Problem.Affinity.TotalWeight(),
+			PartitionTime: res.Partition.Elapsed,
+			TotalTime:     total,
+			Overhead:      float64(res.Partition.Elapsed) / float64(total),
+		}
+		out = append(out, r)
+		row(cfg.Out, r.Cluster, r.LostAffinity, r.PartitionTime.Round(time.Millisecond).String(),
+			r.TotalTime.Round(time.Millisecond).String(), r.Overhead)
+	}
+	return out, nil
+}
+
+// AblationResult is one ablation comparison: the design choice on vs
+// off, measured by normalized gained affinity.
+type AblationResult struct {
+	Name     string
+	On, Off  float64
+	OnLabel  string
+	OffLabel string
+}
+
+// ablationCluster is a deliberately contended cluster (high utilization,
+// few machines per subproblem) where the ablated design choices actually
+// bind; on loose clusters every variant solves at the root node and the
+// comparison degenerates.
+func ablationCluster(cfg Config) (*clusterBundle, error) {
+	ps := workload.Preset{
+		Name: "ABL", Services: 48, Containers: 360, Machines: 12,
+		Beta: 1.6, AffinityFraction: 0.75, Zones: 1, Utilization: 0.8,
+		CommunitySize: 10, Seed: cfg.Seed + 900,
+	}
+	c, err := getCluster(ps)
+	if err != nil {
+		return nil, err
+	}
+	pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{Seed: cfg.Seed, TargetSize: 12})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterBundle{c: c, pres: pres}, nil
+}
+
+type clusterBundle struct {
+	c    *workload.Cluster
+	pres *partition.Result
+}
+
+// AblationMachineGrouping measures the machine-grouping reduction in CG
+// (DESIGN.md A1): total gained affinity across subproblems with
+// grouping on vs off, under the same per-subproblem budget.
+func AblationMachineGrouping(cfg Config) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	b, err := ablationCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Partition against an empty deployment: trivial-usage carve-outs
+	// perturb every machine's residual capacity, which would make every
+	// machine its own group and mask the ablation.
+	empty := clusterNewAssignment(b.c.Problem.N(), b.c.Problem.M())
+	pres, err := partition.Multistage(b.c.Problem, empty, partition.Options{Seed: cfg.Seed, TargetSize: 12})
+	if err != nil {
+		return nil, err
+	}
+	// Grouping is a model-size reduction: solution quality matches once
+	// both converge, so the honest metric is the wall time column
+	// generation needs to run its full iteration budget.
+	run := func(disable bool) (float64, error) {
+		start := time.Now()
+		for _, sp := range pres.Subproblems {
+			if _, err := cg.Solve(sp, cg.Options{
+				Deadline:        time.Now().Add(cfg.Budget),
+				DisableGrouping: disable,
+				MaxIters:        20,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Milliseconds()), nil
+	}
+	on, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	off, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Name: "machine-grouping (CG wall time, ms, lower is better)", On: on, Off: off, OnLabel: "grouped", OffLabel: "per-machine"}
+	printAblation(cfg, res)
+	return res, nil
+}
+
+// AblationAnytime measures the value of heuristic rounding incumbents in
+// branch and bound (DESIGN.md A2) under a tight budget.
+func AblationAnytime(cfg Config) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	b, err := ablationCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := func(roundEvery int) (float64, error) {
+		var total float64
+		for _, sp := range b.pres.Subproblems {
+			m, err := model.BuildMIP(sp)
+			if err != nil {
+				return 0, err
+			}
+			opts := mip.Options{
+				Deadline:   time.Now().Add(cfg.Budget / 32),
+				RoundEvery: roundEvery,
+			}
+			if roundEvery > 0 {
+				opts.Rounder = m.Rounder()
+			}
+			sol, err := mip.Solve(&m.Prob, opts)
+			if err != nil {
+				return 0, err
+			}
+			if sol.X != nil {
+				total += m.AffinityValue(sol.X)
+			}
+		}
+		return normalized(b.c.Problem, total), nil
+	}
+	on, err := run(8)
+	if err != nil {
+		return nil, err
+	}
+	off, err := run(-1)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Name: "anytime-rounding", On: on, Off: off, OnLabel: "rounding", OffLabel: "exact-only"}
+	printAblation(cfg, res)
+	return res, nil
+}
+
+// AblationSampleCount measures stage-4 partition sampling depth
+// (DESIGN.md A3) end to end: final gained affinity when the balanced
+// partition is chosen from 64 samples vs a single sample. Note that a
+// single unbalanced sample can retain *more* raw affinity (one giant
+// subset cuts nothing) yet solve worse — the end-to-end objective is the
+// honest metric.
+func AblationSampleCount(cfg Config) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	ps := cfg.Presets[0]
+	c, err := getCluster(ps)
+	if err != nil {
+		return nil, err
+	}
+	run := func(sampleCap int) (float64, error) {
+		res, err := core.Optimize(c.Problem, c.Original, core.Options{
+			Budget:        cfg.Budget,
+			SkipMigration: true,
+			Partition:     partition.Options{Seed: cfg.Seed, SampleCap: sampleCap},
+		})
+		if err != nil {
+			return 0, err
+		}
+		return normalized(c.Problem, res.GainedAffinity), nil
+	}
+	on, err := run(64)
+	if err != nil {
+		return nil, err
+	}
+	off, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Name: "partition-sample-count (final gained affinity)", On: on, Off: off, OnLabel: "64 samples", OffLabel: "1 sample"}
+	printAblation(cfg, res)
+	return res, nil
+}
+
+// AblationBranching compares pseudocost vs most-fractional branching
+// (DESIGN.md A4) by nodes needed to solve subproblems exactly.
+func AblationBranching(cfg Config) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	b, err := ablationCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := func(rule mip.BranchRule) (float64, error) {
+		var nodes float64
+		count := 0
+		for _, sp := range b.pres.Subproblems {
+			m, err := model.BuildMIP(sp)
+			if err != nil {
+				return 0, err
+			}
+			sol, err := mip.Solve(&m.Prob, mip.Options{
+				Deadline:  time.Now().Add(cfg.Budget / 4),
+				Branching: rule,
+				Rounder:   m.Rounder(),
+			})
+			if err != nil {
+				return 0, err
+			}
+			nodes += float64(sol.Nodes)
+			count++
+		}
+		if count == 0 {
+			return 0, nil
+		}
+		return nodes / float64(count), nil
+	}
+	on, err := run(mip.Pseudocost)
+	if err != nil {
+		return nil, err
+	}
+	off, err := run(mip.MostFractional)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Name: "branching-rule (mean B&B nodes, lower is better)", On: on, Off: off, OnLabel: "pseudocost", OffLabel: "most-fractional"}
+	printAblation(cfg, res)
+	return res, nil
+}
+
+func printAblation(cfg Config, r *AblationResult) {
+	header(cfg.Out, "Ablation", r.Name)
+	fmt.Fprintf(cfg.Out, "%s: %.4f\n%s: %.4f\n", r.OnLabel, r.On, r.OffLabel, r.Off)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cloudsched/rasa/internal/powerlaw"
+)
+
+// Table2Row reports one generated dataset's realized scale.
+type Table2Row struct {
+	Name       string
+	Services   int
+	Containers int
+	Machines   int
+	Edges      int
+}
+
+// Table2 regenerates Table II: the scales of the experimental datasets.
+func Table2(cfg Config) ([]Table2Row, error) {
+	cfg = cfg.withDefaults()
+	header(cfg.Out, "Table II", "Scales of Experimental Datasets")
+	row(cfg.Out, "Cluster", "#Service", "#Container", "#Machine", "#AffinityEdge")
+	var out []Table2Row
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		var containers int
+		for _, s := range c.Problem.Services {
+			containers += s.Replicas
+		}
+		r := Table2Row{
+			Name:       ps.Name,
+			Services:   c.Problem.N(),
+			Containers: containers,
+			Machines:   c.Problem.M(),
+			Edges:      c.Problem.Affinity.M(),
+		}
+		out = append(out, r)
+		row(cfg.Out, r.Name, r.Services, r.Containers, r.Machines, r.Edges)
+	}
+	return out, nil
+}
+
+// Fig5Result reports the distribution-fit comparison.
+type Fig5Result struct {
+	Top          []float64 // ranked total affinity of the top services
+	PowerLaw     powerlaw.Fit
+	Exponential  powerlaw.Fit
+	PowerLawWins bool
+}
+
+// Fig5 regenerates Fig. 5: fitting exponential and power-law
+// distributions to the total-affinity distribution of the top 40
+// services of a production-like cluster.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	c, err := getCluster(cfg.Presets[0])
+	if err != nil {
+		return nil, err
+	}
+	p := c.Problem
+	ts := p.Affinity.TotalAffinities()
+	var ranked []float64
+	for _, s := range p.Affinity.RankByTotalAffinity() {
+		if ts[s] > 0 {
+			ranked = append(ranked, ts[s])
+		}
+		if len(ranked) == 40 {
+			break
+		}
+	}
+	pl, err := powerlaw.FitPowerLaw(ranked)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := powerlaw.FitExponential(ranked)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Top: ranked, PowerLaw: pl, Exponential: ex, PowerLawWins: pl.R2 >= ex.R2}
+
+	header(cfg.Out, "Fig. 5", "Total affinity distribution of top-40 services: power law vs exponential")
+	row(cfg.Out, "rank", "T(s)", "power-law fit", "exponential fit")
+	for i, y := range ranked {
+		row(cfg.Out, i+1, y, pl.Eval(i+1), ex.Eval(i+1))
+	}
+	fmt.Fprintf(cfg.Out, "power-law:   beta=%.3f  R2=%.4f\n", pl.Param, pl.R2)
+	fmt.Fprintf(cfg.Out, "exponential: lambda=%.3f  R2=%.4f\n", ex.Param, ex.R2)
+	fmt.Fprintf(cfg.Out, "better fit: %s (paper: power law, supporting Assumption 4.1)\n",
+		map[bool]string{true: "power-law", false: "exponential"}[res.PowerLawWins])
+	return res, nil
+}

@@ -1,0 +1,189 @@
+// Package gnn implements the graph-learning substrate for the paper's
+// algorithm-selection phase (Section IV-D): a two-layer graph
+// convolutional network (GCN) classifier over subproblem feature graphs,
+// trained with hand-derived backpropagation and Adam, plus the MLP
+// baseline used in the Section V-C ablation. It replaces the GNN
+// ecosystem the paper relies on, which has no Go equivalent.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	V    []float64
+}
+
+// NewMat returns a zero matrix of the given shape.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("gnn: negative matrix shape %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, V: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.V[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.V[i*m.C+j] = v }
+
+// Add increments element (i, j).
+func (m *Mat) Add(i, j int, v float64) { m.V[i*m.C+j] += v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.V, m.V)
+	return out
+}
+
+// MatMul returns a*b.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("gnn: matmul shape mismatch %dx%d * %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for k := 0; k < a.C; k++ {
+			av := a.V[i*a.C+k]
+			if av == 0 {
+				continue
+			}
+			row := b.V[k*b.C:]
+			orow := out.V[i*out.C:]
+			for j := 0; j < b.C; j++ {
+				orow[j] += av * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns aᵀ*b.
+func MatMulT(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("gnn: matmulT shape mismatch %dx%d, %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.C, b.C)
+	for k := 0; k < a.R; k++ {
+		for i := 0; i < a.C; i++ {
+			av := a.V[k*a.C+i]
+			if av == 0 {
+				continue
+			}
+			row := b.V[k*b.C:]
+			orow := out.V[i*out.C:]
+			for j := 0; j < b.C; j++ {
+				orow[j] += av * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// leakySlope is the negative-side slope of the (leaky) ReLU activation.
+// A strictly-zero ReLU collapses these tiny 2-feature networks into dead
+// units under Adam; the leaky variant keeps gradients alive while
+// remaining the ReLU activation the paper specifies.
+const leakySlope = 0.01
+
+// ReLU returns the (leaky) rectified linear activation elementwise.
+func ReLU(m *Mat) *Mat {
+	out := m.Clone()
+	for i, v := range out.V {
+		if v < 0 {
+			out.V[i] = v * leakySlope
+		}
+	}
+	return out
+}
+
+// reluMask applies the (leaky) ReLU derivative at z to g, in place.
+func reluMask(g, z *Mat) {
+	for i := range g.V {
+		if z.V[i] <= 0 {
+			g.V[i] *= leakySlope
+		}
+	}
+}
+
+// MeanRows returns the column means (graph readout).
+func MeanRows(m *Mat) []float64 {
+	out := make([]float64, m.C)
+	if m.R == 0 {
+		return out
+	}
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out[j] += m.V[i*m.C+j]
+		}
+	}
+	for j := range out {
+		out[j] /= float64(m.R)
+	}
+	return out
+}
+
+// Softmax returns the softmax of v (numerically stabilized).
+func Softmax(v []float64) []float64 {
+	out := make([]float64, len(v))
+	if len(v) == 0 {
+		return out
+	}
+	mx := v[0]
+	for _, x := range v[1:] {
+		if x > mx {
+			mx = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		out[i] = math.Exp(x - mx)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// xavierInit fills m with Xavier/Glorot uniform values.
+func xavierInit(m *Mat, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.R+m.C))
+	for i := range m.V {
+		m.V[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// adam is one Adam-optimized parameter tensor.
+type adam struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adam { return &adam{m: make([]float64, n), v: make([]float64, n)} }
+
+// step applies one Adam update to params given grads.
+func (a *adam) step(params, grads []float64, lr float64) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	a.t++
+	bc1 := 1 - math.Pow(beta1, float64(a.t))
+	bc2 := 1 - math.Pow(beta2, float64(a.t))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = beta1*a.m[i] + (1-beta1)*g
+		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
+		mHat := a.m[i] / bc1
+		vHat := a.v[i] / bc2
+		params[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+	}
+}

@@ -1,0 +1,192 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is the topology-blind baseline of Section V-C: node features are
+// mean-pooled first, then classified by a two-hidden-layer perceptron.
+// Because pooling happens before any learnable layer, the model cannot
+// see the affinity-graph structure — exactly the handicap the ablation
+// measures.
+type MLP struct {
+	InDim, Hidden, Classes int
+	W0, W1, WOut           *Mat
+	B0, B1, BOut           []float64
+
+	opt struct {
+		w0, w1, wOut, b0, b1, bOut *adam
+	}
+}
+
+// NewMLP builds an MLP with Xavier-initialized weights.
+func NewMLP(inDim, hidden, classes int, rng *rand.Rand) *MLP {
+	m := &MLP{
+		InDim: inDim, Hidden: hidden, Classes: classes,
+		W0:   NewMat(inDim, hidden),
+		W1:   NewMat(hidden, hidden),
+		WOut: NewMat(hidden, classes),
+		B0:   make([]float64, hidden),
+		B1:   make([]float64, hidden),
+		BOut: make([]float64, classes),
+	}
+	xavierInit(m.W0, rng)
+	xavierInit(m.W1, rng)
+	xavierInit(m.WOut, rng)
+	m.opt.w0 = newAdam(len(m.W0.V))
+	m.opt.w1 = newAdam(len(m.W1.V))
+	m.opt.wOut = newAdam(len(m.WOut.V))
+	m.opt.b0 = newAdam(len(m.B0))
+	m.opt.b1 = newAdam(len(m.B1))
+	m.opt.bOut = newAdam(len(m.BOut))
+	return m
+}
+
+type mlpCache struct {
+	in, z0, h0, z1, h1 []float64
+	probs              []float64
+}
+
+func (m *MLP) forward(in []float64) *mlpCache {
+	c := &mlpCache{in: in}
+	c.z0 = make([]float64, m.Hidden)
+	for k := 0; k < m.Hidden; k++ {
+		c.z0[k] = m.B0[k]
+		for i := 0; i < m.InDim; i++ {
+			c.z0[k] += in[i] * m.W0.At(i, k)
+		}
+	}
+	c.h0 = reluVec(c.z0)
+	c.z1 = make([]float64, m.Hidden)
+	for k := 0; k < m.Hidden; k++ {
+		c.z1[k] = m.B1[k]
+		for i := 0; i < m.Hidden; i++ {
+			c.z1[k] += c.h0[i] * m.W1.At(i, k)
+		}
+	}
+	c.h1 = reluVec(c.z1)
+	logits := make([]float64, m.Classes)
+	copy(logits, m.BOut)
+	for j := 0; j < m.Classes; j++ {
+		for k := 0; k < m.Hidden; k++ {
+			logits[j] += c.h1[k] * m.WOut.At(k, j)
+		}
+	}
+	c.probs = Softmax(logits)
+	return c
+}
+
+func reluVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		if x > 0 {
+			out[i] = x
+		} else {
+			out[i] = x * leakySlope
+		}
+	}
+	return out
+}
+
+// Predict returns class probabilities for mean-pooled features.
+func (m *MLP) Predict(x *Mat) []float64 { return m.forward(MeanRows(x)).probs }
+
+// PredictLabel returns the argmax class for mean-pooled features.
+func (m *MLP) PredictLabel(x *Mat) int {
+	p := m.Predict(x)
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Fit trains on mean-pooled samples (AHat is ignored) and returns the
+// final mean training loss.
+func (m *MLP) Fit(samples []Sample, cfg TrainConfig) float64 {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 60
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var lastLoss float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		perm := rng.Perm(len(samples))
+		var total float64
+		for _, i := range perm {
+			s := samples[i]
+			in := MeanRows(s.X)
+			c := m.forward(in)
+			total += -math.Log(math.Max(c.probs[s.Label], 1e-12))
+
+			dLogits := append([]float64(nil), c.probs...)
+			dLogits[s.Label] -= 1
+
+			gWOut := NewMat(m.Hidden, m.Classes)
+			dh1 := make([]float64, m.Hidden)
+			for k := 0; k < m.Hidden; k++ {
+				for j := 0; j < m.Classes; j++ {
+					gWOut.Set(k, j, c.h1[k]*dLogits[j])
+					dh1[k] += m.WOut.At(k, j) * dLogits[j]
+				}
+			}
+			dz1 := maskVec(dh1, c.z1)
+			gW1 := NewMat(m.Hidden, m.Hidden)
+			dh0 := make([]float64, m.Hidden)
+			for i2 := 0; i2 < m.Hidden; i2++ {
+				for k := 0; k < m.Hidden; k++ {
+					gW1.Set(i2, k, c.h0[i2]*dz1[k])
+					dh0[i2] += m.W1.At(i2, k) * dz1[k]
+				}
+			}
+			dz0 := maskVec(dh0, c.z0)
+			gW0 := NewMat(m.InDim, m.Hidden)
+			for i2 := 0; i2 < m.InDim; i2++ {
+				for k := 0; k < m.Hidden; k++ {
+					gW0.Set(i2, k, in[i2]*dz0[k])
+				}
+			}
+			m.opt.w0.step(m.W0.V, gW0.V, cfg.LR)
+			m.opt.w1.step(m.W1.V, gW1.V, cfg.LR)
+			m.opt.wOut.step(m.WOut.V, gWOut.V, cfg.LR)
+			m.opt.b0.step(m.B0, dz0, cfg.LR)
+			m.opt.b1.step(m.B1, dz1, cfg.LR)
+			m.opt.bOut.step(m.BOut, dLogits, cfg.LR)
+		}
+		if len(samples) > 0 {
+			lastLoss = total / float64(len(samples))
+		}
+	}
+	return lastLoss
+}
+
+func maskVec(g, z []float64) []float64 {
+	out := make([]float64, len(g))
+	for i := range g {
+		if z[i] > 0 {
+			out[i] = g[i]
+		} else {
+			out[i] = g[i] * leakySlope
+		}
+	}
+	return out
+}
+
+// Accuracy returns the fraction of samples classified correctly.
+func (m *MLP) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var hit int
+	for _, s := range samples {
+		if m.PredictLabel(s.X) == s.Label {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(samples))
+}

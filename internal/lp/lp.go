@@ -1,0 +1,464 @@
+// Package lp implements a two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c'x
+//	subject to  a_i'x {<=,=,>=} b_i   for each row i
+//	            x >= 0
+//
+// It is the substrate beneath the MIP branch-and-bound solver
+// (internal/mip) and the column-generation master problem (internal/cg),
+// replacing the off-the-shelf solver (Gurobi) used by the paper. The
+// solver is exact up to floating-point tolerances, reports dual values
+// (required by column-generation pricing), and is deterministic.
+//
+// The implementation is a dense tableau simplex with Dantzig pricing and
+// an automatic switch to Bland's rule when cycling is suspected. It is
+// sized for RASA subproblems (hundreds to a few thousand rows), which is
+// exactly the regime the paper's partitioning phase produces.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sense is the relation of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a'x <= b
+	GE              // a'x >= b
+	EQ              // a'x == b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Coef is a sparse coefficient: variable index and value.
+type Coef struct {
+	Var int
+	Val float64
+}
+
+// Constraint is one row of the LP.
+type Constraint struct {
+	Coefs []Coef
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is an LP instance. Variables are indexed 0..NumVars-1 and are
+// implicitly non-negative. The objective is always maximized; negate
+// coefficients to minimize.
+type Problem struct {
+	NumVars   int
+	Objective []Coef
+	Rows      []Constraint
+}
+
+// AddRow appends a constraint built from dense or sparse coefficients.
+func (p *Problem) AddRow(coefs []Coef, sense Sense, rhs float64) {
+	p.Rows = append(p.Rows, Constraint{Coefs: coefs, Sense: sense, RHS: rhs})
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal    Status = iota // optimal solution found
+	Infeasible               // no feasible point exists
+	Unbounded                // objective unbounded above
+	IterLimit                // iteration or time budget exhausted; X is the best basic feasible point reached
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution holds the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // structural variable values (len NumVars)
+	Objective float64   // c'x at X
+	Duals     []float64 // one dual value per row, in the row order of the Problem
+}
+
+// Options tune a solve.
+type Options struct {
+	MaxIter  int       // pivot limit; 0 means a size-derived default
+	Deadline time.Time // zero means no deadline
+}
+
+// Numerical tolerances. These are standard textbook magnitudes for a
+// dense double-precision simplex.
+const (
+	pivotEps = 1e-9 // minimum magnitude for a usable pivot element
+	costEps  = 1e-9 // reduced-cost optimality tolerance
+	feasEps  = 1e-7 // phase-1 residual tolerance for declaring feasibility
+)
+
+// ErrBadProblem reports a malformed LP (bad indices or non-finite data).
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+type tableau struct {
+	m, n   int // constraint rows, total columns (excluding RHS)
+	nStruc int // structural variables
+	// rows[i] has length n+1; the last entry is the RHS.
+	rows [][]float64
+	// cost rows, length n+1; last entry is the negated objective value.
+	phase1 []float64
+	phase2 []float64
+	basis  []int // basis[i] = column basic in row i
+	// artificial marks artificial columns (blocked in phase 2).
+	artificial []bool
+	// slackCol[i] is the column of row i's slack/surplus/artificial used
+	// to read the dual value; slackSign[i] converts the reduced cost at
+	// that column into the dual of the original (unflipped) row.
+	slackCol  []int
+	slackSign []float64
+}
+
+// Solve solves the LP. A nil options pointer uses defaults.
+func Solve(p *Problem, opts Options) (Solution, error) {
+	if err := validate(p); err != nil {
+		return Solution{}, err
+	}
+	t := build(p)
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * (t.m + t.n + 10)
+	}
+
+	// Phase 1: drive artificials to zero.
+	st := t.iterate(t.phase1, maxIter, opts.Deadline, true)
+	if st == IterLimit {
+		return Solution{Status: IterLimit}, nil
+	}
+	// Phase-1 objective is -(sum of artificials); feasible iff it reached ~0.
+	if -t.phase1[t.n] < -feasEps {
+		return Solution{Status: Infeasible}, nil
+	}
+	t.expelArtificials()
+
+	// Phase 2: original objective.
+	st = t.iterate(t.phase2, maxIter, opts.Deadline, false)
+	sol := Solution{Status: st}
+	if st == Unbounded {
+		return sol, nil
+	}
+	// Optimal, or IterLimit with a feasible basic point: report it either way.
+	sol.X = make([]float64, t.nStruc)
+	for i, c := range t.basis {
+		if c < t.nStruc {
+			sol.X[c] = t.rows[i][t.n]
+		}
+	}
+	sol.Objective = -t.phase2[t.n]
+	sol.Duals = t.duals()
+	return sol, nil
+}
+
+func validate(p *Problem) error {
+	check := func(cs []Coef, where string) error {
+		for _, c := range cs {
+			if c.Var < 0 || c.Var >= p.NumVars {
+				return fmt.Errorf("%w: %s references variable %d of %d", ErrBadProblem, where, c.Var, p.NumVars)
+			}
+			if math.IsNaN(c.Val) || math.IsInf(c.Val, 0) {
+				return fmt.Errorf("%w: %s has non-finite coefficient", ErrBadProblem, where)
+			}
+		}
+		return nil
+	}
+	if p.NumVars < 0 {
+		return fmt.Errorf("%w: negative variable count", ErrBadProblem)
+	}
+	if err := check(p.Objective, "objective"); err != nil {
+		return err
+	}
+	for i, r := range p.Rows {
+		if err := check(r.Coefs, fmt.Sprintf("row %d", i)); err != nil {
+			return err
+		}
+		if math.IsNaN(r.RHS) || math.IsInf(r.RHS, 0) {
+			return fmt.Errorf("%w: row %d has non-finite RHS", ErrBadProblem, i)
+		}
+	}
+	return nil
+}
+
+// build constructs the initial tableau: structural columns, then one
+// slack/surplus column per inequality row, then artificial columns as
+// needed, with the phase-1 and phase-2 cost rows canonicalized against
+// the starting basis.
+func build(p *Problem) *tableau {
+	m := len(p.Rows)
+	nStruc := p.NumVars
+
+	// Count extra columns.
+	nSlack := 0
+	nArt := 0
+	for _, r := range p.Rows {
+		flip := r.RHS < 0
+		sense := r.Sense
+		if flip && sense != EQ {
+			if sense == LE {
+				sense = GE
+			} else {
+				sense = LE
+			}
+		}
+		if sense != EQ {
+			nSlack++
+		}
+		if sense != LE {
+			nArt++
+		}
+	}
+	n := nStruc + nSlack + nArt
+	t := &tableau{
+		m: m, n: n, nStruc: nStruc,
+		rows:       make([][]float64, m),
+		phase1:     make([]float64, n+1),
+		phase2:     make([]float64, n+1),
+		basis:      make([]int, m),
+		artificial: make([]bool, n),
+		slackCol:   make([]int, m),
+		slackSign:  make([]float64, m),
+	}
+	for _, c := range p.Objective {
+		t.phase2[c.Var] += c.Val
+	}
+
+	slack := nStruc
+	art := nStruc + nSlack
+	for i, r := range p.Rows {
+		row := make([]float64, n+1)
+		sign := 1.0
+		if r.RHS < 0 {
+			sign = -1.0
+		}
+		for _, c := range r.Coefs {
+			row[c.Var] += sign * c.Val
+		}
+		row[n] = sign * r.RHS
+		sense := r.Sense
+		if sign < 0 && sense != EQ {
+			if sense == LE {
+				sense = GE
+			} else {
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			t.slackCol[i] = slack
+			t.slackSign[i] = -sign // dual = -reducedCost(slack), flipped rows negate
+			slack++
+		case GE:
+			row[slack] = -1
+			t.slackCol[i] = slack
+			t.slackSign[i] = sign // dual = +reducedCost(surplus)
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			t.artificial[art] = true
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			t.artificial[art] = true
+			// dual read from the artificial column: dual = -reducedCost.
+			t.slackCol[i] = art
+			t.slackSign[i] = -sign
+			art++
+		}
+		t.rows[i] = row
+	}
+	// Phase-1 objective: maximize -(sum of artificials). Canonicalize by
+	// adding each artificial-basic row into the cost row.
+	for j := nStruc + nSlack; j < n; j++ {
+		t.phase1[j] = -1
+	}
+	for i, b := range t.basis {
+		if t.artificial[b] {
+			addScaled(t.phase1, t.rows[i], 1)
+		}
+	}
+	return t
+}
+
+func addScaled(dst, src []float64, k float64) {
+	for j := range dst {
+		dst[j] += k * src[j]
+	}
+}
+
+// iterate runs primal simplex pivots against the given cost row until
+// optimality, unboundedness, or a budget is hit. Both cost rows are kept
+// in sync so phase 2 can start immediately after phase 1.
+func (t *tableau) iterate(cost []float64, maxIter int, deadline time.Time, phase1 bool) Status {
+	bland := false
+	stall := 0
+	lastObj := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		if !deadline.IsZero() && iter%64 == 0 && time.Now().After(deadline) {
+			return IterLimit
+		}
+		enter := t.chooseEntering(cost, bland, phase1)
+		if enter < 0 {
+			return Optimal
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			if phase1 {
+				// Phase-1 objective is bounded above by 0; an unbounded
+				// direction indicates numerical trouble; treat current
+				// point as optimal for the phase.
+				return Optimal
+			}
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+
+		obj := -cost[t.n]
+		if obj <= lastObj+1e-12 {
+			stall++
+			if stall > 2*(t.m+10) {
+				bland = true // suspected cycling: switch to Bland's rule
+			}
+		} else {
+			stall = 0
+			lastObj = obj
+		}
+	}
+	return IterLimit
+}
+
+// chooseEntering picks the entering column: Dantzig (most positive
+// reduced cost) or Bland (lowest index with positive reduced cost).
+// Artificial columns never re-enter outside phase 1.
+func (t *tableau) chooseEntering(cost []float64, bland, phase1 bool) int {
+	best := -1
+	bestVal := costEps
+	for j := 0; j < t.n; j++ {
+		if !phase1 && t.artificial[j] {
+			continue
+		}
+		c := cost[j]
+		if c > bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, c
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum-ratio test on column enter, breaking
+// ties by the smallest basis column index (lexicographic, Bland-safe).
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][enter]
+		if a <= pivotEps {
+			continue
+		}
+		ratio := t.rows[i][t.n] / a
+		if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (best < 0 || t.basis[i] < t.basis[best])) {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.rows[leave]
+	pe := prow[enter]
+	inv := 1 / pe
+	for j := range prow {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // kill round-off on the pivot element itself
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		if f := t.rows[i][enter]; f != 0 {
+			addScaled(t.rows[i], prow, -f)
+			t.rows[i][enter] = 0
+		}
+	}
+	if f := t.phase1[enter]; f != 0 {
+		addScaled(t.phase1, prow, -f)
+		t.phase1[enter] = 0
+	}
+	if f := t.phase2[enter]; f != 0 {
+		addScaled(t.phase2, prow, -f)
+		t.phase2[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// expelArtificials pivots zero-valued artificial variables out of the
+// basis after phase 1 where possible; rows where no pivot exists are
+// redundant and are neutralized.
+func (t *tableau) expelArtificials() {
+	for i := 0; i < t.m; i++ {
+		if !t.artificial[t.basis[i]] {
+			continue
+		}
+		// Artificial basic at (numerically) zero: find any usable
+		// non-artificial pivot in this row.
+		done := false
+		for j := 0; j < t.n && !done; j++ {
+			if t.artificial[j] {
+				continue
+			}
+			if math.Abs(t.rows[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				done = true
+			}
+		}
+		// If none found the row is linearly dependent; the artificial
+		// stays basic at zero, which is harmless because artificial
+		// columns never re-enter and the row's RHS is ~0.
+	}
+}
+
+// duals reads the dual value of each original row from the reduced cost
+// of its slack/surplus/artificial column in the final phase-2 cost row.
+func (t *tableau) duals() []float64 {
+	out := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		out[i] = t.slackSign[i] * t.phase2[t.slackCol[i]]
+	}
+	return out
+}

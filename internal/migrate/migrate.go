@@ -1,0 +1,392 @@
+// Package migrate implements the migration-path algorithm of Section
+// IV-E (Algorithm 2): given the current and the optimized
+// container-to-machine mappings, compute an ordered list of command sets
+// (container deletions and creations) that transitions the cluster while
+//
+//   - keeping at least 75% of every service's containers alive
+//     (temporarily relaxed SLA), and
+//   - never exceeding machine resource capacities.
+//
+// Commands within one set may execute in parallel on different machines;
+// set i+1 starts only after set i completes.
+//
+// The selection heuristics follow the paper: SelectDelete removes, per
+// machine, the migrating container whose service has the lowest offline
+// ratio; SelectCreate adds, per machine, a deleted-but-not-recreated
+// container whose service has the highest offline ratio and whose
+// resources fit. These offline-ratio rules are what keep the relaxed SLA
+// satisfied throughout the reallocation.
+package migrate
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+)
+
+// Op is a migration command kind.
+type Op int
+
+// Command kinds.
+const (
+	Delete Op = iota
+	Create
+)
+
+func (o Op) String() string {
+	if o == Delete {
+		return "delete"
+	}
+	return "create"
+}
+
+// Command deletes or creates one container of a service on a machine.
+type Command struct {
+	Op      Op
+	Service int
+	Machine int
+}
+
+func (c Command) String() string {
+	return fmt.Sprintf("(%s, s%d, m%d)", c.Op, c.Service, c.Machine)
+}
+
+// Step is a set of commands that may run in parallel.
+type Step []Command
+
+// Plan is an executable migration path.
+type Plan struct {
+	Steps []Step
+	// Moves is the total number of container relocations (delete+create
+	// pairs) the plan performs.
+	Moves int
+	// Relocations counts deadlock-breaking bounces: containers moved to
+	// a machine other than the one the target mapping requested. When
+	// non-zero the plan converges to a state that differs from `to` in
+	// exactly those containers' machines; replay the plan with Simulate
+	// to obtain it.
+	Relocations int
+}
+
+// Options tune plan computation.
+type Options struct {
+	// MinAlive is the fraction of each service's containers that must
+	// stay alive throughout the migration; default 0.75 (Section IV-E).
+	// The per-service floor is floor(MinAlive * d_s), so single-replica
+	// services can still move.
+	MinAlive float64
+	// MaxIters guards against pathological deadlocks; 0 derives a bound
+	// from the move count.
+	MaxIters int
+}
+
+// ErrStalled reports that the planner could not make progress — e.g. a
+// resource-deadlocked swap with no free capacity anywhere.
+var ErrStalled = errors.New("migrate: no progress possible under SLA and resource constraints")
+
+// Compute builds a migration plan from assignment `from` to `to`.
+// Both assignments must satisfy resource constraints; `to` additionally
+// is the target the plan converges to exactly.
+func Compute(p *cluster.Problem, from, to *cluster.Assignment, opts Options) (*Plan, error) {
+	if opts.MinAlive <= 0 {
+		opts.MinAlive = 0.75
+	}
+	if opts.MinAlive > 1 {
+		return nil, fmt.Errorf("migrate: MinAlive %v > 1", opts.MinAlive)
+	}
+	n, m := p.N(), p.M()
+	if from.N != n || to.N != n || from.M != m || to.M != m {
+		return nil, fmt.Errorf("migrate: assignment shape mismatch")
+	}
+
+	cur := from.Clone()
+	// Pending work per (machine, service).
+	toDelete := make([]map[int]int, m) // [machine][service] -> count
+	toCreate := make([]map[int]int, m)
+	var totalMoves int
+	for mi := 0; mi < m; mi++ {
+		toDelete[mi] = make(map[int]int)
+		toCreate[mi] = make(map[int]int)
+	}
+	for s := 0; s < n; s++ {
+		for mi := 0; mi < m; mi++ {
+			f, t := from.Get(s, mi), to.Get(s, mi)
+			switch {
+			case f > t:
+				toDelete[mi][s] = f - t
+				totalMoves += f - t
+			case t > f:
+				toCreate[mi][s] = t - f
+			}
+		}
+	}
+
+	alive := make([]int, n) // currently running containers per service
+	minAlive := make([]int, n)
+	deletedNotCreated := make([]int, n)
+	for s := 0; s < n; s++ {
+		alive[s] = cur.Placed(s)
+		minAlive[s] = int(opts.MinAlive * float64(p.Services[s].Replicas))
+		// The floor cannot demand more containers than the target state
+		// provides: when the optimizer under-places a service (failed
+		// deployments are tolerated and handed to the default
+		// scheduler), the migration must still be able to reach it.
+		if t := to.Placed(s); minAlive[s] > t {
+			minAlive[s] = t
+		}
+	}
+	used := cur.UsedResources(p)
+
+	offline := func(s int) float64 {
+		return float64(deletedNotCreated[s]) / float64(p.Services[s].Replicas)
+	}
+
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 2*totalMoves + 16
+	}
+	bounces := 0
+	maxBounces := totalMoves/2 + 4
+
+	plan := &Plan{Moves: totalMoves}
+	for iter := 0; iter < maxIters; iter++ {
+		// SelectDelete: one container per machine, lowest offline ratio,
+		// respecting the SLA floor. Selections apply to the working state
+		// immediately so that parallel deletions of the same service
+		// within the step cannot jointly breach the floor.
+		var delStep Step
+		for mi := 0; mi < m; mi++ {
+			best := -1
+			for s := range toDelete[mi] {
+				if toDelete[mi][s] <= 0 {
+					continue
+				}
+				if alive[s]-1 < minAlive[s] {
+					continue
+				}
+				if best < 0 || offline(s) < offline(best) || (offline(s) == offline(best) && s < best) {
+					best = s
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			delStep = append(delStep, Command{Op: Delete, Service: best, Machine: mi})
+			toDelete[mi][best]--
+			if toDelete[mi][best] == 0 {
+				delete(toDelete[mi], best)
+			}
+			cur.Add(best, mi, -1)
+			alive[best]--
+			deletedNotCreated[best]++
+			used[mi] = used[mi].Sub(p.Services[best].Request)
+		}
+
+		// SelectCreate: one container per machine, highest offline ratio
+		// among deleted-but-not-recreated services that fit. Selections
+		// again apply immediately so the deleted-not-recreated budget is
+		// not over-committed across machines within the step.
+		var createStep Step
+		for mi := 0; mi < m; mi++ {
+			best := -1
+			for s := range toCreate[mi] {
+				if toCreate[mi][s] <= 0 || deletedNotCreated[s] <= 0 {
+					continue
+				}
+				if !used[mi].Add(p.Services[s].Request).Fits(p.Machines[mi].Capacity) {
+					continue
+				}
+				if best < 0 || offline(s) > offline(best) || (offline(s) == offline(best) && s < best) {
+					best = s
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			createStep = append(createStep, Command{Op: Create, Service: best, Machine: mi})
+			toCreate[mi][best]--
+			if toCreate[mi][best] == 0 {
+				delete(toCreate[mi], best)
+			}
+			cur.Add(best, mi, 1)
+			alive[best]++
+			deletedNotCreated[best]--
+			used[mi] = used[mi].Add(p.Services[best].Request)
+		}
+
+		if len(delStep) > 0 {
+			plan.Steps = append(plan.Steps, delStep)
+		}
+		if len(createStep) > 0 {
+			plan.Steps = append(plan.Steps, createStep)
+		}
+		if len(delStep) == 0 && len(createStep) == 0 {
+			if donePending(toDelete) && donePending(toCreate) {
+				return plan, nil
+			}
+			// Resource-ordering deadlock: relocate a victim container
+			// off a blocked machine to free capacity (a "bounce", the
+			// move a descheduler would perform). The relocated container
+			// diverges from `to`; callers obtain the achieved state by
+			// replaying the plan with Simulate.
+			if bounces < maxBounces {
+				if cmd, ok := relocateVictim(p, cur, used, toDelete, toCreate, alive, minAlive, deletedNotCreated); ok {
+					bounces++
+					plan.Moves++
+					plan.Relocations++
+					plan.Steps = append(plan.Steps, Step{cmd})
+					continue
+				}
+			}
+			return plan, ErrStalled
+		}
+		if donePending(toDelete) && donePending(toCreate) {
+			return plan, nil
+		}
+	}
+	return plan, ErrStalled
+}
+
+// relocateVictim breaks a capacity deadlock: it finds a machine whose
+// pending creations are capacity-blocked, deletes one resident victim
+// container that can live elsewhere, and queues the victim's re-creation
+// on a machine with free capacity. Returns the delete command executed.
+func relocateVictim(
+	p *cluster.Problem,
+	cur *cluster.Assignment,
+	used []cluster.Resources,
+	toDelete, toCreate []map[int]int,
+	alive, minAlive, deletedNotCreated []int,
+) (Command, bool) {
+	m := p.M()
+	for mi := 0; mi < m; mi++ {
+		blocked := false
+		for s, cnt := range toCreate[mi] {
+			if cnt > 0 && deletedNotCreated[s] > 0 {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			continue
+		}
+		// Victim: a resident container whose service stays above its SLA
+		// floor and that fits on some other machine right now.
+		for v := 0; v < p.N(); v++ {
+			if cur.Get(v, mi) <= 0 {
+				continue
+			}
+			if alive[v]-1 < minAlive[v] {
+				continue
+			}
+			req := p.Services[v].Request
+			target := -1
+			for mv := 0; mv < m; mv++ {
+				if mv == mi || !p.CanHost(v, mv) {
+					continue
+				}
+				if used[mv].Add(req).Fits(p.Machines[mv].Capacity) {
+					target = mv
+					break
+				}
+			}
+			if target < 0 {
+				continue
+			}
+			// Execute the delete; queue the re-creation on the target.
+			if toDelete[mi][v] > 0 {
+				toDelete[mi][v]--
+				if toDelete[mi][v] == 0 {
+					delete(toDelete[mi], v)
+				}
+			} else {
+				// Not a planned migration: the victim will be recreated
+				// on the chosen machine instead of where `to` had it.
+				toCreate[target][v]++
+			}
+			cur.Add(v, mi, -1)
+			alive[v]--
+			deletedNotCreated[v]++
+			used[mi] = used[mi].Sub(req)
+			return Command{Op: Delete, Service: v, Machine: mi}, true
+		}
+	}
+	return Command{}, false
+}
+
+func donePending(pending []map[int]int) bool {
+	for _, m := range pending {
+		if len(m) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Simulate replays a plan from the given starting assignment, verifying
+// at every step that resource capacities hold and that no service drops
+// below the SLA floor. It returns the final assignment.
+func Simulate(p *cluster.Problem, from *cluster.Assignment, plan *Plan, minAlive float64) (*cluster.Assignment, error) {
+	if minAlive <= 0 {
+		minAlive = 0.75
+	}
+	cur := from.Clone()
+	used := cur.UsedResources(p)
+	alive := make([]int, p.N())
+	floor := make([]int, p.N())
+	for s := 0; s < p.N(); s++ {
+		alive[s] = cur.Placed(s)
+		floor[s] = int(minAlive * float64(p.Services[s].Replicas))
+	}
+	for si, step := range plan.Steps {
+		for _, c := range step {
+			switch c.Op {
+			case Delete:
+				if cur.Get(c.Service, c.Machine) <= 0 {
+					return nil, fmt.Errorf("migrate: step %d deletes absent container %v", si, c)
+				}
+				cur.Add(c.Service, c.Machine, -1)
+				alive[c.Service]--
+				used[c.Machine] = used[c.Machine].Sub(p.Services[c.Service].Request)
+			case Create:
+				cur.Add(c.Service, c.Machine, 1)
+				alive[c.Service]++
+				used[c.Machine] = used[c.Machine].Add(p.Services[c.Service].Request)
+			}
+		}
+		// Invariants hold between steps (within a step commands are
+		// parallel but homogeneous: all deletes or all creates).
+		for s := 0; s < p.N(); s++ {
+			if alive[s] < floor[s] {
+				return nil, fmt.Errorf("migrate: step %d drops service %d below SLA floor (%d < %d)", si, s, alive[s], floor[s])
+			}
+		}
+		for mi := 0; mi < p.M(); mi++ {
+			if !used[mi].Fits(p.Machines[mi].Capacity) {
+				return nil, fmt.Errorf("migrate: step %d overloads machine %d", si, mi)
+			}
+		}
+	}
+	return cur, nil
+}
+
+// Equal reports whether two assignments are identical.
+func Equal(a, b *cluster.Assignment) bool {
+	if a.N != b.N || a.M != b.M {
+		return false
+	}
+	for s := 0; s < a.N; s++ {
+		for _, m := range a.MachinesOf(s) {
+			if a.Get(s, m) != b.Get(s, m) {
+				return false
+			}
+		}
+		for _, m := range b.MachinesOf(s) {
+			if a.Get(s, m) != b.Get(s, m) {
+				return false
+			}
+		}
+	}
+	return true
+}

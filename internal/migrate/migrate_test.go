@@ -1,0 +1,344 @@
+package migrate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+)
+
+// problemWith builds n services with the given replica counts (1 cpu
+// per container) and m machines of the given capacity.
+func problemWith(replicas []int, m int, capacity float64) *cluster.Problem {
+	p := &cluster.Problem{
+		ResourceNames: []string{"cpu"},
+		Affinity:      graph.New(len(replicas)),
+	}
+	for _, d := range replicas {
+		p.Services = append(p.Services, cluster.Service{
+			Name: "s", Replicas: d, Request: cluster.Resources{1},
+		})
+	}
+	for j := 0; j < m; j++ {
+		p.Machines = append(p.Machines, cluster.Machine{Name: "m", Capacity: cluster.Resources{capacity}})
+	}
+	return p
+}
+
+func TestNoOpPlan(t *testing.T) {
+	p := problemWith([]int{2}, 2, 4)
+	a := cluster.NewAssignment(1, 2)
+	a.Set(0, 0, 2)
+	plan, err := Compute(p, a, a.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 || plan.Moves != 0 {
+		t.Fatalf("no-op plan has %d steps, %d moves", len(plan.Steps), plan.Moves)
+	}
+}
+
+func TestSimpleMove(t *testing.T) {
+	// Move one of two containers from m0 to m1.
+	p := problemWith([]int{2}, 2, 4)
+	from := cluster.NewAssignment(1, 2)
+	from.Set(0, 0, 2)
+	to := cluster.NewAssignment(1, 2)
+	to.Set(0, 0, 1)
+	to.Set(0, 1, 1)
+	plan, err := Compute(p, from, to, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Moves != 1 {
+		t.Fatalf("moves = %d, want 1", plan.Moves)
+	}
+	final, err := Simulate(p, from, plan, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(final, to) {
+		t.Fatal("plan does not reach target")
+	}
+}
+
+func TestSingleReplicaCanMove(t *testing.T) {
+	// d=1: floor(0.75*1)=0, so the single container may be offline
+	// briefly — otherwise single-replica services could never migrate.
+	p := problemWith([]int{1}, 2, 4)
+	from := cluster.NewAssignment(1, 2)
+	from.Set(0, 0, 1)
+	to := cluster.NewAssignment(1, 2)
+	to.Set(0, 1, 1)
+	plan, err := Compute(p, from, to, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := Simulate(p, from, plan, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(final, to) {
+		t.Fatal("plan does not reach target")
+	}
+}
+
+func TestSLAFloorRespected(t *testing.T) {
+	// Service with 4 replicas moving all 4: the floor of 3 alive forces
+	// the plan to move at most one at a time.
+	p := problemWith([]int{4}, 2, 8)
+	from := cluster.NewAssignment(1, 2)
+	from.Set(0, 0, 4)
+	to := cluster.NewAssignment(1, 2)
+	to.Set(0, 1, 4)
+	plan, err := Compute(p, from, to, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate enforces the floor at every step and fails if violated.
+	final, err := Simulate(p, from, plan, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(final, to) {
+		t.Fatal("plan does not reach target")
+	}
+	// With floor 3 and 4 moves each needing delete+create, there must be
+	// at least 4 delete steps interleaved with creates.
+	if len(plan.Steps) < 8 {
+		t.Fatalf("steps = %d; expected one-at-a-time interleaving (>= 8)", len(plan.Steps))
+	}
+}
+
+func TestResourceConstrainedSwap(t *testing.T) {
+	// Two services swap machines; each machine has one unit of slack, so
+	// a delete must precede the opposite create.
+	p := problemWith([]int{2, 2}, 2, 3)
+	from := cluster.NewAssignment(2, 2)
+	from.Set(0, 0, 2) // m0: 2 cpu used of 3
+	from.Set(1, 1, 2) // m1: 2 cpu used of 3
+	to := cluster.NewAssignment(2, 2)
+	to.Set(0, 1, 2)
+	to.Set(1, 0, 2)
+	plan, err := Compute(p, from, to, Options{MinAlive: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := Simulate(p, from, plan, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(final, to) {
+		t.Fatal("plan does not reach target")
+	}
+}
+
+func TestStalledDeadlock(t *testing.T) {
+	// Full machines with zero slack and MinAlive=1.0: nothing can move.
+	p := problemWith([]int{1, 1}, 2, 1)
+	from := cluster.NewAssignment(2, 2)
+	from.Set(0, 0, 1)
+	from.Set(1, 1, 1)
+	to := cluster.NewAssignment(2, 2)
+	to.Set(0, 1, 1)
+	to.Set(1, 0, 1)
+	_, err := Compute(p, from, to, Options{MinAlive: 1.0})
+	if err == nil {
+		t.Fatal("expected stall error")
+	}
+}
+
+func TestFullSwapWithZeroFloorSucceeds(t *testing.T) {
+	// Same zero-slack swap but default MinAlive: single-replica services
+	// have floor 0, so delete-then-create works.
+	p := problemWith([]int{1, 1}, 2, 1)
+	from := cluster.NewAssignment(2, 2)
+	from.Set(0, 0, 1)
+	from.Set(1, 1, 1)
+	to := cluster.NewAssignment(2, 2)
+	to.Set(0, 1, 1)
+	to.Set(1, 0, 1)
+	plan, err := Compute(p, from, to, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := Simulate(p, from, plan, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(final, to) {
+		t.Fatal("plan does not reach target")
+	}
+}
+
+func TestBadShapes(t *testing.T) {
+	p := problemWith([]int{1}, 2, 4)
+	a := cluster.NewAssignment(1, 2)
+	b := cluster.NewAssignment(2, 2)
+	if _, err := Compute(p, a, b, Options{}); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := Compute(p, a, a, Options{MinAlive: 1.5}); err == nil {
+		t.Fatal("expected MinAlive validation error")
+	}
+}
+
+func TestSimulateCatchesBadPlan(t *testing.T) {
+	p := problemWith([]int{2}, 2, 4)
+	from := cluster.NewAssignment(1, 2)
+	from.Set(0, 0, 2)
+	bad := &Plan{Steps: []Step{{Command{Op: Delete, Service: 0, Machine: 1}}}}
+	if _, err := Simulate(p, from, bad, 0.75); err == nil {
+		t.Fatal("expected error deleting absent container")
+	}
+}
+
+// randomScenario builds a feasible random (problem, from, to) triple by
+// placing containers twice with a first-fit under capacity.
+func randomScenario(rng *rand.Rand) (*cluster.Problem, *cluster.Assignment, *cluster.Assignment, bool) {
+	n := 1 + rng.Intn(6)
+	m := 2 + rng.Intn(5)
+	replicas := make([]int, n)
+	var total int
+	for i := range replicas {
+		replicas[i] = 1 + rng.Intn(4)
+		total += replicas[i]
+	}
+	// Enough headroom that random placements are feasible and migration
+	// has slack to work with.
+	capacity := float64(total/m + 3)
+	p := problemWith(replicas, m, capacity)
+
+	place := func(seed int64) (*cluster.Assignment, bool) {
+		r := rand.New(rand.NewSource(seed))
+		a := cluster.NewAssignment(n, m)
+		used := make([]float64, m)
+		for s := 0; s < n; s++ {
+			for c := 0; c < replicas[s]; c++ {
+				placed := false
+				for try := 0; try < 3*m; try++ {
+					mi := r.Intn(m)
+					if used[mi]+1 <= capacity {
+						a.Add(s, mi, 1)
+						used[mi]++
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					return nil, false
+				}
+			}
+		}
+		return a, true
+	}
+	from, ok1 := place(rng.Int63())
+	to, ok2 := place(rng.Int63())
+	return p, from, to, ok1 && ok2
+}
+
+// Property: computed plans always reach the target exactly (when no
+// deadlock-breaking relocation was needed) or an equivalent state with
+// the same per-service placement counts, respecting SLA floors and
+// capacities at every step.
+func TestPropertyPlansReachTarget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, from, to, ok := randomScenario(rng)
+		if !ok {
+			return true // skip infeasible random draws
+		}
+		plan, err := Compute(p, from, to, Options{})
+		if err != nil {
+			return false
+		}
+		final, err := Simulate(p, from, plan, 0.75)
+		if err != nil {
+			return false
+		}
+		if plan.Relocations == 0 {
+			return Equal(final, to)
+		}
+		for s := 0; s < p.N(); s++ {
+			if final.Placed(s) != to.Placed(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of delete commands equals the number of create
+// commands equals Moves.
+func TestPropertyMoveAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, from, to, ok := randomScenario(rng)
+		if !ok {
+			return true
+		}
+		plan, err := Compute(p, from, to, Options{})
+		if err != nil {
+			return false
+		}
+		var dels, creates int
+		for _, step := range plan.Steps {
+			for _, c := range step {
+				if c.Op == Delete {
+					dels++
+				} else {
+					creates++
+				}
+			}
+		}
+		return dels == plan.Moves && creates == plan.Moves
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelocationBreaksDeadlock: the zero-slack swap with a high SLA
+// floor used to stall; with d_s = 2 the floor permits one container
+// offline, and victim relocation must find the free third machine.
+func TestRelocationBreaksDeadlock(t *testing.T) {
+	p := problemWith([]int{2, 2}, 3, 2)
+	from := cluster.NewAssignment(2, 3)
+	from.Set(0, 0, 2)
+	from.Set(1, 1, 2)
+	to := cluster.NewAssignment(2, 3)
+	to.Set(0, 1, 2)
+	to.Set(1, 0, 2)
+	plan, err := Compute(p, from, to, Options{MinAlive: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := Simulate(p, from, plan, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if final.Placed(s) != 2 {
+			t.Fatalf("service %d placed %d, want 2", s, final.Placed(s))
+		}
+	}
+}
+
+func BenchmarkComputePlan(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	p, from, to, ok := randomScenario(rng)
+	if !ok {
+		b.Skip("infeasible draw")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(p, from, to, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

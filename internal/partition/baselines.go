@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+)
+
+// affinityServices returns the services with at least one affinity edge
+// (everything else can never contribute gained affinity).
+func affinityServices(p *cluster.Problem) (withAffinity, without []int) {
+	ts := p.Affinity.TotalAffinities()
+	for s := 0; s < p.N(); s++ {
+		if ts[s] > 0 {
+			withAffinity = append(withAffinity, s)
+		} else {
+			without = append(without, s)
+		}
+	}
+	return
+}
+
+// Random implements the RANDOM-PARTITION baseline of Section V-B: the
+// affinity-bearing services are split uniformly at random into groups of
+// roughly TargetSize, ignoring affinity structure entirely.
+func Random(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	withAff, trivial := affinityServices(p)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(len(withAff))
+	k := (len(withAff) + opts.TargetSize - 1) / opts.TargetSize
+	if k < 1 {
+		k = 1
+	}
+	groups := make([][]int, k)
+	for i, pi := range perm {
+		groups[i%k] = append(groups[i%k], withAff[pi])
+	}
+	subs, err := AssignMachines(p, current, groups, trivial)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Subproblems:  subs,
+		Trivial:      trivial,
+		MasterCount:  len(withAff),
+		Alpha:        1,
+		LostAffinity: lostAffinity(p, subs),
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// KWay implements the KAHIP baseline of Section V-B: the affinity graph
+// over affinity-bearing services is split by the multilevel min-weight
+// balanced k-way partitioner, again without master or compatibility
+// awareness.
+func KWay(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	withAff, trivial := affinityServices(p)
+	sub, orig := p.Affinity.Subgraph(withAff)
+	k := (len(withAff) + opts.TargetSize - 1) / opts.TargetSize
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	part := KWayCut(sub, k, 0.10, rng)
+	groups := make([][]int, k)
+	for v, pt := range part {
+		groups[pt] = append(groups[pt], orig[v])
+	}
+	var nonEmpty [][]int
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty = append(nonEmpty, g)
+		}
+	}
+	subs, err := AssignMachines(p, current, nonEmpty, trivial)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Subproblems:  subs,
+		Trivial:      trivial,
+		MasterCount:  len(withAff),
+		Alpha:        1,
+		LostAffinity: lostAffinity(p, subs),
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// None implements the NO-PARTITION baseline: the entire problem is one
+// subproblem over all services and raw machine capacities. On anything
+// but small clusters this is the configuration that goes out-of-time in
+// Fig. 6.
+func None(p *cluster.Problem) (*Result, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sp := cluster.FullSubproblem(p)
+	return &Result{
+		Subproblems: []*cluster.Subproblem{sp},
+		MasterCount: p.N(),
+		Alpha:       1,
+		Elapsed:     time.Since(start),
+	}, nil
+}

@@ -1,0 +1,494 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+)
+
+// makeProblem builds a cluster with n services (replicas 2, 1 cpu each)
+// and m machines (capacity 8), plus the given affinity edges.
+func makeProblem(n, m int, edges [][3]float64) *cluster.Problem {
+	g := graph.New(n)
+	for _, e := range edges {
+		g.AddEdge(int(e[0]), int(e[1]), e[2])
+	}
+	p := &cluster.Problem{ResourceNames: []string{"cpu"}, Affinity: g}
+	for s := 0; s < n; s++ {
+		p.Services = append(p.Services, cluster.Service{
+			Name: "s", Replicas: 2, Request: cluster.Resources{1},
+		})
+	}
+	for j := 0; j < m; j++ {
+		p.Machines = append(p.Machines, cluster.Machine{
+			Name: "m", Capacity: cluster.Resources{8},
+		})
+	}
+	return p
+}
+
+func TestAlpha(t *testing.T) {
+	opts := Options{}
+	if a := opts.Alpha(1); a != 1 {
+		t.Fatalf("alpha(1) = %v, want 1", a)
+	}
+	// Small N: formula exceeds 1, must clamp.
+	if a := opts.Alpha(10); a != 1 {
+		t.Fatalf("alpha(10) = %v, want clamped 1", a)
+	}
+	// Large N: 45*ln^0.66(N)/N < 1.
+	a := opts.Alpha(10000)
+	want := 45 * math.Pow(math.Log(10000), 0.66) / 10000
+	if math.Abs(a-want) > 1e-12 {
+		t.Fatalf("alpha(10000) = %v, want %v", a, want)
+	}
+	// Override.
+	opts.MasterRatio = 0.25
+	if a := opts.Alpha(10000); a != 0.25 {
+		t.Fatalf("override alpha = %v", a)
+	}
+}
+
+func TestMultistageNonAffinityTrivial(t *testing.T) {
+	// Services 3 and 4 have no edges: always trivial.
+	p := makeProblem(5, 4, [][3]float64{{0, 1, 5}, {1, 2, 3}})
+	res, err := Multistage(p, cluster.NewAssignment(5, 4), Options{MasterRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTrivial := map[int]bool{}
+	for _, s := range res.Trivial {
+		inTrivial[s] = true
+	}
+	if !inTrivial[3] || !inTrivial[4] {
+		t.Fatalf("trivial = %v, want to contain 3 and 4", res.Trivial)
+	}
+	if inTrivial[0] || inTrivial[1] || inTrivial[2] {
+		t.Fatalf("affinity services marked trivial: %v", res.Trivial)
+	}
+}
+
+func TestMultistageMasterSelection(t *testing.T) {
+	// 10 services in a star around 0 with decreasing weights; a master
+	// ratio of 0.3 must keep the 3 highest-T(s) services.
+	edges := [][3]float64{}
+	for i := 1; i < 10; i++ {
+		edges = append(edges, [3]float64{0, float64(i), float64(10 - i)})
+	}
+	p := makeProblem(10, 6, edges)
+	res, err := Multistage(p, cluster.NewAssignment(10, 6), Options{MasterRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MasterCount != 3 {
+		t.Fatalf("masters = %d, want 3", res.MasterCount)
+	}
+	// T(0)=45 is the hub, then 1 (w=9) and 2 (w=8).
+	var crucial []int
+	for _, sp := range res.Subproblems {
+		crucial = append(crucial, sp.Services...)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(crucial) != 3 {
+		t.Fatalf("crucial services = %v", crucial)
+	}
+	for _, s := range crucial {
+		if !want[s] {
+			t.Fatalf("unexpected crucial service %d", s)
+		}
+	}
+}
+
+func TestMultistageCompatBlocks(t *testing.T) {
+	// Services {0,1} only on machines {0,1}; {2,3} only on {2,3}:
+	// compatibility partitioning must yield two subproblems with
+	// disjoint machines.
+	p := makeProblem(4, 4, [][3]float64{{0, 1, 1}, {2, 3, 1}})
+	p.Schedulable = make([]cluster.Bitmap, 4)
+	for s := 0; s < 4; s++ {
+		p.Schedulable[s] = cluster.NewBitmap(4)
+	}
+	p.Schedulable[0].Set(0)
+	p.Schedulable[0].Set(1)
+	p.Schedulable[1].Set(0)
+	p.Schedulable[1].Set(1)
+	p.Schedulable[2].Set(2)
+	p.Schedulable[2].Set(3)
+	p.Schedulable[3].Set(2)
+	p.Schedulable[3].Set(3)
+	res, err := Multistage(p, cluster.NewAssignment(4, 4), Options{MasterRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subproblems) != 2 {
+		t.Fatalf("subproblems = %d, want 2", len(res.Subproblems))
+	}
+	for _, sp := range res.Subproblems {
+		for _, s := range sp.Services {
+			for _, m := range sp.Machines {
+				if !p.CanHost(s, m) {
+					t.Fatalf("service %d assigned incompatible machine %d", s, m)
+				}
+			}
+		}
+	}
+}
+
+func TestMultistageUnplaceableService(t *testing.T) {
+	p := makeProblem(2, 2, [][3]float64{{0, 1, 1}})
+	p.Schedulable = make([]cluster.Bitmap, 2)
+	p.Schedulable[0] = nil                  // anywhere
+	p.Schedulable[1] = cluster.NewBitmap(2) // nowhere
+	res, err := Multistage(p, cluster.NewAssignment(2, 2), Options{MasterRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Trivial {
+		if s == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unplaceable service not trivial: %v", res.Trivial)
+	}
+}
+
+func TestMultistageResidualCapacity(t *testing.T) {
+	// Trivial service 2 (no affinity) occupies 3 cpu on machine 0; the
+	// subproblem capacity of machine 0 must be reduced accordingly.
+	p := makeProblem(3, 2, [][3]float64{{0, 1, 1}})
+	p.Services[2].Request = cluster.Resources{3}
+	p.Services[2].Replicas = 1
+	cur := cluster.NewAssignment(3, 2)
+	cur.Set(2, 0, 1)
+	res, err := Multistage(p, cur, Options{MasterRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range res.Subproblems {
+		for i, m := range sp.Machines {
+			want := 8.0
+			if m == 0 {
+				want = 5.0
+			}
+			if math.Abs(sp.Capacity[i][0]-want) > 1e-9 {
+				t.Fatalf("machine %d residual = %v, want %v", m, sp.Capacity[i][0], want)
+			}
+		}
+	}
+}
+
+func TestMultistageAntiResidual(t *testing.T) {
+	// Anti-affinity rule over {0, 2} with cap 3; trivial service 2 has a
+	// container on machine 0 -> residual cap there is 2.
+	p := makeProblem(3, 2, [][3]float64{{0, 1, 1}})
+	p.AntiAffinity = []cluster.AntiAffinityRule{{Services: []int{0, 2}, MaxPerHost: 3}}
+	cur := cluster.NewAssignment(3, 2)
+	cur.Set(2, 0, 1)
+	res, err := Multistage(p, cur, Options{MasterRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := false
+	for _, sp := range res.Subproblems {
+		for _, rule := range sp.Anti {
+			for i, m := range sp.Machines {
+				want := 3
+				if m == 0 {
+					want = 2
+				}
+				if rule.Cap[i] != want {
+					t.Fatalf("anti cap on machine %d = %d, want %d", m, rule.Cap[i], want)
+				}
+				checked = true
+			}
+		}
+	}
+	if !checked {
+		t.Fatal("no anti rules propagated to subproblems")
+	}
+}
+
+func TestLossMinBalancedSplitsLargeBlocks(t *testing.T) {
+	// A 30-service connected chain with TargetSize 10 must be split into
+	// multiple subproblems of bounded size.
+	edges := [][3]float64{}
+	for i := 0; i < 29; i++ {
+		edges = append(edges, [3]float64{float64(i), float64(i + 1), 1})
+	}
+	p := makeProblem(30, 10, edges)
+	res, err := Multistage(p, cluster.NewAssignment(30, 10), Options{MasterRatio: 1, TargetSize: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subproblems) < 2 {
+		t.Fatalf("expected multiple subproblems, got %d", len(res.Subproblems))
+	}
+	var minSz, maxSz = 1 << 30, 0
+	for _, sp := range res.Subproblems {
+		if len(sp.Services) < minSz {
+			minSz = len(sp.Services)
+		}
+		if len(sp.Services) > maxSz {
+			maxSz = len(sp.Services)
+		}
+	}
+	if maxSz > 2*minSz {
+		t.Fatalf("unbalanced partition: max %d, min %d", maxSz, minSz)
+	}
+}
+
+func TestMultistageDeterministic(t *testing.T) {
+	edges := [][3]float64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		edges = append(edges, [3]float64{float64(rng.Intn(40)), float64(rng.Intn(40)), rng.Float64() + 0.1})
+	}
+	p := makeProblem(40, 12, edges)
+	a, err := Multistage(p, cluster.NewAssignment(40, 12), Options{Seed: 42, MasterRatio: 1, TargetSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Multistage(p, cluster.NewAssignment(40, 12), Options{Seed: 42, MasterRatio: 1, TargetSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Subproblems) != len(b.Subproblems) {
+		t.Fatalf("non-deterministic subproblem count: %d vs %d", len(a.Subproblems), len(b.Subproblems))
+	}
+	for i := range a.Subproblems {
+		as, bs := a.Subproblems[i].Services, b.Subproblems[i].Services
+		if len(as) != len(bs) {
+			t.Fatalf("subproblem %d size differs", i)
+		}
+		for j := range as {
+			if as[j] != bs[j] {
+				t.Fatalf("subproblem %d differs at %d: %d vs %d", i, j, as[j], bs[j])
+			}
+		}
+	}
+}
+
+func TestKWayCutSeparatesCliques(t *testing.T) {
+	// Two 6-cliques joined by a single light edge: 2-way cut must cut
+	// only the bridge.
+	g := graph.New(12)
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			g.AddEdge(a, b, 10)
+			g.AddEdge(a+6, b+6, 10)
+		}
+	}
+	g.AddEdge(0, 6, 0.5)
+	part := KWayCut(g, 2, 0.1, rand.New(rand.NewSource(3)))
+	if cut := g.CutWeight(part); math.Abs(cut-0.5) > 1e-9 {
+		t.Fatalf("cut = %v, want 0.5 (bridge only); part=%v", cut, part)
+	}
+}
+
+func TestKWayCutBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New(100)
+	for i := 0; i < 300; i++ {
+		g.AddEdge(rng.Intn(100), rng.Intn(100), rng.Float64()+0.1)
+	}
+	k := 5
+	part := KWayCut(g, k, 0.1, rng)
+	sizes := make([]int, k)
+	for _, p := range part {
+		if p < 0 || p >= k {
+			t.Fatalf("part id %d out of range", p)
+		}
+		sizes[p]++
+	}
+	for _, sz := range sizes {
+		if sz > int(float64(100)/float64(k)*1.1)+1 {
+			t.Fatalf("oversized part: %v", sizes)
+		}
+	}
+}
+
+func TestKWayCutEdgeCases(t *testing.T) {
+	g := graph.New(3)
+	if part := KWayCut(g, 1, 0.1, rand.New(rand.NewSource(1))); len(part) != 3 {
+		t.Fatal("k=1 partition length")
+	}
+	if part := KWayCut(g, 5, 0.1, rand.New(rand.NewSource(1))); len(part) != 3 {
+		t.Fatal("k>n partition length")
+	}
+	empty := graph.New(0)
+	if part := KWayCut(empty, 2, 0.1, rand.New(rand.NewSource(1))); len(part) != 0 {
+		t.Fatal("empty graph partition")
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	edges := [][3]float64{}
+	for i := 0; i < 20; i++ {
+		edges = append(edges, [3]float64{float64(i), float64((i + 1) % 20), 1})
+	}
+	p := makeProblem(22, 8, edges) // services 20, 21 have no affinity
+	res, err := Random(p, cluster.NewAssignment(22, 8), Options{TargetSize: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trivial) != 2 {
+		t.Fatalf("trivial = %v, want the 2 non-affinity services", res.Trivial)
+	}
+	var total int
+	for _, sp := range res.Subproblems {
+		total += len(sp.Services)
+	}
+	if total != 20 {
+		t.Fatalf("partitioned services = %d, want 20", total)
+	}
+}
+
+func TestNoneBaseline(t *testing.T) {
+	p := makeProblem(5, 3, [][3]float64{{0, 1, 1}})
+	res, err := None(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subproblems) != 1 {
+		t.Fatalf("subproblems = %d, want 1", len(res.Subproblems))
+	}
+	sp := res.Subproblems[0]
+	if len(sp.Services) != 5 || len(sp.Machines) != 3 {
+		t.Fatalf("full subproblem: %d services, %d machines", len(sp.Services), len(sp.Machines))
+	}
+}
+
+// Property: for every partitioner, subproblem services are disjoint,
+// machines are disjoint, and trivial + crucial covers all services.
+func TestPropertyPartitionInvariants(t *testing.T) {
+	runAll := func(p *cluster.Problem, cur *cluster.Assignment, seed int64) []*Result {
+		var out []*Result
+		if r, err := Multistage(p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
+			out = append(out, r)
+		}
+		if r, err := Random(p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
+			out = append(out, r)
+		}
+		if r, err := KWay(p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
+			out = append(out, r)
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		m := 3 + rng.Intn(10)
+		edges := [][3]float64{}
+		for i := 0; i < 2*n; i++ {
+			edges = append(edges, [3]float64{float64(rng.Intn(n)), float64(rng.Intn(n)), rng.Float64() + 0.05})
+		}
+		p := makeProblem(n, m, edges)
+		cur := cluster.NewAssignment(n, m)
+		for s := 0; s < n; s++ {
+			for i := 0; i < p.Services[s].Replicas; i++ {
+				cur.Add(s, rng.Intn(m), 1)
+			}
+		}
+		results := runAll(p, cur, seed)
+		if len(results) != 3 {
+			return false
+		}
+		for _, res := range results {
+			seenS := map[int]bool{}
+			seenM := map[int]bool{}
+			for _, sp := range res.Subproblems {
+				for _, s := range sp.Services {
+					if seenS[s] {
+						return false
+					}
+					seenS[s] = true
+				}
+				for _, mach := range sp.Machines {
+					if seenM[mach] {
+						return false
+					}
+					seenM[mach] = true
+				}
+			}
+			for _, s := range res.Trivial {
+				if seenS[s] {
+					return false // trivial service also crucial
+				}
+				seenS[s] = true
+			}
+			if len(seenS) != n {
+				return false // some service unaccounted for
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Statistical property: on skewed (star-heavy) affinity graphs the
+// loss-minimizing multistage partition loses less affinity than random
+// partitioning on average — the effect Fig. 6 measures. Individual seeds
+// may flip, so compare means over many seeds.
+func TestSkewFavorsMultistageOnAverage(t *testing.T) {
+	var msLost, rdLost float64
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 30, 10
+		// Star-heavy affinity: a few hubs carry most weight.
+		edges := [][3]float64{}
+		for i := 1; i < n; i++ {
+			hub := rng.Intn(3)
+			w := 100 / math.Pow(float64(i), 1.5)
+			edges = append(edges, [3]float64{float64(hub), float64(i), w})
+		}
+		p := makeProblem(n, m, edges)
+		cur := cluster.NewAssignment(n, m)
+		ms, err1 := Multistage(p, cur, Options{Seed: seed, TargetSize: 8, MasterRatio: 1})
+		rd, err2 := Random(p, cur, Options{Seed: seed, TargetSize: 8})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		msLost += ms.LostAffinity
+		rdLost += rd.LostAffinity
+	}
+	if msLost >= rdLost {
+		t.Fatalf("multistage mean lost affinity %v >= random %v", msLost/30, rdLost/30)
+	}
+}
+
+func BenchmarkMultistage(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	n, m := 400, 80
+	edges := [][3]float64{}
+	for i := 0; i < 3*n; i++ {
+		edges = append(edges, [3]float64{float64(rng.Intn(n)), float64(rng.Intn(n)), rng.Float64()})
+	}
+	p := makeProblem(n, m, edges)
+	cur := cluster.NewAssignment(n, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multistage(p, cur, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKWayCut(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.New(500)
+	for i := 0; i < 2000; i++ {
+		g.AddEdge(rng.Intn(500), rng.Intn(500), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KWayCut(g, 10, 0.1, rand.New(rand.NewSource(int64(i))))
+	}
+}

@@ -1,0 +1,43 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+import "github.com/cloudsched/rasa/internal/cluster"
+
+// SolveAll solves every subproblem concurrently, dispatching each to the
+// algorithm algFor(i), under one shared wall-clock budget. Subproblems
+// are independent after partitioning (Section IV-A), so parallel solving
+// is exactly what the production deployment does. Results are returned
+// in subproblem order; a subproblem whose solve errors yields an empty
+// OutOfTime result rather than failing the batch, mirroring the paper's
+// tolerance of failed deployments.
+func SolveAll(subs []*cluster.Subproblem, algFor func(i int) Algorithm, budget time.Duration, parallelism int) []Result {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	deadline := time.Now().Add(budget)
+	results := make([]Result, len(subs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			alg := algFor(i)
+			res, err := Solve(subs[i], alg, deadline)
+			if err != nil {
+				results[i] = Result{Algorithm: alg, OutOfTime: true}
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,101 @@
+// Package pool is the scheduling algorithm pool of Section IV-C: the
+// two solver-based algorithms (MIP-based and column generation) behind a
+// single interface, so the algorithm-selection phase can dispatch each
+// subproblem to either.
+package pool
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cg"
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/mip"
+	"github.com/cloudsched/rasa/internal/model"
+)
+
+// Algorithm identifies a member of the pool.
+type Algorithm int
+
+// Pool members.
+const (
+	CG  Algorithm = iota // column generation (Section IV-C2)
+	MIP                  // direct MIP via branch and bound (Section IV-C1)
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case CG:
+		return "CG"
+	case MIP:
+		return "MIP"
+	}
+	return "unknown"
+}
+
+// Result is a solved subproblem.
+type Result struct {
+	Placements []model.Placement
+	Objective  float64 // gained affinity of the placements
+	Algorithm  Algorithm
+	OutOfTime  bool // the budget expired before a solution was found
+}
+
+// maxMIPCells bounds the direct-MIP formulation size (rows * columns of
+// the simplex tableau). Formulations beyond this bound cannot complete a
+// single LP solve within any practical budget on this substrate and are
+// reported OutOfTime immediately — reproducing the OOT entries of
+// Fig. 6/Fig. 9 for the NO-PARTITION configuration.
+const maxMIPCells = 20_000_000
+
+// Solve dispatches the subproblem to the chosen algorithm with the
+// given deadline. Both algorithms are anytime: with an expired deadline
+// they return their best (possibly greedy) feasible schedule.
+func Solve(sp *cluster.Subproblem, alg Algorithm, deadline time.Time) (Result, error) {
+	switch alg {
+	case CG:
+		return SolveCG(sp, deadline)
+	case MIP:
+		return SolveMIP(sp, deadline)
+	}
+	return Result{}, fmt.Errorf("pool: unknown algorithm %d", alg)
+}
+
+// SolveMIP solves the subproblem with the direct MIP formulation.
+func SolveMIP(sp *cluster.Subproblem, deadline time.Time) (Result, error) {
+	m, err := model.BuildMIP(sp)
+	if err != nil {
+		return Result{}, err
+	}
+	if cells := int64(m.NumVars()) * int64(m.NumRows()); cells > maxMIPCells {
+		return Result{Algorithm: MIP, OutOfTime: true}, nil
+	}
+	sol, err := mip.Solve(&m.Prob, mip.Options{
+		Deadline: deadline,
+		Rounder:  m.Rounder(),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if sol.X == nil {
+		return Result{Algorithm: MIP, OutOfTime: true}, nil
+	}
+	return Result{
+		Placements: m.Extract(sol.X),
+		Objective:  m.AffinityValue(sol.X),
+		Algorithm:  MIP,
+	}, nil
+}
+
+// SolveCG solves the subproblem with column generation.
+func SolveCG(sp *cluster.Subproblem, deadline time.Time) (Result, error) {
+	res, err := cg.Solve(sp, cg.Options{Deadline: deadline})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Placements: res.Placements,
+		Objective:  res.Objective,
+		Algorithm:  CG,
+	}, nil
+}

@@ -1,0 +1,124 @@
+package pool_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/partition"
+	. "github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+func pairSubproblem(capacity float64) *cluster.Subproblem {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1.0)
+	p := &cluster.Problem{
+		ResourceNames: []string{"cpu"},
+		Services: []cluster.Service{
+			{Name: "A", Replicas: 2, Request: cluster.Resources{1}},
+			{Name: "B", Replicas: 2, Request: cluster.Resources{1}},
+		},
+		Machines: []cluster.Machine{
+			{Name: "m0", Capacity: cluster.Resources{capacity}},
+			{Name: "m1", Capacity: cluster.Resources{capacity}},
+		},
+		Affinity: g,
+	}
+	return cluster.FullSubproblem(p)
+}
+
+func TestBothAlgorithmsSolveOptimally(t *testing.T) {
+	for _, alg := range []Algorithm{CG, MIP} {
+		res, err := Solve(pairSubproblem(4), alg, time.Now().Add(5*time.Second))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.OutOfTime {
+			t.Fatalf("%v: unexpected OOT", alg)
+		}
+		if math.Abs(res.Objective-1.0) > 1e-6 {
+			t.Fatalf("%v: objective = %v, want 1.0", alg, res.Objective)
+		}
+		if res.Algorithm != alg {
+			t.Fatalf("result algorithm = %v, want %v", res.Algorithm, alg)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := Solve(pairSubproblem(4), Algorithm(99), time.Time{}); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if CG.String() != "CG" || MIP.String() != "MIP" || Algorithm(9).String() != "unknown" {
+		t.Fatal("Algorithm.String broken")
+	}
+}
+
+func TestMIPOversizedGoesOOT(t *testing.T) {
+	// A NO-PARTITION-sized subproblem must be reported OutOfTime rather
+	// than attempting a hopeless formulation (Fig. 6's OOT entries).
+	c, err := workload.Generate(workload.Preset{
+		Name: "big", Services: 400, Containers: 2500, Machines: 120,
+		Beta: 1.5, AffinityFraction: 0.7, Zones: 1, Utilization: 0.55, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cluster.FullSubproblem(c.Problem)
+	res, err := SolveMIP(sp, time.Now().Add(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutOfTime {
+		t.Fatalf("expected OOT on %d-service full problem", c.Problem.N())
+	}
+}
+
+func TestSolveAllParallelAndOrdered(t *testing.T) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "p", Services: 60, Containers: 300, Machines: 16,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{TargetSize: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Subproblems) < 2 {
+		t.Fatalf("want multiple subproblems, got %d", len(pres.Subproblems))
+	}
+	results := SolveAll(pres.Subproblems, func(i int) Algorithm {
+		if i%2 == 0 {
+			return CG
+		}
+		return MIP
+	}, 3*time.Second, 4)
+	if len(results) != len(pres.Subproblems) {
+		t.Fatalf("results = %d, want %d", len(results), len(pres.Subproblems))
+	}
+	for i, r := range results {
+		want := CG
+		if i%2 == 1 {
+			want = MIP
+		}
+		if r.Algorithm != want {
+			t.Fatalf("result %d algorithm = %v, want %v", i, r.Algorithm, want)
+		}
+	}
+}
+
+func TestSolveAllExpiredBudgetStillReturns(t *testing.T) {
+	sp := pairSubproblem(4)
+	results := SolveAll([]*cluster.Subproblem{sp, sp}, func(int) Algorithm { return CG }, -time.Second, 2)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+}

@@ -1,0 +1,121 @@
+// Package powerlaw fits power-law and exponential models to ranked
+// total-affinity data, reproducing the Fig. 5 analysis that justifies
+// Assumption 4.1 (the skewness the master-affinity partitioning stage
+// exploits).
+package powerlaw
+
+import (
+	"errors"
+	"math"
+)
+
+// Fit is one fitted model y = C * f(rank).
+type Fit struct {
+	Model string  // "power-law" or "exponential"
+	C     float64 // scale
+	Param float64 // beta (power law) or lambda (exponential)
+	R2    float64 // coefficient of determination in the fitted log space
+}
+
+// ErrTooFewPoints reports insufficient data for a fit.
+var ErrTooFewPoints = errors.New("powerlaw: need at least 3 positive data points")
+
+// FitPowerLaw fits y = C / rank^beta by least squares in log-log space.
+// The input is ranked data: ys[i] is the value at rank i+1.
+func FitPowerLaw(ys []float64) (Fit, error) {
+	xs, ls, err := logRanks(ys, true)
+	if err != nil {
+		return Fit{}, err
+	}
+	slope, intercept, r2 := linreg(xs, ls)
+	return Fit{Model: "power-law", C: math.Exp(intercept), Param: -slope, R2: r2}, nil
+}
+
+// FitExponential fits y = C * exp(-lambda * rank) by least squares in
+// log-linear space.
+func FitExponential(ys []float64) (Fit, error) {
+	xs, ls, err := logRanks(ys, false)
+	if err != nil {
+		return Fit{}, err
+	}
+	slope, intercept, r2 := linreg(xs, ls)
+	return Fit{Model: "exponential", C: math.Exp(intercept), Param: -slope, R2: r2}, nil
+}
+
+// Compare fits both models and returns them with the better one first
+// (by R2).
+func Compare(ys []float64) (best, other Fit, err error) {
+	pl, err := FitPowerLaw(ys)
+	if err != nil {
+		return Fit{}, Fit{}, err
+	}
+	ex, err := FitExponential(ys)
+	if err != nil {
+		return Fit{}, Fit{}, err
+	}
+	if pl.R2 >= ex.R2 {
+		return pl, ex, nil
+	}
+	return ex, pl, nil
+}
+
+// Eval returns the fitted value at the given rank (1-based).
+func (f Fit) Eval(rank int) float64 {
+	switch f.Model {
+	case "power-law":
+		return f.C / math.Pow(float64(rank), f.Param)
+	case "exponential":
+		return f.C * math.Exp(-f.Param*float64(rank))
+	}
+	return math.NaN()
+}
+
+// logRanks builds the regression inputs: x = log(rank) for power law or
+// rank for exponential, y = log(value). Non-positive values are skipped.
+func logRanks(ys []float64, logX bool) (xs, ls []float64, err error) {
+	for i, y := range ys {
+		if y <= 0 {
+			continue
+		}
+		rank := float64(i + 1)
+		if logX {
+			xs = append(xs, math.Log(rank))
+		} else {
+			xs = append(xs, rank)
+		}
+		ls = append(ls, math.Log(y))
+	}
+	if len(xs) < 3 {
+		return nil, nil, ErrTooFewPoints
+	}
+	return xs, ls, nil
+}
+
+// linreg is ordinary least squares returning slope, intercept and R2.
+func linreg(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}

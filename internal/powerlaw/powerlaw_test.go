@@ -1,0 +1,128 @@
+package powerlaw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitPowerLawExact(t *testing.T) {
+	ys := make([]float64, 40)
+	for i := range ys {
+		ys[i] = 3.5 / math.Pow(float64(i+1), 1.7)
+	}
+	fit, err := FitPowerLaw(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Param-1.7) > 1e-9 || math.Abs(fit.C-3.5) > 1e-9 {
+		t.Fatalf("fit = %+v, want beta=1.7 C=3.5", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v on exact data", fit.R2)
+	}
+}
+
+func TestFitExponentialExact(t *testing.T) {
+	ys := make([]float64, 40)
+	for i := range ys {
+		ys[i] = 2.0 * math.Exp(-0.3*float64(i+1))
+	}
+	fit, err := FitExponential(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Param-0.3) > 1e-9 || math.Abs(fit.C-2.0) > 1e-9 {
+		t.Fatalf("fit = %+v, want lambda=0.3 C=2.0", fit)
+	}
+}
+
+func TestCompareSelectsPowerLawOnPowerData(t *testing.T) {
+	ys := make([]float64, 40)
+	for i := range ys {
+		ys[i] = 1.0 / math.Pow(float64(i+1), 1.5)
+	}
+	best, other, err := Compare(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model != "power-law" {
+		t.Fatalf("best = %v (R2 %v vs %v)", best.Model, best.R2, other.R2)
+	}
+}
+
+func TestCompareSelectsExponentialOnExpData(t *testing.T) {
+	ys := make([]float64, 40)
+	for i := range ys {
+		ys[i] = math.Exp(-0.5 * float64(i+1))
+	}
+	best, _, err := Compare(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model != "exponential" {
+		t.Fatalf("best = %v", best.Model)
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := Fit{Model: "power-law", C: 2, Param: 1}
+	if math.Abs(f.Eval(2)-1) > 1e-12 {
+		t.Fatalf("Eval = %v", f.Eval(2))
+	}
+	f = Fit{Model: "exponential", C: 1, Param: 0}
+	if math.Abs(f.Eval(5)-1) > 1e-12 {
+		t.Fatalf("Eval = %v", f.Eval(5))
+	}
+	if !math.IsNaN(Fit{Model: "bogus"}.Eval(1)) {
+		t.Fatal("unknown model should eval NaN")
+	}
+}
+
+func TestTooFewPoints(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+	// Non-positive values are skipped and may starve the fit.
+	if _, err := FitPowerLaw([]float64{1, 0, 0, 0}); err == nil {
+		t.Fatal("expected error after skipping zeros")
+	}
+}
+
+func TestZerosSkipped(t *testing.T) {
+	ys := []float64{4, 0, 4.0 / 9, 4.0 / 16, 0, 4.0 / 36}
+	// Values follow 4/rank^2 where present.
+	fit, err := FitPowerLaw(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Param-2) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+// Property: noisy power-law data fits power law better than exponential
+// in the vast majority of draws, and R2 stays in [0, 1].
+func TestPropertyNoisyPowerLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ys := make([]float64, 60)
+		beta := 1.2 + rng.Float64()
+		for i := range ys {
+			noise := math.Exp(rng.NormFloat64() * 0.1)
+			ys[i] = noise / math.Pow(float64(i+1), beta)
+		}
+		pl, err := FitPowerLaw(ys)
+		if err != nil {
+			return false
+		}
+		if pl.R2 < 0 || pl.R2 > 1 {
+			return false
+		}
+		return math.Abs(pl.Param-beta) < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

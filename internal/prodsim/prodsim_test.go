@@ -1,0 +1,239 @@
+package prodsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+func testConfig(seed int64) Config {
+	return Config{
+		Workload: workload.Preset{
+			Name: "prod-test", Services: 60, Containers: 320, Machines: 14,
+			Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: seed,
+		},
+		Ticks:         8,
+		OptimizeEvery: 2,
+		Budget:        400 * time.Millisecond,
+		ChurnServices: 2,
+		TrackedPairs:  4,
+		Partition:     partition.Options{TargetSize: 10},
+		Seed:          seed,
+	}
+}
+
+func TestRunWithoutRASA(t *testing.T) {
+	rep, err := Run(testConfig(1), WithoutRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ticks) != 8 {
+		t.Fatalf("ticks = %d", len(rep.Ticks))
+	}
+	if len(rep.TrackedPairs) != 4 {
+		t.Fatalf("tracked pairs = %d", len(rep.TrackedPairs))
+	}
+	for _, tm := range rep.Ticks {
+		if tm.Applied || tm.Moves > 0 {
+			t.Fatal("WITHOUT RASA must never reallocate")
+		}
+		if tm.Weighted.Latency <= 0 {
+			t.Fatal("non-positive latency")
+		}
+	}
+}
+
+func TestRunAllOrdering(t *testing.T) {
+	cmp, err := RunAll(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := cmp.With.MeanWeighted()
+	without := cmp.Without.MeanWeighted()
+	col := cmp.Collocated.MeanWeighted()
+
+	// The Section V-F ordering: collocated <= with RASA <= without RASA
+	// for both latency and error rate (allowing a little noise slack).
+	if !(col.Latency < with.Latency*1.02) {
+		t.Fatalf("collocated latency %v should lower-bound WITH RASA %v", col.Latency, with.Latency)
+	}
+	if !(with.Latency < without.Latency) {
+		t.Fatalf("WITH RASA latency %v should beat WITHOUT %v", with.Latency, without.Latency)
+	}
+	if !(with.ErrorRate < without.ErrorRate) {
+		t.Fatalf("WITH RASA error %v should beat WITHOUT %v", with.ErrorRate, without.ErrorRate)
+	}
+	if !(col.ErrorRate <= with.ErrorRate*1.02) {
+		t.Fatalf("collocated error %v should lower-bound WITH RASA %v", col.ErrorRate, with.ErrorRate)
+	}
+}
+
+func TestWithRASAAppliesReallocations(t *testing.T) {
+	rep, err := Run(testConfig(3), WithRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied int
+	for _, tm := range rep.Ticks {
+		if tm.Applied {
+			applied++
+			if tm.Moves <= 0 {
+				t.Fatal("applied reallocation with zero moves")
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("RASA never passed the dry-run gate")
+	}
+}
+
+func TestDryRunGateSuppressesTinyImprovements(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.MinImprovement = 1e9 // nothing can pass
+	rep, err := Run(cfg, WithRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range rep.Ticks {
+		if tm.Applied {
+			t.Fatal("gate must suppress all reallocations")
+		}
+	}
+}
+
+func TestRollbackMechanism(t *testing.T) {
+	cfg := testConfig(5)
+	cfg.RollbackUtilization = 0.01 // every reallocation looks imbalanced
+	cfg.UnschedulableTicks = 100
+	rep, err := Run(cfg, WithRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rolled, applied int
+	for _, tm := range rep.Ticks {
+		if tm.RolledBack {
+			rolled++
+		}
+		if tm.Applied {
+			applied++
+		}
+	}
+	if rolled == 0 {
+		t.Fatal("rollback never fired at threshold 0.01")
+	}
+	if applied != 0 {
+		t.Fatal("reallocations applied despite rollback threshold")
+	}
+}
+
+func TestOnlyCollocatedIsFullyLocal(t *testing.T) {
+	rep, err := Run(testConfig(6), OnlyCollocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := DefaultLatencyModel()
+	for _, tm := range rep.Ticks {
+		for _, pm := range tm.Pairs {
+			// Fully localized: latency near IPC, far from RPC.
+			if pm.Latency > lm.RPCMillis/2 {
+				t.Fatalf("collocated pair latency %v too high", pm.Latency)
+			}
+		}
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if WithRASA.String() != "WITH RASA" || WithoutRASA.String() != "WITHOUT RASA" ||
+		OnlyCollocated.String() != "ONLY COLLOCATED" || Scenario(9).String() != "unknown" {
+		t.Fatal("scenario names")
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	rep := &Report{
+		TrackedPairs: [][2]int{{0, 1}},
+		Ticks: []TickMetrics{
+			{Pairs: []PairMetrics{{Latency: 2, ErrorRate: 0.2}}, Weighted: PairMetrics{Latency: 4, ErrorRate: 0.4}},
+			{Pairs: []PairMetrics{{Latency: 4, ErrorRate: 0.4}}, Weighted: PairMetrics{Latency: 8, ErrorRate: 0.8}},
+		},
+	}
+	if m := rep.MeanPair(0); m.Latency != 3 || m.ErrorRate != 0.30000000000000004 && m.ErrorRate != 0.3 {
+		t.Fatalf("MeanPair = %+v", m)
+	}
+	if m := rep.MeanWeighted(); m.Latency != 6 {
+		t.Fatalf("MeanWeighted = %+v", m)
+	}
+	empty := &Report{}
+	if m := empty.MeanWeighted(); m.Latency != 0 {
+		t.Fatal("empty report mean")
+	}
+}
+
+func TestChurnErodesAffinityWithoutRASA(t *testing.T) {
+	cfg := testConfig(7)
+	cfg.Ticks = 12
+	cfg.ChurnServices = 5
+	rep, err := Run(cfg, WithoutRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rep.Ticks[0].GainedAffinity, rep.Ticks[len(rep.Ticks)-1].GainedAffinity
+	// Without optimization churn should not increase collocation
+	// systematically (tolerate small noise).
+	if last > first*1.5+0.05 {
+		t.Fatalf("affinity grew under churn without RASA: %v -> %v", first, last)
+	}
+}
+
+func TestUnschedulableTaggingFreezesServices(t *testing.T) {
+	// Force every reallocation to roll back; tagged services must then
+	// keep their placement across subsequent ticks (they are frozen for
+	// UnschedulableTicks), so gained affinity only drifts through churn.
+	cfg := testConfig(8)
+	cfg.Ticks = 6
+	cfg.ChurnServices = 0 // isolate the tagging effect
+	cfg.RollbackUtilization = 0.01
+	cfg.UnschedulableTicks = 1000
+	rep, err := Run(cfg, WithRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rolled int
+	for _, tm := range rep.Ticks {
+		if tm.Applied {
+			t.Fatal("reallocation applied despite universal rollback")
+		}
+		if tm.RolledBack {
+			rolled++
+		}
+	}
+	if rolled == 0 {
+		t.Fatal("rollback never fired")
+	}
+	// With no churn and everything frozen, the placement is static: the
+	// gained affinity must be identical at every tick.
+	first := rep.Ticks[0].GainedAffinity
+	for i, tm := range rep.Ticks {
+		if math.Abs(tm.GainedAffinity-first) > 1e-9 {
+			t.Fatalf("tick %d affinity %v drifted from %v despite frozen cluster", i, tm.GainedAffinity, first)
+		}
+	}
+}
+
+func TestOptimizeEveryRespected(t *testing.T) {
+	cfg := testConfig(9)
+	cfg.Ticks = 9
+	cfg.OptimizeEvery = 3
+	rep, err := Run(cfg, WithRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range rep.Ticks {
+		if i%3 != 0 && (tm.Applied || tm.RolledBack) {
+			t.Fatalf("tick %d acted outside the CronJob schedule", i)
+		}
+	}
+}

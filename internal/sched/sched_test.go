@@ -1,0 +1,174 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+	. "github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+func testCluster(t *testing.T, seed int64) *workload.Cluster {
+	t.Helper()
+	c, err := workload.Generate(workload.Preset{
+		Name: "t", Services: 50, Containers: 260, Machines: 12,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOriginalSchedulesEverything(t *testing.T) {
+	c := testCluster(t, 1)
+	a, err := Original(c.Problem, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := a.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+}
+
+func TestK8sPlusSchedulesEverythingAndBeatsOriginal(t *testing.T) {
+	c := testCluster(t, 2)
+	orig, err := Original(c.Problem, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := K8sPlus(c.Problem, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := kp.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	go1 := orig.GainedAffinity(c.Problem)
+	go2 := kp.GainedAffinity(c.Problem)
+	if go2 <= go1 {
+		t.Fatalf("K8s+ gained %v should beat ORIGINAL %v", go2, go1)
+	}
+}
+
+func TestCompleteFillsShortfall(t *testing.T) {
+	c := testCluster(t, 3)
+	empty := cluster.NewAssignment(c.Problem.N(), c.Problem.M())
+	full := Complete(c.Problem, empty)
+	if vs := full.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	// Complete must not disturb existing placements.
+	partial := cluster.NewAssignment(c.Problem.N(), c.Problem.M())
+	partial.Set(0, 0, 1)
+	filled := Complete(c.Problem, partial)
+	if filled.Get(0, 0) < 1 {
+		t.Fatal("existing placement removed")
+	}
+}
+
+func TestPOPFeasibleAndBeatsOriginal(t *testing.T) {
+	c := testCluster(t, 4)
+	a, err := POP(c.Problem, c.Original, Options{Deadline: 2 * time.Second, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := a.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	if got, orig := a.GainedAffinity(c.Problem), c.Original.GainedAffinity(c.Problem); got <= orig {
+		t.Fatalf("POP gained %v should beat ORIGINAL %v", got, orig)
+	}
+}
+
+func TestAPPLSCI19Feasible(t *testing.T) {
+	c := testCluster(t, 5)
+	a, err := APPLSCI19(c.Problem, c.Original, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := a.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	if got, orig := a.GainedAffinity(c.Problem), c.Original.GainedAffinity(c.Problem); got <= orig {
+		t.Fatalf("APPLSCI19 gained %v should beat ORIGINAL %v", got, orig)
+	}
+}
+
+func TestAPPLSCI19HurtByHeterogeneousMachines(t *testing.T) {
+	// Hand-built cluster: two big services with strong affinity and very
+	// heterogeneous machines. The single-machine-size assumption wastes
+	// the large machines, so K8s+ (which sees real capacities) wins.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0.6)
+	g.AddEdge(2, 3, 0.4)
+	p := &cluster.Problem{
+		ResourceNames: []string{"cpu"},
+		Affinity:      g,
+		Services: []cluster.Service{
+			{Name: "a", Replicas: 6, Request: cluster.Resources{1}},
+			{Name: "b", Replicas: 6, Request: cluster.Resources{1}},
+			{Name: "c", Replicas: 4, Request: cluster.Resources{1}},
+			{Name: "d", Replicas: 4, Request: cluster.Resources{1}},
+		},
+		Machines: []cluster.Machine{
+			{Name: "tiny", Capacity: cluster.Resources{2}},
+			{Name: "big0", Capacity: cluster.Resources{12}},
+			{Name: "big1", Capacity: cluster.Resources{12}},
+		},
+	}
+	ap, err := APPLSCI19(p, nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := K8sPlus(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.GainedAffinity(p) > kp.GainedAffinity(p) {
+		t.Fatalf("APPLSCI19 %v should not beat K8s+ %v here", ap.GainedAffinity(p), kp.GainedAffinity(p))
+	}
+}
+
+func TestOriginalDeterministic(t *testing.T) {
+	c := testCluster(t, 6)
+	a1, _ := Original(c.Problem, 42)
+	a2, _ := Original(c.Problem, 42)
+	if a1.GainedAffinity(c.Problem) != a2.GainedAffinity(c.Problem) {
+		t.Fatal("ORIGINAL non-deterministic for fixed seed")
+	}
+}
+
+func BenchmarkOriginal(b *testing.B) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "b", Services: 100, Containers: 600, Machines: 25,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Original(c.Problem, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkK8sPlus(b *testing.B) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "b", Services: 100, Containers: 600, Machines: 25,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := K8sPlus(c.Problem, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package snapshot serializes cluster states — the problem inventory
+// plus the current container-to-machine assignment — to JSON. This is
+// the interchange format of the data-collector component (Section
+// III-A): cmd/rasagen writes snapshots, cmd/rasad and user tooling read
+// them.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+)
+
+// Snapshot is the on-disk cluster state.
+type Snapshot struct {
+	// Version guards the schema.
+	Version int `json:"version"`
+	// ResourceNames orders every resource vector.
+	ResourceNames []string      `json:"resourceNames"`
+	Services      []ServiceJSON `json:"services"`
+	Machines      []MachineJSON `json:"machines"`
+	// Affinity lists weighted service pairs (traffic volumes).
+	Affinity []EdgeJSON `json:"affinity"`
+	// AntiAffinity lists per-machine concentration caps.
+	AntiAffinity []AntiJSON `json:"antiAffinity,omitempty"`
+	// Assignment lists current placements.
+	Assignment []PlacementJSON `json:"assignment,omitempty"`
+}
+
+// ServiceJSON is one service.
+type ServiceJSON struct {
+	Name     string    `json:"name"`
+	Replicas int       `json:"replicas"`
+	Request  []float64 `json:"request"`
+	// Machines optionally restricts the service to these machine
+	// indices (schedulability); empty means unrestricted.
+	Machines []int `json:"machines,omitempty"`
+}
+
+// MachineJSON is one machine.
+type MachineJSON struct {
+	Name     string    `json:"name"`
+	Capacity []float64 `json:"capacity"`
+	Spec     int       `json:"spec,omitempty"`
+}
+
+// EdgeJSON is one affinity relation.
+type EdgeJSON struct {
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	Weight float64 `json:"weight"`
+}
+
+// AntiJSON is one anti-affinity rule.
+type AntiJSON struct {
+	Services   []int `json:"services"`
+	MaxPerHost int   `json:"maxPerHost"`
+}
+
+// PlacementJSON is one assignment entry.
+type PlacementJSON struct {
+	Service int `json:"service"`
+	Machine int `json:"machine"`
+	Count   int `json:"count"`
+}
+
+// CurrentVersion is the schema version this package writes.
+const CurrentVersion = 1
+
+// FromCluster builds a snapshot from a problem and (optionally) its
+// assignment.
+func FromCluster(p *cluster.Problem, a *cluster.Assignment) *Snapshot {
+	s := &Snapshot{Version: CurrentVersion, ResourceNames: p.ResourceNames}
+	for si, svc := range p.Services {
+		sj := ServiceJSON{Name: svc.Name, Replicas: svc.Replicas, Request: svc.Request}
+		if p.Schedulable != nil && p.Schedulable[si] != nil {
+			for m := 0; m < p.M(); m++ {
+				if p.Schedulable[si].Get(m) {
+					sj.Machines = append(sj.Machines, m)
+				}
+			}
+		}
+		s.Services = append(s.Services, sj)
+	}
+	for _, m := range p.Machines {
+		s.Machines = append(s.Machines, MachineJSON{Name: m.Name, Capacity: m.Capacity, Spec: m.Spec})
+	}
+	for _, e := range p.Affinity.Edges() {
+		s.Affinity = append(s.Affinity, EdgeJSON{A: e.U, B: e.V, Weight: e.Weight})
+	}
+	for _, r := range p.AntiAffinity {
+		s.AntiAffinity = append(s.AntiAffinity, AntiJSON{Services: r.Services, MaxPerHost: r.MaxPerHost})
+	}
+	if a != nil {
+		a.EachPlacement(func(svc, m, count int) {
+			s.Assignment = append(s.Assignment, PlacementJSON{Service: svc, Machine: m, Count: count})
+		})
+	}
+	return s
+}
+
+// ToCluster reconstructs the problem and assignment (nil if the
+// snapshot has no placements).
+func (s *Snapshot) ToCluster() (*cluster.Problem, *cluster.Assignment, error) {
+	if s.Version != CurrentVersion {
+		return nil, nil, fmt.Errorf("snapshot: unsupported version %d", s.Version)
+	}
+	p := &cluster.Problem{ResourceNames: s.ResourceNames}
+	n, m := len(s.Services), len(s.Machines)
+	restricted := false
+	for _, sj := range s.Services {
+		p.Services = append(p.Services, cluster.Service{
+			Name: sj.Name, Replicas: sj.Replicas, Request: sj.Request,
+		})
+		if len(sj.Machines) > 0 {
+			restricted = true
+		}
+	}
+	for _, mj := range s.Machines {
+		p.Machines = append(p.Machines, cluster.Machine{Name: mj.Name, Capacity: mj.Capacity, Spec: mj.Spec})
+	}
+	g := graph.New(n)
+	for _, e := range s.Affinity {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return nil, nil, fmt.Errorf("snapshot: affinity edge (%d,%d) out of range", e.A, e.B)
+		}
+		g.AddEdge(e.A, e.B, e.Weight)
+	}
+	p.Affinity = g
+	for _, r := range s.AntiAffinity {
+		p.AntiAffinity = append(p.AntiAffinity, cluster.AntiAffinityRule{
+			Services: r.Services, MaxPerHost: r.MaxPerHost,
+		})
+	}
+	if restricted {
+		p.Schedulable = make([]cluster.Bitmap, n)
+		for si, sj := range s.Services {
+			if len(sj.Machines) == 0 {
+				continue
+			}
+			bm := cluster.NewBitmap(m)
+			for _, mi := range sj.Machines {
+				if mi < 0 || mi >= m {
+					return nil, nil, fmt.Errorf("snapshot: service %d restricted to unknown machine %d", si, mi)
+				}
+				bm.Set(mi)
+			}
+			p.Schedulable[si] = bm
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var a *cluster.Assignment
+	if len(s.Assignment) > 0 {
+		a = cluster.NewAssignment(n, m)
+		for _, pl := range s.Assignment {
+			if pl.Service < 0 || pl.Service >= n || pl.Machine < 0 || pl.Machine >= m || pl.Count < 0 {
+				return nil, nil, fmt.Errorf("snapshot: invalid placement %+v", pl)
+			}
+			a.Add(pl.Service, pl.Machine, pl.Count)
+		}
+	}
+	return p, a, nil
+}
+
+// Write encodes the snapshot as indented JSON.
+func Write(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read decodes a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	return &s, nil
+}

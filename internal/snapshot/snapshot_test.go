@@ -1,0 +1,102 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "snap", Services: 40, Containers: 200, Machines: 10,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 2, Utilization: 0.55, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FromCluster(c.Problem, c.Original)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, a2, err := s2.ToCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.N() != c.Problem.N() || p2.M() != c.Problem.M() {
+		t.Fatalf("shape mismatch %d/%d", p2.N(), p2.M())
+	}
+	if math.Abs(p2.Affinity.TotalWeight()-c.Problem.Affinity.TotalWeight()) > 1e-9 {
+		t.Fatal("affinity weight mismatch")
+	}
+	if a2 == nil {
+		t.Fatal("assignment lost")
+	}
+	g1 := c.Original.GainedAffinity(c.Problem)
+	g2 := a2.GainedAffinity(p2)
+	if math.Abs(g1-g2) > 1e-9 {
+		t.Fatalf("gained affinity drifted: %v vs %v", g1, g2)
+	}
+	// Schedulability restrictions must survive the round trip.
+	for s := 0; s < p2.N(); s++ {
+		for m := 0; m < p2.M(); m++ {
+			if p2.CanHost(s, m) != c.Problem.CanHost(s, m) {
+				t.Fatalf("schedulability drifted at (%d,%d)", s, m)
+			}
+		}
+	}
+}
+
+func TestToClusterRejectsBadData(t *testing.T) {
+	bad := []Snapshot{
+		{Version: 99},
+		{Version: 1, ResourceNames: []string{"cpu"},
+			Services: []ServiceJSON{{Name: "a", Replicas: 1, Request: []float64{1}}},
+			Machines: []MachineJSON{{Name: "m", Capacity: []float64{1}}},
+			Affinity: []EdgeJSON{{A: 0, B: 9, Weight: 1}}},
+		{Version: 1, ResourceNames: []string{"cpu"},
+			Services:   []ServiceJSON{{Name: "a", Replicas: 1, Request: []float64{1}}},
+			Machines:   []MachineJSON{{Name: "m", Capacity: []float64{1}}},
+			Assignment: []PlacementJSON{{Service: 0, Machine: 5, Count: 1}}},
+		{Version: 1, ResourceNames: []string{"cpu"},
+			Services: []ServiceJSON{{Name: "a", Replicas: 1, Request: []float64{1}, Machines: []int{9}}},
+			Machines: []MachineJSON{{Name: "m", Capacity: []float64{1}}}},
+	}
+	for i, s := range bad {
+		s := s
+		if _, _, err := s.ToCluster(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestNoAssignment(t *testing.T) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "snap2", Services: 10, Containers: 40, Machines: 4,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.5, Seed: 78,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FromCluster(c.Problem, nil)
+	_, a, err := s.ToCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != nil {
+		t.Fatal("expected nil assignment")
+	}
+}

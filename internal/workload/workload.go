@@ -1,0 +1,378 @@
+// Package workload generates synthetic microservice clusters that
+// reproduce the statistical structure of the paper's production traces:
+// power-law total-affinity distributions (Assumption 4.1, validated in
+// Fig. 5), heterogeneous machine specifications, compatibility zones,
+// anti-affinity rules, and an initial deployment computed by the
+// ORIGINAL production scheduler.
+//
+// The M1–M4 presets mirror the shapes of Table II scaled roughly 10x
+// down (the substrate here is a from-scratch pure-Go solver rather than
+// Gurobi on a production fleet); T1–T4 are the smaller training clusters
+// used to label the GCN classifier (Section IV-D).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/sched"
+)
+
+// Preset describes a synthetic cluster.
+type Preset struct {
+	Name       string
+	Services   int
+	Containers int     // total container target across all services
+	Machines   int     // machine count; capacities scale to fit demand
+	Beta       float64 // power-law exponent of total affinity (>1)
+	// AffinityFraction is the share of services that participate in the
+	// affinity graph at all; the rest form the non-affinity set.
+	AffinityFraction float64
+	// Zones is the number of disjoint compatibility zones (machines and
+	// zoned services are pinned); 1 disables compatibility structure.
+	Zones int
+	// CommunitySize is the mean size of affinity communities — the
+	// independent applications a production cluster hosts. Affinity
+	// edges only form within a community, which is what keeps the
+	// loss-minimization partitioning loss low (supplementary material:
+	// <12%). Default 14.
+	CommunitySize int
+	// Utilization is the target requested/capacity ratio; capacities are
+	// scaled so the ORIGINAL scheduler can always place everything.
+	Utilization float64
+	Seed        int64
+}
+
+// Presets mirroring Table II (scaled ~10x down, same ordering of
+// relative sizes: M2 > M4 > M1 > M3).
+var (
+	M1 = Preset{Name: "M1", Services: 590, Containers: 2564, Machines: 98, Beta: 1.6, AffinityFraction: 0.55, Zones: 2, Utilization: 0.55, Seed: 101}
+	M2 = Preset{Name: "M2", Services: 1018, Containers: 15283, Machines: 528, Beta: 1.5, AffinityFraction: 0.6, Zones: 3, Utilization: 0.6, Seed: 102}
+	M3 = Preset{Name: "M3", Services: 55, Containers: 349, Machines: 10, Beta: 1.8, AffinityFraction: 0.7, Zones: 1, Utilization: 0.5, Seed: 103}
+	M4 = Preset{Name: "M4", Services: 1068, Containers: 11326, Machines: 437, Beta: 1.45, AffinityFraction: 0.5, Zones: 3, Utilization: 0.6, Seed: 104}
+)
+
+// TrainingPresets returns the T1–T4 clusters used to label and train the
+// GCN algorithm selector. They are distinct from (and smaller than) the
+// M1–M4 evaluation clusters, as in the paper.
+func TrainingPresets() []Preset {
+	return []Preset{
+		{Name: "T1", Services: 120, Containers: 700, Machines: 30, Beta: 1.7, AffinityFraction: 0.6, Zones: 1, Utilization: 0.5, Seed: 201},
+		{Name: "T2", Services: 200, Containers: 3000, Machines: 100, Beta: 1.5, AffinityFraction: 0.55, Zones: 2, Utilization: 0.55, Seed: 202},
+		{Name: "T3", Services: 80, Containers: 400, Machines: 16, Beta: 1.9, AffinityFraction: 0.7, Zones: 1, Utilization: 0.5, Seed: 203},
+		{Name: "T4", Services: 260, Containers: 4400, Machines: 160, Beta: 1.45, AffinityFraction: 0.5, Zones: 2, Utilization: 0.6, Seed: 204},
+	}
+}
+
+// EvaluationPresets returns M1–M4 in Table II order.
+func EvaluationPresets() []Preset { return []Preset{M1, M2, M3, M4} }
+
+// Cluster is a generated problem instance plus its initial deployment.
+type Cluster struct {
+	Preset  Preset
+	Problem *cluster.Problem
+	// Original is the initial deployment computed by the ORIGINAL
+	// scheduler — the "current container deployments" of the data
+	// collector (Section III-A) and the WITHOUT-RASA baseline placement.
+	Original *cluster.Assignment
+}
+
+// machine specification mix: capacity in CPU units (memory is 2x CPU).
+var specMix = []struct {
+	cpu  float64
+	frac float64
+}{
+	{cpu: 16, frac: 0.45},
+	{cpu: 32, frac: 0.35},
+	{cpu: 64, frac: 0.20},
+}
+
+// Generate builds a cluster from a preset.
+func Generate(ps Preset) (*Cluster, error) {
+	if ps.Services <= 0 || ps.Machines <= 0 || ps.Containers < ps.Services {
+		return nil, fmt.Errorf("workload: invalid preset %+v", ps)
+	}
+	if ps.Beta <= 1 {
+		return nil, fmt.Errorf("workload: Beta must exceed 1 (Assumption 4.1), got %v", ps.Beta)
+	}
+	if ps.Zones <= 0 {
+		ps.Zones = 1
+	}
+	if ps.Utilization <= 0 || ps.Utilization > 0.95 {
+		ps.Utilization = 0.55
+	}
+	rng := rand.New(rand.NewSource(ps.Seed))
+	n, m := ps.Services, ps.Machines
+
+	// Replica counts: Pareto-ish draws normalized to the container
+	// target, minimum 1 per service.
+	replicas := drawReplicas(rng, n, ps.Containers)
+
+	// Container resource requests: mixture of t-shirt sizes.
+	requests := make([]cluster.Resources, n)
+	for s := 0; s < n; s++ {
+		cpu := []float64{0.5, 1, 2, 4}[weightedPick(rng, []float64{0.35, 0.4, 0.2, 0.05})]
+		mem := cpu * (1.5 + rng.Float64())
+		requests[s] = cluster.Resources{cpu, mem}
+	}
+
+	// Zones: machines split proportionally; every service pinned to one
+	// zone (zone share drawn by machine share) so compatibility blocks
+	// are exactly the zones.
+	machineZone := make([]int, m)
+	for j := 0; j < m; j++ {
+		machineZone[j] = j % ps.Zones
+	}
+	serviceZone := make([]int, n)
+	for s := 0; s < n; s++ {
+		serviceZone[s] = rng.Intn(ps.Zones)
+	}
+
+	// Affinity graph: the top AffinityFraction of services (after a
+	// random shuffle) participate; total affinity targets follow
+	// T(rank) ~ 1/rank^Beta within each zone.
+	g := buildAffinity(rng, n, serviceZone, ps)
+
+	// Machines: spec mix, scaled so that total capacity =
+	// requested / utilization.
+	totalReq := make(cluster.Resources, 2)
+	for s := 0; s < n; s++ {
+		totalReq = totalReq.Add(requests[s].Scale(float64(replicas[s])))
+	}
+	machines := buildMachines(rng, m, totalReq, ps.Utilization)
+	for j := 0; j < m; j++ {
+		machines[j].Name = fmt.Sprintf("m-%04d", j)
+	}
+
+	p := &cluster.Problem{
+		ResourceNames: []string{"cpu", "memory"},
+		Affinity:      g,
+	}
+	for s := 0; s < n; s++ {
+		p.Services = append(p.Services, cluster.Service{
+			Name:     fmt.Sprintf("svc-%04d", s),
+			Replicas: replicas[s],
+			Request:  requests[s],
+		})
+	}
+	p.Machines = machines
+
+	// Schedulability: zone pinning.
+	if ps.Zones > 1 {
+		p.Schedulable = make([]cluster.Bitmap, n)
+		for s := 0; s < n; s++ {
+			bm := cluster.NewBitmap(m)
+			for j := 0; j < m; j++ {
+				if machineZone[j] == serviceZone[s] {
+					bm.Set(j)
+				}
+			}
+			p.Schedulable[s] = bm
+		}
+	}
+
+	// Anti-affinity: production clusters spread almost every replicated
+	// service across machines for fault tolerance (service-to-machine
+	// anti-affinity, Section II-C), capping per-machine concentration at
+	// roughly a sixth of the replicas. A few cross-service isolation
+	// sets are added on top. Caps are kept generous enough that the
+	// ORIGINAL scheduler can always place everything.
+	for s := 0; s < n; s++ {
+		if replicas[s] >= 4 && rng.Float64() < 0.4 {
+			h := (replicas[s] + 2) / 3
+			if h < 2 {
+				h = 2
+			}
+			p.AntiAffinity = append(p.AntiAffinity, cluster.AntiAffinityRule{
+				Services: []int{s}, MaxPerHost: h,
+			})
+		}
+	}
+	for k := 0; k < n/50; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		cap := (replicas[a]+replicas[b])/2 + 2
+		p.AntiAffinity = append(p.AntiAffinity, cluster.AntiAffinityRule{
+			Services: []int{a, b}, MaxPerHost: cap,
+		})
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid problem: %w", err)
+	}
+	orig, err := sched.Original(p, ps.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Preset: ps, Problem: p, Original: orig}, nil
+}
+
+// drawReplicas draws n positive replica counts summing to total using
+// Pareto weights and largest-remainder rounding.
+func drawReplicas(rng *rand.Rand, n, total int) []int {
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		// Pareto(alpha=1.3): many small services, a few very large ones.
+		weights[i] = math.Pow(rng.Float64(), -1/1.3)
+		sum += weights[i]
+	}
+	out := make([]int, n)
+	remaining := total - n // reserve 1 per service
+	type frac struct {
+		i int
+		f float64
+	}
+	var fracs []frac
+	used := 0
+	for i := range out {
+		exact := float64(remaining) * weights[i] / sum
+		out[i] = 1 + int(exact)
+		used += int(exact)
+		fracs = append(fracs, frac{i: i, f: exact - math.Floor(exact)})
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].f != fracs[b].f {
+			return fracs[a].f > fracs[b].f
+		}
+		return fracs[a].i < fracs[b].i
+	})
+	for k := 0; k < remaining-used && k < len(fracs); k++ {
+		out[fracs[k].i]++
+	}
+	return out
+}
+
+func weightedPick(rng *rand.Rand, probs []float64) int {
+	r := rng.Float64()
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// buildAffinity constructs a power-law affinity graph organized into
+// communities: the services of each zone are split into independent
+// applications of ~CommunitySize services, and affinity edges only form
+// within a community (hub-and-spoke microservice topology). The service
+// at global affinity rank k receives total affinity proportional to
+// 1/k^Beta, so the cluster-wide distribution remains the power law of
+// Assumption 4.1 while the community structure keeps partition cuts
+// small. Total weight normalizes to 1.
+func buildAffinity(rng *rand.Rand, n int, serviceZone []int, ps Preset) *graph.Graph {
+	g := graph.New(n)
+	commSize := ps.CommunitySize
+	if commSize <= 0 {
+		commSize = 14
+	}
+	perZone := make(map[int][]int)
+	// Shuffle so the affinity participants are arbitrary services.
+	perm := rng.Perm(n)
+	nAff := int(float64(n) * ps.AffinityFraction)
+	for _, s := range perm[:nAff] {
+		z := serviceZone[s]
+		perZone[z] = append(perZone[z], s)
+	}
+	zones := make([]int, 0, len(perZone))
+	for z := range perZone {
+		zones = append(zones, z)
+	}
+	sort.Ints(zones)
+	globalRank := 0
+	for _, z := range zones {
+		members := perZone[z]
+		// Split the zone's services into communities of 8..2*commSize.
+		for start := 0; start < len(members); {
+			size := commSize/2 + rng.Intn(commSize+1)
+			if size < 3 {
+				size = 3
+			}
+			end := start + size
+			if end > len(members) {
+				end = len(members)
+			}
+			comm := members[start:end]
+			start = end
+			for k, s := range comm {
+				if k == 0 {
+					globalRank++
+					continue
+				}
+				globalRank++
+				target := 1.0 / math.Pow(float64(globalRank), ps.Beta)
+				// 1-3 partners among higher-ranked community members,
+				// preferring the community hub (preferential attachment).
+				partners := 1 + rng.Intn(3)
+				if partners > k {
+					partners = k
+				}
+				for e := 0; e < partners; e++ {
+					// Bias toward low indices: square the uniform draw.
+					j := int(math.Pow(rng.Float64(), 2) * float64(k))
+					if j >= k {
+						j = k - 1
+					}
+					g.AddEdge(s, comm[j], target/float64(partners))
+				}
+			}
+		}
+	}
+	// Normalize total affinity to 1.0 (Section II-B).
+	total := g.TotalWeight()
+	if total == 0 {
+		return g
+	}
+	norm := graph.New(n)
+	for _, e := range g.Edges() {
+		norm.AddEdge(e.U, e.V, e.Weight/total)
+	}
+	return norm
+}
+
+// buildMachines creates m machines from the spec mix, scaled so total
+// capacity = totalReq / utilization in every resource dimension.
+func buildMachines(rng *rand.Rand, m int, totalReq cluster.Resources, utilization float64) []cluster.Machine {
+	specs := make([]int, m)
+	idx := 0
+	for si, spec := range specMix {
+		count := int(spec.frac * float64(m))
+		for k := 0; k < count && idx < m; k++ {
+			specs[idx] = si
+			idx++
+		}
+	}
+	for ; idx < m; idx++ {
+		specs[idx] = 0
+	}
+	rng.Shuffle(m, func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+
+	var rawCPU float64
+	for _, si := range specs {
+		rawCPU += specMix[si].cpu
+	}
+	// Scale CPU so total = requested/utilization; memory gets its own
+	// scale from the same spec shape (memory spec = 2x CPU).
+	cpuScale := (totalReq[0] / utilization) / rawCPU
+	memScale := (totalReq[1] / utilization) / (rawCPU * 2)
+	out := make([]cluster.Machine, m)
+	for j, si := range specs {
+		out[j] = cluster.Machine{
+			Capacity: cluster.Resources{
+				specMix[si].cpu * cpuScale,
+				specMix[si].cpu * 2 * memScale,
+			},
+			Spec: si,
+		}
+	}
+	return out
+}

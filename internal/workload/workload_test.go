@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cloudsched/rasa/internal/powerlaw"
+)
+
+// smallPreset is a quick-to-generate cluster for unit tests.
+func smallPreset(seed int64) Preset {
+	return Preset{
+		Name: "small", Services: 60, Containers: 320, Machines: 14,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 2, Utilization: 0.55, Seed: seed,
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	c, err := Generate(smallPreset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Problem
+	if p.N() != 60 || p.M() != 14 {
+		t.Fatalf("shape: %d services, %d machines", p.N(), p.M())
+	}
+	var containers int
+	for _, s := range p.Services {
+		if s.Replicas < 1 {
+			t.Fatalf("service with %d replicas", s.Replicas)
+		}
+		containers += s.Replicas
+	}
+	if containers != 320 {
+		t.Fatalf("containers = %d, want exactly 320", containers)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateNormalizedAffinity(t *testing.T) {
+	c, err := Generate(smallPreset(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw := c.Problem.Affinity.TotalWeight(); math.Abs(tw-1.0) > 1e-9 {
+		t.Fatalf("total affinity = %v, want 1.0", tw)
+	}
+}
+
+func TestGenerateOriginalDeploymentFeasible(t *testing.T) {
+	c, err := Generate(smallPreset(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := c.Original.Check(c.Problem, true)
+	if len(vs) != 0 {
+		t.Fatalf("ORIGINAL deployment violations: %v", vs[:minInt(3, len(vs))])
+	}
+}
+
+func TestGenerateZoneCompatibility(t *testing.T) {
+	c, err := Generate(smallPreset(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Problem
+	if p.Schedulable == nil {
+		t.Fatal("zoned preset must produce a schedulability matrix")
+	}
+	// Affinity edges never cross zones: both endpoints share at least
+	// one compatible machine.
+	for _, e := range p.Affinity.Edges() {
+		share := false
+		for m := 0; m < p.M(); m++ {
+			if p.CanHost(e.U, m) && p.CanHost(e.V, m) {
+				share = true
+				break
+			}
+		}
+		if !share {
+			t.Fatalf("edge (%d,%d) crosses zones", e.U, e.V)
+		}
+	}
+}
+
+func TestGenerateSingleZoneHasNoMatrix(t *testing.T) {
+	ps := smallPreset(5)
+	ps.Zones = 1
+	c, err := Generate(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Problem.Schedulable != nil {
+		t.Fatal("single-zone cluster should not pin services")
+	}
+}
+
+// TestAffinityIsPowerLaw verifies the Fig. 5 property: ranked total
+// affinity fits a power law better than an exponential, with beta > 1.
+func TestAffinityIsPowerLaw(t *testing.T) {
+	ps := smallPreset(6)
+	ps.Services = 200
+	ps.Containers = 900
+	ps.Machines = 40
+	c, err := Generate(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := c.Problem.Affinity.TotalAffinities()
+	var ranked []float64
+	for _, s := range c.Problem.Affinity.RankByTotalAffinity() {
+		if ts[s] > 0 {
+			ranked = append(ranked, ts[s])
+		}
+	}
+	if len(ranked) < 40 {
+		t.Fatalf("only %d affinity services", len(ranked))
+	}
+	ranked = ranked[:40] // Fig. 5 uses the top 40 services
+	best, other, err := powerlaw.Compare(ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model != "power-law" {
+		t.Fatalf("best fit = %v (R2 %.3f) vs %v (R2 %.3f)", best.Model, best.R2, other.Model, other.R2)
+	}
+	if best.Param <= 1 {
+		t.Fatalf("fitted beta = %v, want > 1 (Assumption 4.1)", best.Param)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallPreset(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallPreset(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Problem.Affinity.M() != b.Problem.Affinity.M() {
+		t.Fatal("non-deterministic edge count")
+	}
+	for s := range a.Problem.Services {
+		if a.Problem.Services[s].Replicas != b.Problem.Services[s].Replicas {
+			t.Fatal("non-deterministic replicas")
+		}
+	}
+	ga := a.Original.GainedAffinity(a.Problem)
+	gb := b.Original.GainedAffinity(b.Problem)
+	if math.Abs(ga-gb) > 1e-12 {
+		t.Fatal("non-deterministic original deployment")
+	}
+}
+
+func TestGenerateRejectsBadPresets(t *testing.T) {
+	bad := []Preset{
+		{Services: 0, Containers: 10, Machines: 5, Beta: 1.5},
+		{Services: 10, Containers: 5, Machines: 5, Beta: 1.5},  // containers < services
+		{Services: 10, Containers: 20, Machines: 0, Beta: 1.5}, // no machines
+		{Services: 10, Containers: 20, Machines: 5, Beta: 1.0}, // beta must exceed 1
+	}
+	for i, ps := range bad {
+		if _, err := Generate(ps); err == nil {
+			t.Fatalf("preset %d accepted", i)
+		}
+	}
+}
+
+func TestTableIIPresetShapes(t *testing.T) {
+	// The relative ordering of Table II must hold in the scaled presets:
+	// M2 largest, then M4, M1, M3.
+	sizes := map[string]int{}
+	for _, ps := range EvaluationPresets() {
+		sizes[ps.Name] = ps.Containers
+	}
+	if !(sizes["M2"] > sizes["M4"] && sizes["M4"] > sizes["M1"] && sizes["M1"] > sizes["M3"]) {
+		t.Fatalf("preset ordering broken: %v", sizes)
+	}
+	if len(TrainingPresets()) != 4 {
+		t.Fatal("want 4 training presets (T1-T4)")
+	}
+}
+
+func TestGenerateM3FullPreset(t *testing.T) {
+	// M3 is the small evaluation cluster; generate it end to end.
+	c, err := Generate(M3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Problem.N() != M3.Services {
+		t.Fatalf("M3 services = %d", c.Problem.N())
+	}
+	if vs := c.Original.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("M3 original deployment violations: %v", vs[:minInt(3, len(vs))])
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(smallPreset(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package rasa is the public API of the RASA library — an implementation
+// of "Resource Allocation with Service Affinity in Large-Scale Cloud
+// Environments" (ICDE 2024).
+//
+// RASA computes container-to-machine mappings that maximize *gained
+// affinity*: the share of inter-service traffic that can be served
+// between collocated containers over IPC instead of crossing the network
+// (Definition 1 of the paper). The optimizer follows the paper's
+// three-phase algorithm — multi-stage service partitioning, learned
+// algorithm selection between MIP and column generation, and migration
+// path computation — implemented entirely in Go on a from-scratch
+// simplex/branch-and-bound substrate.
+//
+// Quick start:
+//
+//	b := rasa.NewClusterBuilder("cpu", "memory")
+//	web := b.AddService("web", 4, rasa.Resources{2, 4})
+//	cache := b.AddService("cache", 4, rasa.Resources{1, 8})
+//	for i := 0; i < 4; i++ {
+//		b.AddMachine(fmt.Sprintf("node-%d", i), rasa.Resources{8, 32})
+//	}
+//	b.SetAffinity(web, cache, 1.0) // traffic volume between the services
+//	p, _ := b.Build()
+//	current := rasa.Schedule(p, 42) // or your cluster's real state
+//	res, _ := rasa.Optimize(p, current, rasa.Options{Budget: time.Second})
+//	fmt.Println(res.GainedAffinity, len(res.Plan.Steps))
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the system inventory.
+package rasa
+
+import (
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/migrate"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/prodsim"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// Core problem model (see internal/cluster).
+type (
+	// Problem is a full RASA instance: services, machines, constraints
+	// and the affinity graph.
+	Problem = cluster.Problem
+	// Service is a microservice with an SLA replica count and a
+	// per-container resource request.
+	Service = cluster.Service
+	// Machine is a host with multi-dimensional capacity.
+	Machine = cluster.Machine
+	// Resources is a vector of resource quantities (same ordering as
+	// Problem.ResourceNames).
+	Resources = cluster.Resources
+	// AntiAffinityRule caps containers of a service set per machine.
+	AntiAffinityRule = cluster.AntiAffinityRule
+	// Assignment is a container-to-machine mapping x[s][m].
+	Assignment = cluster.Assignment
+	// Violation describes one constraint violation found by
+	// Assignment.Check.
+	Violation = cluster.Violation
+	// AffinityGraph is the weighted service-affinity graph.
+	AffinityGraph = graph.Graph
+	// PriorityLevel weights a service's traffic in the affinity graph
+	// (Section II-B).
+	PriorityLevel = cluster.PriorityLevel
+)
+
+// Priority levels for SetServicePriority.
+const (
+	PriorityLow      = cluster.PriorityLow
+	PriorityNormal   = cluster.PriorityNormal
+	PriorityHigh     = cluster.PriorityHigh
+	PriorityCritical = cluster.PriorityCritical
+)
+
+// Optimization pipeline (see internal/core).
+type (
+	// Options tunes an Optimize pass.
+	Options = core.Options
+	// Result is the outcome of an Optimize pass.
+	Result = core.Result
+	// Strategy selects the service-partitioning algorithm.
+	Strategy = core.Strategy
+	// PartitionOptions tunes the partitioning phase (master ratio,
+	// subproblem size, sampling).
+	PartitionOptions = partition.Options
+	// Policy chooses between the MIP and column-generation algorithms
+	// for each subproblem.
+	Policy = selector.Policy
+)
+
+// Partitioning strategies (Fig. 6 of the paper).
+const (
+	Multistage      = core.Multistage
+	RandomPartition = core.RandomPartition
+	KWayPartition   = core.KWayPartition
+	NoPartition     = core.NoPartition
+)
+
+// Migration planning (see internal/migrate).
+type (
+	// MigrationPlan is an ordered list of parallel command sets.
+	MigrationPlan = migrate.Plan
+	// MigrationStep is one parallel command set.
+	MigrationStep = migrate.Step
+	// MigrationCommand deletes or creates one container.
+	MigrationCommand = migrate.Command
+)
+
+// Workload generation (see internal/workload).
+type (
+	// Preset describes a synthetic cluster to generate.
+	Preset = workload.Preset
+	// GeneratedCluster is a generated problem plus its initial
+	// (pre-RASA) deployment.
+	GeneratedCluster = workload.Cluster
+)
+
+// Production simulation (see internal/prodsim).
+type (
+	// Simulation configures the CronJob-driven production simulator.
+	Simulation = prodsim.Config
+	// SimulationReport is one scenario's time series.
+	SimulationReport = prodsim.Report
+	// SimulationComparison bundles WITH/WITHOUT/ONLY-COLLOCATED runs.
+	SimulationComparison = prodsim.Comparison
+)
+
+// NewAssignment returns an empty assignment for n services and m
+// machines.
+func NewAssignment(n, m int) *Assignment { return cluster.NewAssignment(n, m) }
+
+// NewAffinityGraph returns an empty affinity graph over n services.
+func NewAffinityGraph(n int) *AffinityGraph { return graph.New(n) }
+
+// Optimize runs the full RASA algorithm: partition the cluster, select a
+// solver per subproblem, solve in parallel under Options.Budget, merge,
+// and compute the migration plan from current to the optimized mapping.
+func Optimize(p *Problem, current *Assignment, opts Options) (*Result, error) {
+	return core.Optimize(p, current, opts)
+}
+
+// Schedule computes an affinity-oblivious initial placement with the
+// ORIGINAL production scheduler (online first-fit with filter/score) —
+// useful to bootstrap experiments when no real cluster state exists.
+func Schedule(p *Problem, seed int64) (*Assignment, error) {
+	return sched.Original(p, seed)
+}
+
+// PlanMigration computes an executable migration path from one feasible
+// assignment to another, keeping at least minAlive (default 0.75) of
+// every service's containers running and never exceeding capacities.
+func PlanMigration(p *Problem, from, to *Assignment, minAlive float64) (*MigrationPlan, error) {
+	return migrate.Compute(p, from, to, migrate.Options{MinAlive: minAlive})
+}
+
+// SimulateMigration replays a plan, validating every step, and returns
+// the final assignment.
+func SimulateMigration(p *Problem, from *Assignment, plan *MigrationPlan, minAlive float64) (*Assignment, error) {
+	return migrate.Simulate(p, from, plan, minAlive)
+}
+
+// HeuristicPolicy returns the empirical CG/MIP selection rule of
+// Section V-C — the zero-training default.
+func HeuristicPolicy() Policy { return selector.Heuristic{} }
+
+// AlwaysCG returns the fixed column-generation selection policy
+// (ablation baseline).
+func AlwaysCG() Policy { return selector.Fixed{Algorithm: pool.CG} }
+
+// AlwaysMIP returns the fixed MIP selection policy (ablation baseline).
+func AlwaysMIP() Policy { return selector.Fixed{Algorithm: pool.MIP} }
+
+// Generate builds a synthetic cluster from a preset, including its
+// initial deployment.
+func Generate(ps Preset) (*GeneratedCluster, error) { return workload.Generate(ps) }
+
+// EvaluationPresets returns the M1–M4 cluster presets (Table II shapes,
+// scaled).
+func EvaluationPresets() []Preset { return workload.EvaluationPresets() }
+
+// TrainingPresets returns the T1–T4 presets used to train the GCN
+// selector.
+func TrainingPresets() []Preset { return workload.TrainingPresets() }
+
+// TrainSelector builds the GCN-based algorithm-selection policy of
+// Section IV-D: it partitions each training cluster several times with
+// varying subproblem sizes, labels every subproblem by racing CG against
+// MIP under labelBudget, and trains the graph classifier on the result.
+func TrainSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	labeled, err := LabelSubproblems(clusters, labelBudget, seed)
+	if err != nil {
+		return nil, err
+	}
+	return selector.GCNPolicy{Model: selector.TrainGCN(labeled, seed)}, nil
+}
+
+// TrainMLPSelector trains the topology-blind MLP baseline on the same
+// labelling procedure (the MLP-BASED row of Fig. 8).
+func TrainMLPSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	labeled, err := LabelSubproblems(clusters, labelBudget, seed)
+	if err != nil {
+		return nil, err
+	}
+	return selector.MLPPolicy{Model: selector.TrainMLP(labeled, seed)}, nil
+}
+
+// LabelSubproblems generates the labelled training set used by
+// TrainSelector; exposed for experiment harnesses that train both
+// models on identical data.
+func LabelSubproblems(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
+	var labeled []selector.Labeled
+	for ci, c := range clusters {
+		for round := 0; round < 3; round++ {
+			pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{
+				TargetSize: 6 + 4*round,
+				Seed:       seed + int64(ci*10+round),
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, sp := range pres.Subproblems {
+				l, err := selector.Label(sp, labelBudget)
+				if err != nil {
+					return nil, err
+				}
+				labeled = append(labeled, l)
+			}
+		}
+	}
+	return labeled, nil
+}
+
+// Simulate runs the production simulator for one scenario.
+func Simulate(cfg Simulation, scenario prodsim.Scenario) (*SimulationReport, error) {
+	return prodsim.Run(cfg, scenario)
+}
+
+// SimulateAll runs the WITH RASA / WITHOUT RASA / ONLY COLLOCATED
+// scenarios of Section V-F over identical churn.
+func SimulateAll(cfg Simulation) (*SimulationComparison, error) {
+	return prodsim.RunAll(cfg)
+}
+
+// Production-simulation scenarios.
+const (
+	WithoutRASA    = prodsim.WithoutRASA
+	WithRASA       = prodsim.WithRASA
+	OnlyCollocated = prodsim.OnlyCollocated
+)
