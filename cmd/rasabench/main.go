@@ -17,11 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/experiments"
@@ -44,6 +47,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Out = os.Stdout
 
+	// SIGINT/SIGTERM stop the run: the current experiment's solves are
+	// cancelled (they return incumbents) and no further experiment starts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Ctx = ctx
+
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fail(err)
@@ -56,6 +65,9 @@ func main() {
 	}
 	start := time.Now()
 	for _, name := range which {
+		if err := ctx.Err(); err != nil {
+			fail(fmt.Errorf("interrupted: %w", err))
+		}
 		if err := runOne(cfg, name, *csvDir); err != nil {
 			fail(fmt.Errorf("%s: %w", name, err))
 		}
@@ -167,6 +179,9 @@ func runOne(cfg experiments.Config, name, csvDir string) error {
 			"table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"production", "supplementary", "lemma1", "ablations",
 		} {
+			if err := cfg.Ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted before %s: %w", n, err)
+			}
 			if err := runners[n](); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/cluster"
@@ -32,17 +35,22 @@ func main() {
 	loop := flag.Bool("loop", false, "run the continuous production simulation instead of one pass")
 	ticks := flag.Int("ticks", 48, "half-hour ticks to simulate with -loop")
 	seed := flag.Int64("seed", 1, "random seed")
-	verbose := flag.Bool("v", false, "print every migration command")
+	verbose := flag.Bool("v", false, "print every migration command and per-subproblem solver stats")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the context: in-flight solves return their
+	// best incumbents and the pass reports what it achieved before dying.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *loop {
-		runLoop(*budget, *ticks, *seed)
+		runLoop(ctx, *budget, *ticks, *seed)
 		return
 	}
-	runOnce(*snapPath, *budget, *seed, *verbose)
+	runOnce(ctx, *snapPath, *budget, *seed, *verbose)
 }
 
-func runOnce(snapPath string, budget time.Duration, seed int64, verbose bool) {
+func runOnce(ctx context.Context, snapPath string, budget time.Duration, seed int64, verbose bool) {
 	var (
 		p   *snapshotCluster
 		err error
@@ -56,7 +64,7 @@ func runOnce(snapPath string, budget time.Duration, seed int64, verbose bool) {
 	total := p.problem.Affinity.TotalWeight()
 	fmt.Printf("current gained affinity: %.4f\n", p.current.GainedAffinity(p.problem)/total)
 
-	res, err := core.Optimize(p.problem, p.current, core.Options{
+	res, err := core.Optimize(ctx, p.problem, p.current, core.Options{
 		Budget:    budget,
 		Partition: partition.Options{Seed: seed},
 	})
@@ -67,15 +75,29 @@ func runOnce(snapPath string, budget time.Duration, seed int64, verbose bool) {
 		res.GainedAffinity/total, 100*res.ImprovementRatio())
 	fmt.Printf("subproblems: %d (trivial services: %d), elapsed %s\n",
 		len(res.Partition.Subproblems), len(res.Partition.Trivial), res.Elapsed.Round(time.Millisecond))
-	fmt.Printf("migration plan: %d steps, %d container moves\n", len(res.Plan.Steps), res.Plan.Moves)
+	fmt.Printf("solver effort: %d simplex pivots, %d B&B nodes, %d incumbents, %d columns, stop=%s\n",
+		res.Stats.SimplexIters, res.Stats.Nodes, res.Stats.Incumbents, res.Stats.Columns, res.Stats.Stop)
+	if res.Plan != nil {
+		fmt.Printf("migration plan: %d steps, %d container moves\n", len(res.Plan.Steps), res.Plan.Moves)
+	} else {
+		fmt.Println("migration plan: skipped (pass interrupted)")
+	}
 	if verbose {
-		for i, step := range res.Plan.Steps {
-			fmt.Printf("  step %d: %v\n", i, step)
+		for i, sr := range res.SubResults {
+			fmt.Printf("  subproblem %d: %s obj=%.4f stop=%s pivots=%d nodes=%d columns=%d pricing-rounds=%d wall=%s\n",
+				i, sr.Algorithm, sr.Objective, sr.Stats.Stop, sr.Stats.SimplexIters,
+				sr.Stats.Nodes, sr.Stats.Columns, sr.Stats.PricingRounds,
+				sr.Stats.Wall.Round(time.Millisecond))
+		}
+		if res.Plan != nil {
+			for i, step := range res.Plan.Steps {
+				fmt.Printf("  step %d: %v\n", i, step)
+			}
 		}
 	}
 }
 
-func runLoop(budget time.Duration, ticks int, seed int64) {
+func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64) {
 	cfg := prodsim.Config{
 		Workload: workload.Preset{
 			Name: "rasad", Services: 120, Containers: 700, Machines: 30,
@@ -87,7 +109,7 @@ func runLoop(budget time.Duration, ticks int, seed int64) {
 		ChurnServices: 3,
 		Seed:          seed,
 	}
-	cmp, err := prodsim.RunAll(cfg)
+	cmp, err := prodsim.RunAll(ctx, cfg)
 	if err != nil {
 		fail(err)
 	}

@@ -51,7 +51,7 @@ func ExampleNewClusterBuilder() {
 	b.AddMachine("m1", rasa.Resources{16, 64})
 	b.SetAffinity(api, db, 0.8)
 	b.AddAntiAffinity([]int{db}, 1) // spread db replicas
-	b.RestrictService(db, m0)      // but db is pinned... to one machine
+	b.RestrictService(db, m0)       // but db is pinned... to one machine
 	if _, err := b.Build(); err != nil {
 		fmt.Println("build failed:", err != nil)
 		return

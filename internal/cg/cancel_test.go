@@ -1,0 +1,86 @@
+package cg
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// TestCancellation checks the anytime contract for column generation:
+// an interrupted solve skips master/pricing/rounding entirely, returns
+// the greedy first-fit fallback, and the fallback is a complete,
+// feasible schedule.
+func TestCancellation(t *testing.T) {
+	cancelled := func() context.Context {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return ctx
+	}
+	cases := []struct {
+		name     string
+		ctx      func() context.Context
+		deadline func() time.Time
+		want     solve.StopCause
+	}{
+		{"pre-cancelled context", cancelled, func() time.Time { return time.Time{} }, solve.Cancelled},
+		{"expired deadline", context.Background, func() time.Time { return time.Now().Add(-time.Second) }, solve.Deadline},
+		{"cancellation wins over expired deadline", cancelled, func() time.Time { return time.Now().Add(-time.Second) }, solve.Cancelled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := pairProblem(4)
+			start := time.Now()
+			res, err := Solve(tc.ctx(), cluster.FullSubproblem(p), Options{Deadline: tc.deadline()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(start); el > time.Second {
+				t.Fatalf("interrupted solve took %s", el)
+			}
+			if res.Stats.Stop != tc.want {
+				t.Fatalf("stop cause = %v, want %v", res.Stats.Stop, tc.want)
+			}
+			if res.Stats.PricingRounds != 0 {
+				t.Fatalf("interrupted solve still ran %d pricing rounds", res.Stats.PricingRounds)
+			}
+			a := toAssignment(p, res.Placements)
+			if vs := a.Check(p, true); len(vs) != 0 {
+				t.Fatalf("greedy fallback violates constraints: %v", vs)
+			}
+			placed := 0
+			for _, pl := range res.Placements {
+				placed += pl.Count
+			}
+			if want := 4; placed != want {
+				t.Fatalf("fallback placed %d containers, want %d", placed, want)
+			}
+		})
+	}
+}
+
+// TestCancelMidGeneration cancels while columns are being generated;
+// whatever schedule came out must still be feasible.
+func TestCancelMidGeneration(t *testing.T) {
+	p := pairProblem(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	res, err := Solve(ctx, cluster.FullSubproblem(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch res.Stats.Stop {
+	case solve.Cancelled, solve.Optimal, solve.NodeLimit:
+	default:
+		t.Fatalf("stop cause = %v", res.Stats.Stop)
+	}
+	a := toAssignment(p, res.Placements)
+	if vs := a.Check(p, true); len(vs) != 0 {
+		t.Fatalf("violations after cancellation: %v", vs)
+	}
+}

@@ -17,6 +17,7 @@
 package cg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"github.com/cloudsched/rasa/internal/lp"
 	"github.com/cloudsched/rasa/internal/mip"
 	"github.com/cloudsched/rasa/internal/model"
+	"github.com/cloudsched/rasa/internal/solve"
 )
 
 // Options tune a column-generation solve.
@@ -44,6 +46,10 @@ type Result struct {
 	Objective  float64 // gained affinity of the integral solution
 	Iters      int     // column-generation iterations performed
 	Patterns   int     // total columns generated
+	// Stats breaks the solve down: columns generated, pricing rounds,
+	// wall time per phase (master / pricing / rounding), simplex and B&B
+	// effort of the sub-solves, and why the loop stopped.
+	Stats solve.Stats
 }
 
 const rcEps = 1e-7
@@ -56,6 +62,7 @@ type pattern struct {
 }
 
 type state struct {
+	ctx    context.Context
 	sp     *cluster.Subproblem
 	groups []model.MachineGroup
 	opts   Options
@@ -69,6 +76,7 @@ type state struct {
 	bonus float64
 	pats  []pattern
 	seen  map[string]bool
+	stats solve.Stats
 }
 
 type edge struct {
@@ -76,8 +84,13 @@ type edge struct {
 	w    float64
 }
 
-// Solve runs Algorithm 1 on a subproblem.
-func Solve(sp *cluster.Subproblem, opts Options) (Result, error) {
+// Solve runs Algorithm 1 on a subproblem. The context interrupts the
+// master/pricing loop between rounds (and the sub-solves within them at
+// pivot/node granularity); an interrupted solve still rounds whatever
+// columns exist, or falls back to the greedy first-fit schedule when the
+// budget expired before the loop started — the anytime contract.
+func Solve(ctx context.Context, sp *cluster.Subproblem, opts Options) (Result, error) {
+	start := time.Now()
 	if err := sp.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -100,11 +113,30 @@ func Solve(sp *cluster.Subproblem, opts Options) (Result, error) {
 		groups = split
 	}
 	st := &state{
+		ctx:    ctx,
 		sp:     sp,
 		groups: groups,
 		opts:   opts,
 		seen:   make(map[string]bool),
 	}
+
+	// An already-expired budget (or cancelled context) gets no master,
+	// pricing, or rounding MIP at all: go straight to the greedy
+	// first-fit fallback, which is the best schedule a zero budget buys.
+	// (Previously a negative remaining budget fell through the
+	// rounding-reserve split below with loopDeadline in the past, and
+	// each stage discovered the expiry separately.)
+	if cause, stop := solve.Interrupted(ctx, opts.Deadline); stop {
+		placements := st.greedyFallback()
+		st.stats.Stop = cause
+		st.stats.Wall = time.Since(start)
+		return Result{
+			Placements: placements,
+			Objective:  evaluate(sp, placements),
+			Stats:      st.stats,
+		}, nil
+	}
+
 	st.buildEdges()
 	totalW := 0.0
 	for _, e := range st.edges {
@@ -117,12 +149,7 @@ func Solve(sp *cluster.Subproblem, opts Options) (Result, error) {
 
 	// Reserve ~30% of the remaining budget for the rounding step.
 	if !opts.Deadline.IsZero() {
-		remaining := time.Until(opts.Deadline)
-		if remaining > 0 {
-			st.loopDeadline = time.Now().Add(remaining * 7 / 10)
-		} else {
-			st.loopDeadline = opts.Deadline
-		}
+		st.loopDeadline = time.Now().Add(time.Until(opts.Deadline) * 7 / 10)
 	}
 
 	// Degenerate master duals can price "new" patterns forever without
@@ -134,40 +161,94 @@ func Solve(sp *cluster.Subproblem, opts Options) (Result, error) {
 		lastObj = math.Inf(-1)
 		stall   int
 	)
+	stop := solve.NodeLimit // MaxIters exhausted unless a break says otherwise
 	for iters = 0; iters < opts.MaxIters; iters++ {
-		if st.expired() {
+		if cause, done := st.interrupted(); done {
+			stop = cause
 			break
 		}
+		masterStart := time.Now()
 		sol, ok := st.solveMaster(false)
+		st.stats.MasterTime += time.Since(masterStart)
 		if !ok {
+			stop = solve.None // degenerate master; Status-level outcome
 			break
 		}
 		if sol.Objective <= lastObj+1e-9 {
 			stall++
 			if stall >= stallLimit {
+				stop = solve.Optimal // converged (IsTerminate: no bound movement)
 				break
 			}
 		} else {
 			stall = 0
 			lastObj = sol.Objective
 		}
+		pricingStart := time.Now()
 		improved := st.price(sol.Duals)
+		st.stats.PricingTime += time.Since(pricingStart)
+		st.stats.PricingRounds++
 		if !improved {
+			stop = solve.Optimal // no positive-reduced-cost column exists
 			break
 		}
 	}
+	// A deadline or cancellation noticed inside price() surfaces on the
+	// next loop check; make sure the recorded cause reflects it.
+	if cause, done := st.interrupted(); done && (stop == solve.NodeLimit || stop == solve.Optimal) {
+		stop = cause
+	}
+	roundStart := time.Now()
 	placements := st.round()
+	st.stats.RoundingTime += time.Since(roundStart)
 	obj := evaluate(sp, placements)
+	st.stats.Stop = stop
+	st.stats.Columns = len(st.pats)
+	st.stats.Wall = time.Since(start)
 	return Result{
 		Placements: placements,
 		Objective:  obj,
 		Iters:      iters,
 		Patterns:   len(st.pats),
+		Stats:      st.stats,
 	}, nil
 }
 
+func (st *state) interrupted() (solve.StopCause, bool) {
+	return solve.Interrupted(st.ctx, st.loopDeadline)
+}
+
 func (st *state) expired() bool {
-	return !st.loopDeadline.IsZero() && time.Now().After(st.loopDeadline)
+	_, done := st.interrupted()
+	return done
+}
+
+// greedyFallback is the zero-budget schedule: first-fit every container
+// into residual capacity, with no master problem at all.
+func (st *state) greedyFallback() []model.Placement {
+	nS := len(st.sp.Services)
+	placedPerMachine := make([][]int, len(st.sp.Machines))
+	for i := range placedPerMachine {
+		placedPerMachine[i] = make([]int, nS)
+	}
+	remaining := make([]int, nS)
+	for si, s := range st.sp.Services {
+		remaining[si] = st.sp.P.Services[s].Replicas
+	}
+	st.spillFill(placedPerMachine, remaining)
+	var out []model.Placement
+	for mi := range placedPerMachine {
+		for si, c := range placedPerMachine[mi] {
+			if c > 0 {
+				out = append(out, model.Placement{
+					Service: st.sp.Services[si],
+					Machine: st.sp.Machines[mi],
+					Count:   c,
+				})
+			}
+		}
+	}
+	return out
 }
 
 func (st *state) buildEdges() {
@@ -344,7 +425,8 @@ func (st *state) solveMaster(integral bool) (lp.Solution, bool) {
 		}
 	}
 	if !integral {
-		sol, err := lp.Solve(&prob, lp.Options{Deadline: st.loopDeadline})
+		sol, err := lp.Solve(st.ctx, &prob, lp.Options{Deadline: st.loopDeadline})
+		st.stats.Merge(sol.Stats)
 		if err != nil || sol.Status == lp.Infeasible || sol.Status == lp.Unbounded || sol.X == nil {
 			return lp.Solution{}, false
 		}
@@ -354,7 +436,8 @@ func (st *state) solveMaster(integral bool) (lp.Solution, bool) {
 	for i := range ip.Integer {
 		ip.Integer[i] = true
 	}
-	msol, err := mip.Solve(&ip, mip.Options{Deadline: st.opts.Deadline, MaxNodes: 4096})
+	msol, err := mip.Solve(st.ctx, &ip, mip.Options{Deadline: st.opts.Deadline, MaxNodes: 4096})
+	st.stats.Merge(msol.Stats)
 	if err != nil || msol.X == nil {
 		return lp.Solution{}, false
 	}
@@ -461,7 +544,8 @@ func (st *state) priceGroupMIP(gi int, lambda []float64) ([]int, float64) {
 			prob.LP.AddRow(row, lp.LE, float64(g.AntiCap[k]))
 		}
 	}
-	sol, err := mip.Solve(&prob, mip.Options{Deadline: st.loopDeadline, MaxNodes: 2000})
+	sol, err := mip.Solve(st.ctx, &prob, mip.Options{Deadline: st.loopDeadline, MaxNodes: 2000})
+	st.stats.Merge(sol.Stats)
 	if err != nil || sol.X == nil {
 		return nil, 0
 	}

@@ -1,6 +1,7 @@
 package cg
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -41,7 +42,7 @@ func toAssignment(p *cluster.Problem, pls []model.Placement) *cluster.Assignment
 
 func TestCGFullCollocation(t *testing.T) {
 	p := pairProblem(4)
-	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	res, err := Solve(context.Background(), cluster.FullSubproblem(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestCGFullCollocation(t *testing.T) {
 func TestCGPairedPacking(t *testing.T) {
 	// Capacity 2: optimum still 1.0 via two (A,B) pairs.
 	p := pairProblem(2)
-	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	res, err := Solve(context.Background(), cluster.FullSubproblem(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestCGPairedPacking(t *testing.T) {
 
 func TestCGPlacesAllContainersWhenPossible(t *testing.T) {
 	p := pairProblem(2)
-	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	res, err := Solve(context.Background(), cluster.FullSubproblem(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestCGPlacesAllContainersWhenPossible(t *testing.T) {
 func TestCGAntiAffinity(t *testing.T) {
 	p := pairProblem(10)
 	p.AntiAffinity = []cluster.AntiAffinityRule{{Services: []int{0, 1}, MaxPerHost: 1}}
-	res, err := Solve(cluster.FullSubproblem(p), Options{})
+	res, err := Solve(context.Background(), cluster.FullSubproblem(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestCGDeadlineAnytime(t *testing.T) {
 	// An expired deadline must still return a feasible (possibly greedy)
 	// schedule without error.
 	p := pairProblem(4)
-	res, err := Solve(cluster.FullSubproblem(p), Options{Deadline: time.Now().Add(-time.Second)})
+	res, err := Solve(context.Background(), cluster.FullSubproblem(p), Options{Deadline: time.Now().Add(-time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,13 +120,13 @@ func TestCGMatchesMIPOnSmallInstances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		msol, err := mip.Solve(&mm.Prob, mip.Options{Rounder: mm.Rounder()})
+		msol, err := mip.Solve(context.Background(), &mm.Prob, mip.Options{Rounder: mm.Rounder()})
 		if err != nil || msol.X == nil {
 			t.Fatalf("mip failed: %v %v", err, msol.Status)
 		}
 		exact := mm.AffinityValue(msol.X)
 
-		res, err := Solve(sp, Options{})
+		res, err := Solve(context.Background(), sp, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func TestPropertyCGFeasible(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		sp := randomSubproblem(rng)
-		res, err := Solve(sp, Options{MaxIters: 10})
+		res, err := Solve(context.Background(), sp, Options{MaxIters: 10})
 		if err != nil {
 			return false
 		}
@@ -184,7 +185,7 @@ func TestPropertyCGObjectiveConsistent(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		sp := randomSubproblem(rng)
-		res, err := Solve(sp, Options{MaxIters: 10})
+		res, err := Solve(context.Background(), sp, Options{MaxIters: 10})
 		if err != nil {
 			return false
 		}
@@ -201,7 +202,7 @@ func BenchmarkCGSolve(b *testing.B) {
 	sp := randomSubproblem(rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(sp, Options{MaxIters: 10}); err != nil {
+		if _, err := Solve(context.Background(), sp, Options{MaxIters: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	. "github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// TestOptimizeImmediateCancel is the acceptance check for the anytime
+// contract at the top of the stack: cancelling before the pass starts
+// must still return a non-nil, feasible Result (greedy fallbacks all
+// the way down) tagged Cancelled, and must do so quickly — no solver
+// may sneak in real work under a dead context.
+func TestOptimizeImmediateCancel(t *testing.T) {
+	c := testCluster(t, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := Optimize(ctx, c.Problem, c.Original, Options{
+		Budget:    3 * time.Second,
+		Partition: partition.Options{TargetSize: 10, Seed: 7},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("cancelled Optimize returned nil Result")
+	}
+	if res.Stats.Stop != solve.Cancelled {
+		t.Fatalf("stop cause = %v, want Cancelled", res.Stats.Stop)
+	}
+	if res.Assignment == nil {
+		t.Fatal("cancelled Optimize returned no assignment")
+	}
+	if vs := res.Assignment.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("fallback assignment violates constraints: %v", vs[0])
+	}
+	if res.Plan != nil {
+		t.Fatal("cancelled Optimize still planned migrations")
+	}
+	// Generous CI bound; the interactive target is <100ms (see
+	// BenchmarkCancellationLatency for the measured figure).
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled Optimize took %s", elapsed)
+	}
+}
+
+// TestOptimizeCancelMidPass cancels partway through the solve phase;
+// the pass must wrap up with its incumbents rather than run out the
+// full budget.
+func TestOptimizeCancelMidPass(t *testing.T) {
+	c := testCluster(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Optimize(ctx, c.Problem, c.Original, Options{
+		Budget:    30 * time.Second, // would be far exceeded without the cancel
+		Partition: partition.Options{TargetSize: 10, Seed: 8},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled pass took %s, budget should not have been run out", elapsed)
+	}
+	if res.Assignment == nil {
+		t.Fatal("no assignment after mid-pass cancel")
+	}
+	if vs := res.Assignment.Check(c.Problem, true); len(vs) != 0 {
+		t.Fatalf("violations after mid-pass cancel: %v", vs[0])
+	}
+}

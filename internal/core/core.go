@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"github.com/cloudsched/rasa/internal/pool"
 	"github.com/cloudsched/rasa/internal/sched"
 	"github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/solve"
 )
 
 // Strategy selects the service-partitioning algorithm (the Fig. 6
@@ -104,6 +106,10 @@ type Result struct {
 	PartialMigration bool
 	// Elapsed is the total wall time of the pass.
 	Elapsed time.Duration
+	// Stats aggregates solver effort across every subproblem solve:
+	// simplex pivots, branch-and-bound nodes, CG columns, per-phase wall
+	// time, and the stop cause of the pass as a whole.
+	Stats solve.Stats
 }
 
 // reconcileSLA keeps under-placed services' surplus containers at their
@@ -233,10 +239,23 @@ func (r *Result) ImprovementRatio() float64 {
 	return (r.GainedAffinity - r.OriginalAffinity) / r.OriginalAffinity
 }
 
+// minSolveBudget is the floor handed to the solver phase when the
+// partitioning phase consumed (almost) the whole budget. A negative or
+// zero remaining budget would put the solvers' shared deadline in the
+// past before they even start; the floor guarantees they at least get
+// to emit their greedy fallback schedules.
+const minSolveBudget = 25 * time.Millisecond
+
 // Optimize runs the full RASA algorithm on the cluster: compute a new
 // mapping that maximizes overall gained affinity under the given budget
 // and the migration plan that realizes it.
-func Optimize(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+//
+// Cancelling the context interrupts whichever phase is running:
+// partitioning falls back to its best sampled split, the subproblem
+// solvers return their incumbents, and migration planning is skipped —
+// so a cancelled Optimize still returns a usable best-effort Result
+// rather than an error. Result.Stats records why the pass stopped.
+func Optimize(ctx context.Context, p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -258,13 +277,13 @@ func Optimize(p *cluster.Problem, current *cluster.Assignment, opts Options) (*R
 	)
 	switch opts.Strategy {
 	case Multistage:
-		pres, err = partition.Multistage(p, current, opts.Partition)
+		pres, err = partition.Multistage(ctx, p, current, opts.Partition)
 	case RandomPartition:
-		pres, err = partition.Random(p, current, opts.Partition)
+		pres, err = partition.Random(ctx, p, current, opts.Partition)
 	case KWayPartition:
-		pres, err = partition.KWay(p, current, opts.Partition)
+		pres, err = partition.KWay(ctx, p, current, opts.Partition)
 	case NoPartition:
-		pres, err = partition.None(p)
+		pres, err = partition.None(ctx, p)
 	default:
 		err = fmt.Errorf("core: unknown strategy %d", opts.Strategy)
 	}
@@ -285,7 +304,13 @@ func Optimize(p *cluster.Problem, current *cluster.Assignment, opts Options) (*R
 		selected[i] = opts.Policy.Select(sp)
 	}
 	remaining := opts.Budget - time.Since(start)
-	results := pool.SolveAll(pres.Subproblems, func(i int) pool.Algorithm { return selected[i] }, remaining, opts.Parallelism)
+	if remaining < minSolveBudget {
+		// Partitioning overran the budget: keep the solvers' shared
+		// deadline slightly in the future instead of already expired, so
+		// their anytime greedy fallbacks still produce placements.
+		remaining = minSolveBudget
+	}
+	results := pool.SolveAll(ctx, pres.Subproblems, func(i int) pool.Algorithm { return selected[i] }, remaining, opts.Parallelism)
 
 	// Phase 3: merge and migration path.
 	newAssign := sched.Merge(p, current, pres, results)
@@ -313,9 +338,25 @@ func Optimize(p *cluster.Problem, current *cluster.Assignment, opts Options) (*R
 			}
 		}
 	}
-	if !opts.SkipMigration {
-		plan, err := migrate.Compute(p, current, newAssign, migrate.Options{MinAlive: opts.MinAlive})
+	for _, r := range results {
+		res.Stats.Merge(r.Stats)
+	}
+	switch {
+	case ctx.Err() != nil:
+		res.Stats.Stop = solve.Cause(ctx.Err())
+	case res.OutOfTime:
+		res.Stats.Stop = solve.Deadline
+	default:
+		res.Stats.Stop = solve.Optimal
+	}
+	if !opts.SkipMigration && ctx.Err() == nil {
+		plan, err := migrate.Compute(ctx, p, current, newAssign, migrate.Options{MinAlive: opts.MinAlive})
 		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// Cancelled mid-planning: drop the partial plan and report the
+			// optimized assignment without a migration path, like
+			// SkipMigration — the caller asked the whole pass to stop.
+			res.Stats.Stop = solve.Cause(err)
 		case err == nil:
 			res.Plan = plan
 			if plan.Relocations > 0 {
@@ -360,5 +401,6 @@ func Optimize(p *cluster.Problem, current *cluster.Assignment, opts Options) (*R
 		}
 	}
 	res.Elapsed = time.Since(start)
+	res.Stats.Wall = res.Elapsed
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -29,7 +30,7 @@ func testCluster(t testing.TB, seed int64) *workload.Cluster {
 
 func TestOptimizeImprovesAffinity(t *testing.T) {
 	c := testCluster(t, 1)
-	res, err := Optimize(c.Problem, c.Original, Options{
+	res, err := Optimize(context.Background(), c.Problem, c.Original, Options{
 		Budget:    3 * time.Second,
 		Partition: partition.Options{TargetSize: 10, Seed: 1},
 	})
@@ -50,7 +51,7 @@ func TestOptimizeImprovesAffinity(t *testing.T) {
 
 func TestOptimizeMigrationPlanReachesTarget(t *testing.T) {
 	c := testCluster(t, 2)
-	res, err := Optimize(c.Problem, c.Original, Options{
+	res, err := Optimize(context.Background(), c.Problem, c.Original, Options{
 		Budget:    2 * time.Second,
 		Partition: partition.Options{TargetSize: 10, Seed: 2},
 	})
@@ -71,7 +72,7 @@ func TestOptimizeMigrationPlanReachesTarget(t *testing.T) {
 
 func TestOptimizeSkipMigration(t *testing.T) {
 	c := testCluster(t, 3)
-	res, err := Optimize(c.Problem, c.Original, Options{
+	res, err := Optimize(context.Background(), c.Problem, c.Original, Options{
 		Budget:        time.Second,
 		SkipMigration: true,
 		Partition:     partition.Options{TargetSize: 10},
@@ -88,7 +89,7 @@ func TestOptimizeStrategies(t *testing.T) {
 	c := testCluster(t, 4)
 	gains := map[Strategy]float64{}
 	for _, st := range []Strategy{Multistage, RandomPartition, KWayPartition} {
-		res, err := Optimize(c.Problem, c.Original, Options{
+		res, err := Optimize(context.Background(), c.Problem, c.Original, Options{
 			Budget:        2 * time.Second,
 			Strategy:      st,
 			SkipMigration: true,
@@ -116,7 +117,7 @@ func TestOptimizeNoPartitionSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimize(c.Problem, c.Original, Options{
+	res, err := Optimize(context.Background(), c.Problem, c.Original, Options{
 		Budget:        3 * time.Second,
 		Strategy:      NoPartition,
 		SkipMigration: true,
@@ -140,7 +141,7 @@ func TestOptimizeNoPartitionLargeGoesOOT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimize(c.Problem, c.Original, Options{
+	res, err := Optimize(context.Background(), c.Problem, c.Original, Options{
 		Budget:        300 * time.Millisecond,
 		Strategy:      NoPartition,
 		SkipMigration: true,
@@ -162,15 +163,15 @@ func TestOptimizeNoPartitionLargeGoesOOT(t *testing.T) {
 
 func TestOptimizeValidation(t *testing.T) {
 	c := testCluster(t, 7)
-	if _, err := Optimize(c.Problem, nil, Options{}); err == nil {
+	if _, err := Optimize(context.Background(), c.Problem, nil, Options{}); err == nil {
 		t.Fatal("nil current accepted")
 	}
 	bad := *c.Problem
 	bad.Services = nil
-	if _, err := Optimize(&bad, c.Original, Options{}); err == nil {
+	if _, err := Optimize(context.Background(), &bad, c.Original, Options{}); err == nil {
 		t.Fatal("invalid problem accepted")
 	}
-	if _, err := Optimize(c.Problem, c.Original, Options{Strategy: Strategy(42)}); err == nil {
+	if _, err := Optimize(context.Background(), c.Problem, c.Original, Options{Strategy: Strategy(42)}); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }
@@ -213,7 +214,7 @@ func TestRestrictedServiceNeverStranded(t *testing.T) {
 			}
 		}
 		p.AntiAffinity = rules
-		cur, err := Optimize(p, mustSchedule(t, p, seed), Options{
+		cur, err := Optimize(context.Background(), p, mustSchedule(t, p, seed), Options{
 			Budget:    time.Second,
 			Partition: partition.Options{Seed: seed},
 		})
@@ -262,11 +263,11 @@ func TestOptimizeDeterministicPartitioning(t *testing.T) {
 		SkipMigration: true,
 		Partition:     partition.Options{TargetSize: 10, Seed: 9},
 	}
-	r1, err := Optimize(c.Problem, c.Original, opts)
+	r1, err := Optimize(context.Background(), c.Problem, c.Original, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Optimize(c.Problem, c.Original, opts)
+	r2, err := Optimize(context.Background(), c.Problem, c.Original, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func BenchmarkOptimizeSmallCluster(b *testing.B) {
 	c := testCluster(b, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Optimize(c.Problem, c.Original, Options{
+		if _, err := Optimize(context.Background(), c.Problem, c.Original, Options{
 			Budget:        500 * time.Millisecond,
 			SkipMigration: true,
 			Partition:     partition.Options{TargetSize: 10, Seed: int64(i)},

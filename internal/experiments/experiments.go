@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -25,6 +26,10 @@ import (
 
 // Config parameterizes an experiment run.
 type Config struct {
+	// Ctx interrupts a run: experiments check it between optimization
+	// passes and thread it into every solve, so an interrupted run stops
+	// within one solver poll interval. Default context.Background().
+	Ctx context.Context
 	// Budget is the per-optimization time-out. The paper uses 60 s on
 	// production hardware; the default here is 1.5 s, which produces the
 	// same qualitative shapes on the scaled clusters. Override with the
@@ -79,6 +84,9 @@ func SmallPresets() []workload.Preset {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.Budget <= 0 {
 		c.Budget = 1500 * time.Millisecond
 	}

@@ -40,6 +40,9 @@ func Fig10(cfg Config) ([]Fig10Series, error) {
 	header(cfg.Out, "Fig. 10", "Optimization quality vs runtime (RASA and POP)")
 	row(cfg.Out, "Cluster", "Algorithm", "budget", "runtime", "gained")
 	for _, ps := range cfg.Presets {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interrupted: %w", err)
+		}
 		c, err := getCluster(ps)
 		if err != nil {
 			return nil, err
@@ -50,7 +53,7 @@ func Fig10(cfg Config) ([]Fig10Series, error) {
 			budget := time.Duration(float64(cfg.Budget) * f)
 
 			start := time.Now()
-			res, err := core.Optimize(c.Problem, c.Original, core.Options{
+			res, err := core.Optimize(cfg.Ctx, c.Problem, c.Original, core.Options{
 				Budget:        budget,
 				Policy:        gcn,
 				SkipMigration: true,
@@ -64,7 +67,7 @@ func Fig10(cfg Config) ([]Fig10Series, error) {
 			row(cfg.Out, ps.Name, "RASA", budget.String(), rp.Runtime.Round(time.Millisecond).String(), rp.Gained)
 
 			start = time.Now()
-			popA, err := sched.POP(c.Problem, c.Original, sched.Options{Deadline: budget, Seed: cfg.Seed})
+			popA, err := sched.POP(cfg.Ctx, c.Problem, c.Original, sched.Options{Deadline: budget, Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +114,7 @@ func productionPreset(seed int64) workload.Preset {
 // within ~10% (normalized) of ONLY COLLOCATED.
 func Production(cfg Config) (*ProductionResult, error) {
 	cfg = cfg.withDefaults()
-	cmp, err := prodsim.RunAll(prodsim.Config{
+	cmp, err := prodsim.RunAll(cfg.Ctx, prodsim.Config{
 		Workload:      productionPreset(cfg.Seed + 500),
 		Ticks:         24,
 		OptimizeEvery: 2,

@@ -28,13 +28,16 @@ func Fig6(cfg Config) (Fig6Result, error) {
 	header(cfg.Out, "Fig. 6", "Gained affinity by partitioning algorithm (time-out "+cfg.Budget.String()+")")
 	row(cfg.Out, "Cluster", "NO-PARTITION", "RANDOM-PARTITION", "KAHIP", "MULTI-STAGE-PARTITION")
 	for _, ps := range cfg.Presets {
+		if err := cfg.Ctx.Err(); err != nil {
+			return out, fmt.Errorf("interrupted: %w", err)
+		}
 		c, err := getCluster(ps)
 		if err != nil {
 			return nil, err
 		}
 		cells := make(map[string]Fig6Cell)
 		for _, st := range strategies {
-			res, err := core.Optimize(c.Problem, c.Original, core.Options{
+			res, err := core.Optimize(cfg.Ctx, c.Problem, c.Original, core.Options{
 				Budget:        cfg.Budget,
 				Strategy:      st,
 				SkipMigration: true,
@@ -89,6 +92,9 @@ func Fig7(cfg Config) ([]Fig7Series, error) {
 	var out []Fig7Series
 	header(cfg.Out, "Fig. 7", "Gained affinity and master total affinity vs master ratio")
 	for _, ps := range cfg.Presets {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interrupted: %w", err)
+		}
 		c, err := getCluster(ps)
 		if err != nil {
 			return nil, err
@@ -101,7 +107,7 @@ func Fig7(cfg Config) ([]Fig7Series, error) {
 		fmt.Fprintf(cfg.Out, "-- %s (chosen alpha = %.4f)\n", ps.Name, series.ChosenRatio)
 		row(cfg.Out, "ratio", "gained", "master-total-affinity")
 		for _, r := range ratios {
-			res, err := core.Optimize(p, c.Original, core.Options{
+			res, err := core.Optimize(cfg.Ctx, p, c.Original, core.Options{
 				Budget:        cfg.Budget,
 				SkipMigration: true,
 				Partition:     partition.Options{MasterRatio: r, Seed: cfg.Seed},

@@ -33,7 +33,7 @@ func trainedSelectors(cfg Config) (selector.GCNPolicy, selector.MLPPolicy, float
 				return
 			}
 			for round := 0; round < 4; round++ {
-				pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{
+				pres, err := partition.Multistage(cfg.Ctx, c.Problem, c.Original, partition.Options{
 					TargetSize: 6 + 3*round,
 					Seed:       cfg.Seed + int64(ci*10+round),
 				})
@@ -42,7 +42,7 @@ func trainedSelectors(cfg Config) (selector.GCNPolicy, selector.MLPPolicy, float
 					return
 				}
 				for _, sp := range pres.Subproblems {
-					l, err := selector.Label(sp, cfg.LabelBudget)
+					l, err := selector.Label(cfg.Ctx, sp, cfg.LabelBudget)
 					if err != nil {
 						trainErr = err
 						return
@@ -84,6 +84,9 @@ func Fig8(cfg Config) (Fig8Result, error) {
 	header(cfg.Out, "Fig. 8", fmt.Sprintf("Gained affinity by selection policy (GCN train acc %.2f)", acc))
 	row(cfg.Out, "Cluster", "CG", "MIP", "HEURISTIC", "MLP-BASED", "GCN-BASED")
 	for _, ps := range cfg.Presets {
+		if err := cfg.Ctx.Err(); err != nil {
+			return out, fmt.Errorf("interrupted: %w", err)
+		}
 		c, err := getCluster(ps)
 		if err != nil {
 			return nil, err
@@ -92,7 +95,7 @@ func Fig8(cfg Config) (Fig8Result, error) {
 		var cols []any
 		cols = append(cols, ps.Name)
 		for _, pol := range policies {
-			res, err := core.Optimize(c.Problem, c.Original, core.Options{
+			res, err := core.Optimize(cfg.Ctx, c.Problem, c.Original, core.Options{
 				Budget:        cfg.Budget,
 				Policy:        pol,
 				SkipMigration: true,
@@ -139,6 +142,9 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	var ratioOrig, ratioPOP, ratioK8s, ratioAppl float64
 	n := 0
 	for _, ps := range cfg.Presets {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interrupted: %w", err)
+		}
 		c, err := getCluster(ps)
 		if err != nil {
 			return nil, err
@@ -148,7 +154,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 
 		cells["ORIGINAL"] = normalized(p, c.Original.GainedAffinity(p))
 
-		popA, err := sched.POP(p, c.Original, sched.Options{Deadline: cfg.Budget, Seed: cfg.Seed})
+		popA, err := sched.POP(cfg.Ctx, p, c.Original, sched.Options{Deadline: cfg.Budget, Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -166,7 +172,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 		}
 		cells["APPLSCI19"] = normalized(p, applA.GainedAffinity(p))
 
-		rasaRes, err := core.Optimize(p, c.Original, core.Options{
+		rasaRes, err := core.Optimize(cfg.Ctx, p, c.Original, core.Options{
 			Budget:        cfg.Budget,
 			Policy:        gcn,
 			SkipMigration: true,

@@ -35,12 +35,15 @@ func Supplementary(cfg Config) ([]SupplementaryRow, error) {
 	row(cfg.Out, "Cluster", "lost-affinity", "partition-time", "total-time", "overhead")
 	var out []SupplementaryRow
 	for _, ps := range cfg.Presets {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interrupted: %w", err)
+		}
 		c, err := getCluster(ps)
 		if err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := core.Optimize(c.Problem, c.Original, core.Options{
+		res, err := core.Optimize(cfg.Ctx, c.Problem, c.Original, core.Options{
 			Budget:        cfg.Budget,
 			SkipMigration: true,
 			Partition:     partition.Options{Seed: cfg.Seed},
@@ -86,7 +89,7 @@ func ablationCluster(cfg Config) (*clusterBundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{Seed: cfg.Seed, TargetSize: 12})
+	pres, err := partition.Multistage(cfg.Ctx, c.Problem, c.Original, partition.Options{Seed: cfg.Seed, TargetSize: 12})
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +114,7 @@ func AblationMachineGrouping(cfg Config) (*AblationResult, error) {
 	// perturb every machine's residual capacity, which would make every
 	// machine its own group and mask the ablation.
 	empty := clusterNewAssignment(b.c.Problem.N(), b.c.Problem.M())
-	pres, err := partition.Multistage(b.c.Problem, empty, partition.Options{Seed: cfg.Seed, TargetSize: 12})
+	pres, err := partition.Multistage(cfg.Ctx, b.c.Problem, empty, partition.Options{Seed: cfg.Seed, TargetSize: 12})
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +124,7 @@ func AblationMachineGrouping(cfg Config) (*AblationResult, error) {
 	run := func(disable bool) (float64, error) {
 		start := time.Now()
 		for _, sp := range pres.Subproblems {
-			if _, err := cg.Solve(sp, cg.Options{
+			if _, err := cg.Solve(cfg.Ctx, sp, cg.Options{
 				Deadline:        time.Now().Add(cfg.Budget),
 				DisableGrouping: disable,
 				MaxIters:        20,
@@ -166,7 +169,7 @@ func AblationAnytime(cfg Config) (*AblationResult, error) {
 			if roundEvery > 0 {
 				opts.Rounder = m.Rounder()
 			}
-			sol, err := mip.Solve(&m.Prob, opts)
+			sol, err := mip.Solve(cfg.Ctx, &m.Prob, opts)
 			if err != nil {
 				return 0, err
 			}
@@ -203,7 +206,7 @@ func AblationSampleCount(cfg Config) (*AblationResult, error) {
 		return nil, err
 	}
 	run := func(sampleCap int) (float64, error) {
-		res, err := core.Optimize(c.Problem, c.Original, core.Options{
+		res, err := core.Optimize(cfg.Ctx, c.Problem, c.Original, core.Options{
 			Budget:        cfg.Budget,
 			SkipMigration: true,
 			Partition:     partition.Options{Seed: cfg.Seed, SampleCap: sampleCap},
@@ -242,7 +245,7 @@ func AblationBranching(cfg Config) (*AblationResult, error) {
 			if err != nil {
 				return 0, err
 			}
-			sol, err := mip.Solve(&m.Prob, mip.Options{
+			sol, err := mip.Solve(cfg.Ctx, &m.Prob, mip.Options{
 				Deadline:  time.Now().Add(cfg.Budget / 4),
 				Branching: rule,
 				Rounder:   m.Rounder(),

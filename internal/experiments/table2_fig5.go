@@ -22,6 +22,9 @@ func Table2(cfg Config) ([]Table2Row, error) {
 	row(cfg.Out, "Cluster", "#Service", "#Container", "#Machine", "#AffinityEdge")
 	var out []Table2Row
 	for _, ps := range cfg.Presets {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interrupted: %w", err)
+		}
 		c, err := getCluster(ps)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,76 @@
+package lp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// TestCancellation checks the anytime contract: whatever interrupts the
+// solve (cancelled context, expired deadline, or both), Solve returns a
+// bounded IterLimit solution tagged with the right stop cause instead of
+// erroring or hanging.
+func TestCancellation(t *testing.T) {
+	cancelled := func() context.Context {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return ctx
+	}
+	cases := []struct {
+		name     string
+		ctx      func() context.Context
+		deadline func() time.Time
+		want     solve.StopCause
+	}{
+		{"pre-cancelled context", cancelled, func() time.Time { return time.Time{} }, solve.Cancelled},
+		{"expired deadline", context.Background, func() time.Time { return time.Now().Add(-time.Second) }, solve.Deadline},
+		{"cancellation wins over expired deadline", cancelled, func() time.Time { return time.Now().Add(-time.Second) }, solve.Cancelled},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := randomLP(rng)
+			start := time.Now()
+			s, err := Solve(tc.ctx(), p, Options{Deadline: tc.deadline()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(start); el > time.Second {
+				t.Fatalf("interrupted solve took %s", el)
+			}
+			if s.Status != IterLimit {
+				t.Fatalf("status = %v, want IterLimit", s.Status)
+			}
+			if s.Stats.Stop != tc.want {
+				t.Fatalf("stop cause = %v, want %v", s.Stats.Stop, tc.want)
+			}
+		})
+	}
+}
+
+// TestCancelMidSolve cancels while pivoting; the solve must stop at the
+// next poll boundary and, because phase 1 starts feasible at x = 0,
+// never report anything beyond iteration-limit.
+func TestCancelMidSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := randomLP(rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	s, err := Solve(ctx, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch s.Stats.Stop {
+	case solve.Cancelled, solve.Optimal:
+		// Cancelled at a poll boundary, or finished before the cancel
+		// landed — both honour the contract.
+	default:
+		t.Fatalf("stop cause = %v, want Cancelled or Optimal", s.Stats.Stop)
+	}
+}

@@ -18,10 +18,13 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/cloudsched/rasa/internal/solve"
 )
 
 // Sense is the relation of a constraint row.
@@ -104,6 +107,10 @@ type Solution struct {
 	X         []float64 // structural variable values (len NumVars)
 	Objective float64   // c'x at X
 	Duals     []float64 // one dual value per row, in the row order of the Problem
+	// Stats reports simplex effort and why the solve stopped
+	// (solve.Optimal, solve.Deadline, solve.Cancelled, or solve.NodeLimit
+	// for the pivot budget; solve.None for infeasible/unbounded).
+	Stats solve.Stats
 }
 
 // Options tune a solve.
@@ -141,10 +148,26 @@ type tableau struct {
 	slackSign []float64
 }
 
-// Solve solves the LP. A nil options pointer uses defaults.
-func Solve(p *Problem, opts Options) (Solution, error) {
+// Solve solves the LP. The context interrupts the solve between pivots
+// (checked every solve.DefaultPollInterval iterations); an interrupted
+// phase-2 solve still reports the current basic feasible point, keeping
+// the anytime contract.
+func Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
+	start := time.Now()
 	if err := validate(p); err != nil {
 		return Solution{}, err
+	}
+	var stats solve.Stats
+	finish := func(sol Solution) (Solution, error) {
+		sol.Stats = stats
+		sol.Stats.Wall = time.Since(start)
+		return sol, nil
+	}
+	// An already-expired budget never gets a pivot: the caller's anytime
+	// fallback (greedy rounding, spill fill) is strictly cheaper.
+	if cause, stop := solve.Interrupted(ctx, opts.Deadline); stop {
+		stats.Stop = cause
+		return finish(Solution{Status: IterLimit})
 	}
 	t := build(p)
 	maxIter := opts.MaxIter
@@ -153,22 +176,24 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	}
 
 	// Phase 1: drive artificials to zero.
-	st := t.iterate(t.phase1, maxIter, opts.Deadline, true)
+	st, cause := t.iterate(ctx, t.phase1, maxIter, opts.Deadline, true, &stats)
 	if st == IterLimit {
-		return Solution{Status: IterLimit}, nil
+		stats.Stop = cause
+		return finish(Solution{Status: IterLimit})
 	}
 	// Phase-1 objective is -(sum of artificials); feasible iff it reached ~0.
 	if -t.phase1[t.n] < -feasEps {
-		return Solution{Status: Infeasible}, nil
+		return finish(Solution{Status: Infeasible})
 	}
 	t.expelArtificials()
 
 	// Phase 2: original objective.
-	st = t.iterate(t.phase2, maxIter, opts.Deadline, false)
+	st, cause = t.iterate(ctx, t.phase2, maxIter, opts.Deadline, false, &stats)
 	sol := Solution{Status: st}
 	if st == Unbounded {
-		return sol, nil
+		return finish(sol)
 	}
+	stats.Stop = cause
 	// Optimal, or IterLimit with a feasible basic point: report it either way.
 	sol.X = make([]float64, t.nStruc)
 	for i, c := range t.basis {
@@ -178,7 +203,7 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	}
 	sol.Objective = -t.phase2[t.n]
 	sol.Duals = t.duals()
-	return sol, nil
+	return finish(sol)
 }
 
 func validate(p *Problem) error {
@@ -320,19 +345,22 @@ func addScaled(dst, src []float64, k float64) {
 }
 
 // iterate runs primal simplex pivots against the given cost row until
-// optimality, unboundedness, or a budget is hit. Both cost rows are kept
-// in sync so phase 2 can start immediately after phase 1.
-func (t *tableau) iterate(cost []float64, maxIter int, deadline time.Time, phase1 bool) Status {
+// optimality, unboundedness, cancellation, or a budget is hit. Both cost
+// rows are kept in sync so phase 2 can start immediately after phase 1.
+// The second return value is the stop cause when the status is IterLimit
+// or Optimal.
+func (t *tableau) iterate(ctx context.Context, cost []float64, maxIter int, deadline time.Time, phase1 bool, stats *solve.Stats) (Status, solve.StopCause) {
 	bland := false
 	stall := 0
 	lastObj := math.Inf(-1)
+	poll := solve.NewPoll(ctx, deadline, 0)
 	for iter := 0; iter < maxIter; iter++ {
-		if !deadline.IsZero() && iter%64 == 0 && time.Now().After(deadline) {
-			return IterLimit
+		if cause, stop := poll.Interrupted(); stop {
+			return IterLimit, cause
 		}
 		enter := t.chooseEntering(cost, bland, phase1)
 		if enter < 0 {
-			return Optimal
+			return Optimal, solve.Optimal
 		}
 		leave := t.chooseLeaving(enter)
 		if leave < 0 {
@@ -340,11 +368,12 @@ func (t *tableau) iterate(cost []float64, maxIter int, deadline time.Time, phase
 				// Phase-1 objective is bounded above by 0; an unbounded
 				// direction indicates numerical trouble; treat current
 				// point as optimal for the phase.
-				return Optimal
+				return Optimal, solve.Optimal
 			}
-			return Unbounded
+			return Unbounded, solve.None
 		}
 		t.pivot(leave, enter)
+		stats.SimplexIters++
 
 		obj := -cost[t.n]
 		if obj <= lastObj+1e-12 {
@@ -357,7 +386,7 @@ func (t *tableau) iterate(cost []float64, maxIter int, deadline time.Time, phase
 			lastObj = obj
 		}
 	}
-	return IterLimit
+	return IterLimit, solve.NodeLimit
 }
 
 // chooseEntering picks the entering column: Dantzig (most positive

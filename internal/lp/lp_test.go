@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -22,7 +23,7 @@ func dense(vals ...float64) []Coef {
 
 func mustSolve(t *testing.T, p *Problem) Solution {
 	t.Helper()
-	s, err := Solve(p, Options{})
+	s, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatalf("Solve error: %v", err)
 	}
@@ -154,7 +155,7 @@ func TestValidation(t *testing.T) {
 		{NumVars: 1, Rows: []Constraint{{Coefs: []Coef{{Var: 2, Val: 1}}}}},
 	}
 	for i, p := range bad {
-		if _, err := Solve(p, Options{}); err == nil {
+		if _, err := Solve(context.Background(), p, Options{}); err == nil {
 			t.Fatalf("case %d: expected validation error", i)
 		}
 	}
@@ -199,7 +200,7 @@ func TestDeadline(t *testing.T) {
 	// An already-expired deadline must yield IterLimit, not hang.
 	p := &Problem{NumVars: 2, Objective: dense(1, 1)}
 	p.AddRow(dense(1, 1), LE, 4)
-	s, err := Solve(p, Options{Deadline: time.Now().Add(-time.Second)})
+	s, err := Solve(context.Background(), p, Options{Deadline: time.Now().Add(-time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestPropertyOptimalityCertificate(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := randomLP(rng)
-		s, err := Solve(p, Options{})
+		s, err := Solve(context.Background(), p, Options{})
 		if err != nil || s.Status != Optimal {
 			return false
 		}
@@ -350,7 +351,7 @@ func TestPropertyMixedSenses(t *testing.T) {
 			}
 			p.AddRow(cs, Sense(rng.Intn(3)), rng.NormFloat64()*5)
 		}
-		s, err := Solve(p, Options{})
+		s, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			return false
 		}
@@ -376,7 +377,7 @@ func TestPropertyZeroFeasibleNeverInfeasible(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := randomLP(rng)
-		s, err := Solve(p, Options{})
+		s, err := Solve(context.Background(), p, Options{})
 		return err == nil && s.Status == Optimal
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -402,7 +403,7 @@ func BenchmarkSolveMedium(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := Solve(p, Options{})
+		s, err := Solve(context.Background(), p, Options{})
 		if err != nil || s.Status != Optimal {
 			b.Fatalf("solve failed: %v %v", err, s.Status)
 		}

@@ -19,6 +19,7 @@
 package migrate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -87,8 +88,11 @@ var ErrStalled = errors.New("migrate: no progress possible under SLA and resourc
 
 // Compute builds a migration plan from assignment `from` to `to`.
 // Both assignments must satisfy resource constraints; `to` additionally
-// is the target the plan converges to exactly.
-func Compute(p *cluster.Problem, from, to *cluster.Assignment, opts Options) (*Plan, error) {
+// is the target the plan converges to exactly. Cancelling the context
+// stops the planning loop between iterations; the partial plan built so
+// far is returned alongside the context's error (every prefix of a plan
+// is safe to execute, so callers may run or discard it).
+func Compute(ctx context.Context, p *cluster.Problem, from, to *cluster.Assignment, opts Options) (*Plan, error) {
 	if opts.MinAlive <= 0 {
 		opts.MinAlive = 0.75
 	}
@@ -151,6 +155,9 @@ func Compute(p *cluster.Problem, from, to *cluster.Assignment, opts Options) (*P
 
 	plan := &Plan{Moves: totalMoves}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return plan, err
+		}
 		// SelectDelete: one container per machine, lowest offline ratio,
 		// respecting the SLA floor. Selections apply to the working state
 		// immediately so that parallel deletions of the same service

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -31,7 +32,7 @@ func TestNoOpPlan(t *testing.T) {
 	p := problemWith([]int{2}, 2, 4)
 	a := cluster.NewAssignment(1, 2)
 	a.Set(0, 0, 2)
-	plan, err := Compute(p, a, a.Clone(), Options{})
+	plan, err := Compute(context.Background(), p, a, a.Clone(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSimpleMove(t *testing.T) {
 	to := cluster.NewAssignment(1, 2)
 	to.Set(0, 0, 1)
 	to.Set(0, 1, 1)
-	plan, err := Compute(p, from, to, Options{})
+	plan, err := Compute(context.Background(), p, from, to, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSingleReplicaCanMove(t *testing.T) {
 	from.Set(0, 0, 1)
 	to := cluster.NewAssignment(1, 2)
 	to.Set(0, 1, 1)
-	plan, err := Compute(p, from, to, Options{})
+	plan, err := Compute(context.Background(), p, from, to, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestSLAFloorRespected(t *testing.T) {
 	from.Set(0, 0, 4)
 	to := cluster.NewAssignment(1, 2)
 	to.Set(0, 1, 4)
-	plan, err := Compute(p, from, to, Options{})
+	plan, err := Compute(context.Background(), p, from, to, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestResourceConstrainedSwap(t *testing.T) {
 	to := cluster.NewAssignment(2, 2)
 	to.Set(0, 1, 2)
 	to.Set(1, 0, 2)
-	plan, err := Compute(p, from, to, Options{MinAlive: 0.5})
+	plan, err := Compute(context.Background(), p, from, to, Options{MinAlive: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestStalledDeadlock(t *testing.T) {
 	to := cluster.NewAssignment(2, 2)
 	to.Set(0, 1, 1)
 	to.Set(1, 0, 1)
-	_, err := Compute(p, from, to, Options{MinAlive: 1.0})
+	_, err := Compute(context.Background(), p, from, to, Options{MinAlive: 1.0})
 	if err == nil {
 		t.Fatal("expected stall error")
 	}
@@ -160,7 +161,7 @@ func TestFullSwapWithZeroFloorSucceeds(t *testing.T) {
 	to := cluster.NewAssignment(2, 2)
 	to.Set(0, 1, 1)
 	to.Set(1, 0, 1)
-	plan, err := Compute(p, from, to, Options{})
+	plan, err := Compute(context.Background(), p, from, to, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,10 +178,10 @@ func TestBadShapes(t *testing.T) {
 	p := problemWith([]int{1}, 2, 4)
 	a := cluster.NewAssignment(1, 2)
 	b := cluster.NewAssignment(2, 2)
-	if _, err := Compute(p, a, b, Options{}); err == nil {
+	if _, err := Compute(context.Background(), p, a, b, Options{}); err == nil {
 		t.Fatal("expected shape error")
 	}
-	if _, err := Compute(p, a, a, Options{MinAlive: 1.5}); err == nil {
+	if _, err := Compute(context.Background(), p, a, a, Options{MinAlive: 1.5}); err == nil {
 		t.Fatal("expected MinAlive validation error")
 	}
 }
@@ -250,7 +251,7 @@ func TestPropertyPlansReachTarget(t *testing.T) {
 		if !ok {
 			return true // skip infeasible random draws
 		}
-		plan, err := Compute(p, from, to, Options{})
+		plan, err := Compute(context.Background(), p, from, to, Options{})
 		if err != nil {
 			return false
 		}
@@ -282,7 +283,7 @@ func TestPropertyMoveAccounting(t *testing.T) {
 		if !ok {
 			return true
 		}
-		plan, err := Compute(p, from, to, Options{})
+		plan, err := Compute(context.Background(), p, from, to, Options{})
 		if err != nil {
 			return false
 		}
@@ -314,7 +315,7 @@ func TestRelocationBreaksDeadlock(t *testing.T) {
 	to := cluster.NewAssignment(2, 3)
 	to.Set(0, 1, 2)
 	to.Set(1, 0, 2)
-	plan, err := Compute(p, from, to, Options{MinAlive: 0.5})
+	plan, err := Compute(context.Background(), p, from, to, Options{MinAlive: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func BenchmarkComputePlan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compute(p, from, to, Options{}); err != nil {
+		if _, err := Compute(context.Background(), p, from, to, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

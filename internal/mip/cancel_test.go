@@ -1,0 +1,114 @@
+package mip
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/lp"
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// TestCancellation checks the anytime contract for branch-and-bound:
+// an interrupted solve returns promptly with the interrupt cause in
+// Stats.Stop, and any incumbent it reports is feasible.
+func TestCancellation(t *testing.T) {
+	cancelled := func() context.Context {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return ctx
+	}
+	cases := []struct {
+		name     string
+		ctx      func() context.Context
+		deadline func() time.Time
+		want     solve.StopCause
+	}{
+		{"pre-cancelled context", cancelled, func() time.Time { return time.Time{} }, solve.Cancelled},
+		{"expired deadline", context.Background, func() time.Time { return time.Now().Add(-time.Second) }, solve.Deadline},
+		{"cancellation wins over expired deadline", cancelled, func() time.Time { return time.Now().Add(-time.Second) }, solve.Cancelled},
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := randomIP(rng, 14, 12)
+			start := time.Now()
+			s, err := Solve(tc.ctx(), p, Options{Deadline: tc.deadline()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(start); el > time.Second {
+				t.Fatalf("interrupted solve took %s", el)
+			}
+			if s.Status == Optimal {
+				t.Fatalf("status = Optimal for a solve interrupted before the root LP")
+			}
+			if s.Stats.Stop != tc.want {
+				t.Fatalf("stop cause = %v, want %v", s.Stats.Stop, tc.want)
+			}
+			if s.X != nil && !feasible(p, s.X) {
+				t.Fatalf("interrupted solve reported an infeasible incumbent")
+			}
+		})
+	}
+}
+
+// TestCancelMidSearch cancels during the B&B loop: the best incumbent
+// found so far must come back feasible, never a half-explored node.
+func TestCancelMidSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p := randomIP(rng, 16, 14)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	s, err := Solve(ctx, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch s.Stats.Stop {
+	case solve.Cancelled, solve.Optimal:
+	default:
+		t.Fatalf("stop cause = %v, want Cancelled or Optimal", s.Stats.Stop)
+	}
+	if s.X != nil && !feasible(p, s.X) {
+		t.Fatalf("incumbent after cancellation violates constraints")
+	}
+}
+
+// feasible checks x against every row of the LP within a small tolerance
+// plus integrality of the integer-marked variables.
+func feasible(p *Problem, x []float64) bool {
+	const tol = 1e-6
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		if d := x[j] - float64(int(x[j]+0.5)); d > tol || d < -tol {
+			return false
+		}
+	}
+	for _, row := range p.LP.Rows {
+		lhs := 0.0
+		for _, c := range row.Coefs {
+			lhs += c.Val * x[c.Var]
+		}
+		switch row.Sense {
+		case lp.LE:
+			if lhs > row.RHS+tol {
+				return false
+			}
+		case lp.GE:
+			if lhs < row.RHS-tol {
+				return false
+			}
+		default:
+			if lhs > row.RHS+tol || lhs < row.RHS-tol {
+				return false
+			}
+		}
+	}
+	return true
+}

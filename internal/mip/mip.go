@@ -17,10 +17,12 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/lp"
+	"github.com/cloudsched/rasa/internal/solve"
 )
 
 // BranchRule selects how the branching variable is chosen.
@@ -92,6 +94,13 @@ type Options struct {
 	// (default 8). Set negative to disable heuristic rounding entirely
 	// (ablation: BenchmarkAblationAnytime).
 	RoundEvery int
+	// Cutoff, when non-nil, is an external objective cutoff polled at
+	// every node pop: once it reports (c, true) and the proven global
+	// upper bound is <= c, the solve stops early with stop cause
+	// solve.Cancelled — this MIP provably cannot beat c, so racing it
+	// further is wasted budget (used by selector.Label to cancel the
+	// loser of the CG-vs-MIP race).
+	Cutoff func() (float64, bool)
 }
 
 // Solution is the result of a solve.
@@ -101,6 +110,9 @@ type Solution struct {
 	Objective float64   // objective at X
 	Bound     float64   // proven upper bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
+	// Stats aggregates B&B nodes, incumbents, simplex pivots across all
+	// node LPs, and why the solve stopped.
+	Stats solve.Stats
 }
 
 const intEps = 1e-6
@@ -149,6 +161,7 @@ func (h *nodeHeap) Pop() any {
 }
 
 type solver struct {
+	ctx  context.Context
 	prob *Problem
 	opts Options
 	// pseudocost state: sums of per-unit objective degradation and
@@ -160,11 +173,15 @@ type solver struct {
 	incumbentObj float64
 	haveInc      bool
 	nodes        int
+	stats        solve.Stats
 }
 
 // Solve runs branch and bound. The zero Options value gives exact solves
-// with pseudocost branching and heuristic rounding enabled.
-func Solve(p *Problem, opts Options) (Solution, error) {
+// with pseudocost branching and heuristic rounding enabled. The context
+// interrupts the solve at node granularity (and, within a node LP, at
+// pivot granularity); an interrupted solve returns the best incumbent
+// found so far with stop cause solve.Cancelled or solve.Deadline.
+func Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
 	if len(p.Integer) != p.LP.NumVars {
 		p2 := *p
 		flags := make([]bool, p.LP.NumVars)
@@ -182,6 +199,7 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		opts.RoundEvery = 8
 	}
 	s := &solver{
+		ctx:          ctx,
 		prob:         p,
 		opts:         opts,
 		pcDownSum:    make([]float64, p.LP.NumVars),
@@ -190,11 +208,10 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		pcUpN:        make([]int, p.LP.NumVars),
 		incumbentObj: math.Inf(-1),
 	}
-	return s.run()
-}
-
-func (s *solver) expired() bool {
-	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+	start := time.Now()
+	sol, err := s.run()
+	sol.Stats.Wall = time.Since(start)
+	return sol, err
 }
 
 // solveLP solves the root LP plus the node's branch rows.
@@ -207,7 +224,9 @@ func (s *solver) solveLP(n *node) (lp.Solution, error) {
 	}
 	prob.Rows = append(prob.Rows, s.prob.LP.Rows...)
 	prob.Rows = append(prob.Rows, extra...)
-	return lp.Solve(&prob, lp.Options{Deadline: s.opts.Deadline})
+	sol, err := lp.Solve(s.ctx, &prob, lp.Options{Deadline: s.opts.Deadline})
+	s.stats.Merge(sol.Stats)
+	return sol, err
 }
 
 func (s *solver) isIntegral(x []float64) bool {
@@ -267,6 +286,7 @@ func (s *solver) tryIncumbent(x []float64, obj float64) {
 		s.incumbent = append([]float64(nil), x...)
 		s.incumbentObj = obj
 		s.haveInc = true
+		s.stats.Incumbents++
 	}
 }
 
@@ -346,6 +366,11 @@ func (s *solver) recordPseudocost(j int, parentBound, childBound, frac float64, 
 }
 
 func (s *solver) run() (Solution, error) {
+	finish := func(sol Solution) (Solution, error) {
+		s.stats.Nodes = s.nodes
+		sol.Stats = s.stats
+		return sol, nil
+	}
 	root := &node{}
 	rootSol, err := s.solveLP(root)
 	if err != nil {
@@ -353,14 +378,17 @@ func (s *solver) run() (Solution, error) {
 	}
 	switch rootSol.Status {
 	case lp.Infeasible:
-		return Solution{Status: Infeasible, Bound: math.Inf(-1)}, nil
+		return finish(Solution{Status: Infeasible, Bound: math.Inf(-1)})
 	case lp.Unbounded:
 		// An unbounded relaxation of a RASA model indicates a modelling
 		// bug; surface it as unbounded bound with no solution.
-		return Solution{Status: NoSolution, Bound: math.Inf(1), Nodes: 1}, nil
+		s.nodes = 1
+		return finish(Solution{Status: NoSolution, Bound: math.Inf(1), Nodes: 1})
 	case lp.IterLimit:
 		if rootSol.X == nil {
-			return Solution{Status: NoSolution, Bound: math.Inf(1), Nodes: 1}, nil
+			s.nodes = 1
+			s.stats.Stop = rootSol.Stats.Stop
+			return finish(Solution{Status: NoSolution, Bound: math.Inf(1), Nodes: 1})
 		}
 	}
 	root.bound = rootSol.Objective
@@ -373,9 +401,29 @@ func (s *solver) run() (Solution, error) {
 	s.nodes = 1
 	s.processLP(root, rootSol, open)
 
+	stop := solve.Optimal // the loop draining the heap proves optimality
 	for open.Len() > 0 {
-		if s.expired() || s.nodes >= s.opts.MaxNodes {
+		if cause, done := solve.Interrupted(s.ctx, s.opts.Deadline); done {
+			stop = cause
 			break
+		}
+		if s.nodes >= s.opts.MaxNodes {
+			stop = solve.NodeLimit
+			break
+		}
+		// globalBound is the proven upper bound right now: the best open
+		// node (best-bound-first heap top) or the incumbent.
+		globalBound := (*open)[0].bound
+		if s.haveInc && s.incumbentObj > globalBound {
+			globalBound = s.incumbentObj
+		}
+		if s.opts.Cutoff != nil {
+			if c, ok := s.opts.Cutoff(); ok && globalBound <= c {
+				// This solve provably cannot beat the external cutoff:
+				// it lost the race, stop spending budget on it.
+				stop = solve.Cancelled
+				break
+			}
 		}
 		n := heap.Pop(open).(*node)
 		if s.haveInc && n.bound <= s.incumbentObj+s.gapSlack() {
@@ -409,12 +457,14 @@ func (s *solver) run() (Solution, error) {
 		}
 	}
 	out := Solution{Nodes: s.nodes, Bound: bound}
+	s.stats.Stop = stop
 	switch {
 	case s.haveInc && (open.Len() == 0 || bound <= s.incumbentObj+s.gapSlack()):
 		out.Status = Optimal
 		out.X = s.incumbent
 		out.Objective = s.incumbentObj
 		out.Bound = math.Max(bound, s.incumbentObj)
+		s.stats.Stop = solve.Optimal
 	case s.haveInc:
 		out.Status = Feasible
 		out.X = s.incumbent
@@ -422,10 +472,11 @@ func (s *solver) run() (Solution, error) {
 	case open.Len() == 0:
 		out.Status = Infeasible
 		out.Bound = math.Inf(-1)
+		s.stats.Stop = solve.None
 	default:
 		out.Status = NoSolution
 	}
-	return out, nil
+	return finish(out)
 }
 
 func (s *solver) gapSlack() float64 {

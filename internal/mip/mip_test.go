@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,7 @@ func TestKnapsack(t *testing.T) {
 	for j := 0; j < 3; j++ {
 		p.LP.AddRow([]lp.Coef{{Var: j, Val: 1}}, lp.LE, 1)
 	}
-	s, err := Solve(p, Options{})
+	s, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestPureLPPassthrough(t *testing.T) {
 	p := &Problem{LP: lp.Problem{NumVars: 2, Objective: dense(1, 1)}}
 	p.LP.AddRow(dense(1, 2), lp.LE, 4)
 	p.LP.AddRow(dense(2, 1), lp.LE, 4)
-	s, err := Solve(p, Options{})
+	s, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestFractionalLPIntegerGap(t *testing.T) {
 		Integer: allInt(1),
 	}
 	p.LP.AddRow(dense(2), lp.LE, 3)
-	s, err := Solve(p, Options{})
+	s, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestInfeasibleMIP(t *testing.T) {
 	}
 	p.LP.AddRow(dense(2), lp.EQ, 1)
 	p.LP.AddRow(dense(1), lp.LE, 10)
-	s, err := Solve(p, Options{})
+	s, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestInfeasibleLP(t *testing.T) {
 	p := &Problem{LP: lp.Problem{NumVars: 1, Objective: dense(1)}, Integer: allInt(1)}
 	p.LP.AddRow(dense(1), lp.GE, 5)
 	p.LP.AddRow(dense(1), lp.LE, 1)
-	s, err := Solve(p, Options{})
+	s, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	}
 	p.LP.AddRow(dense(1, 1), lp.LE, 2.5)
 	p.LP.AddRow(dense(1, 0), lp.LE, 1.7)
-	s, err := Solve(p, Options{})
+	s, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestAnytimeDeadline(t *testing.T) {
 	// fabricate an incumbent.
 	rng := rand.New(rand.NewSource(3))
 	p := randomIP(rng, 12, 10)
-	s, err := Solve(p, Options{Deadline: time.Now().Add(-time.Millisecond)})
+	s, err := Solve(context.Background(), p, Options{Deadline: time.Now().Add(-time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestAnytimeDeadline(t *testing.T) {
 func TestNodeBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	p := randomIP(rng, 14, 12)
-	s, err := Solve(p, Options{MaxNodes: 3})
+	s, err := Solve(context.Background(), p, Options{MaxNodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestCustomRounder(t *testing.T) {
 		},
 		RoundEvery: 1,
 	}
-	s, err := Solve(p, opts)
+	s, err := Solve(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestRoundingDisabled(t *testing.T) {
 		Integer: allInt(1),
 	}
 	p.LP.AddRow(dense(2), lp.LE, 3)
-	s, err := Solve(p, Options{RoundEvery: -1})
+	s, err := Solve(context.Background(), p, Options{RoundEvery: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestPropertyMatchesBruteForce(t *testing.T) {
 			m := 1 + rng.Intn(5)
 			p := randomIP(rng, n, m)
 			want := bruteForce(p)
-			s, err := Solve(p, Options{Branching: rule})
+			s, err := Solve(context.Background(), p, Options{Branching: rule})
 			if err != nil || s.Status != Optimal {
 				return false
 			}
@@ -300,7 +301,7 @@ func TestPropertyBoundDominatesIncumbent(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := randomIP(rng, 2+rng.Intn(6), 1+rng.Intn(6))
-		s, err := Solve(p, Options{})
+		s, err := Solve(context.Background(), p, Options{})
 		if err != nil || s.X == nil {
 			return false
 		}
@@ -334,7 +335,7 @@ func BenchmarkSolveSmallIP(b *testing.B) {
 	p := randomIP(rng, 10, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(p, Options{}); err != nil {
+		if _, err := Solve(context.Background(), p, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

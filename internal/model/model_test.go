@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,7 @@ func pairProblem(capacity float64) *cluster.Problem {
 
 func solveModel(t *testing.T, m *MIPModel) mip.Solution {
 	t.Helper()
-	sol, err := mip.Solve(&m.Prob, mip.Options{Rounder: m.Rounder()})
+	sol, err := mip.Solve(context.Background(), &m.Prob, mip.Options{Rounder: m.Rounder()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestPropertySolutionsFeasible(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sol, err := mip.Solve(&m.Prob, mip.Options{Rounder: m.Rounder()})
+		sol, err := mip.Solve(context.Background(), &m.Prob, mip.Options{Rounder: m.Rounder()})
 		if err != nil || sol.X == nil {
 			return false
 		}
@@ -346,7 +347,7 @@ func BenchmarkSolveSubproblemMIP(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mip.Solve(&m.Prob, mip.Options{Rounder: m.Rounder()}); err != nil {
+		if _, err := mip.Solve(context.Background(), &m.Prob, mip.Options{Rounder: m.Rounder()}); err != nil {
 			b.Fatal(err)
 		}
 	}

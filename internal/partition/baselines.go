@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -24,7 +25,8 @@ func affinityServices(p *cluster.Problem) (withAffinity, without []int) {
 // Random implements the RANDOM-PARTITION baseline of Section V-B: the
 // affinity-bearing services are split uniformly at random into groups of
 // roughly TargetSize, ignoring affinity structure entirely.
-func Random(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+func Random(ctx context.Context, p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+	_ = ctx // random partitioning has no loop worth interrupting
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := p.Validate(); err != nil {
@@ -59,7 +61,8 @@ func Random(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Res
 // over affinity-bearing services is split by the multilevel min-weight
 // balanced k-way partitioner, again without master or compatibility
 // awareness.
-func KWay(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+func KWay(ctx context.Context, p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+	_ = ctx // the multilevel cut is fast relative to any solve budget
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := p.Validate(); err != nil {
@@ -101,7 +104,8 @@ func KWay(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Resul
 // subproblem over all services and raw machine capacities. On anything
 // but small clusters this is the configuration that goes out-of-time in
 // Fig. 6.
-func None(p *cluster.Problem) (*Result, error) {
+func None(ctx context.Context, p *cluster.Problem) (*Result, error) {
+	_ = ctx // nothing to interrupt: the full problem is the one subproblem
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -29,6 +29,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -110,8 +111,11 @@ type Result struct {
 
 // Multistage runs the full four-stage partitioner. current is the
 // cluster's existing assignment, used to carve trivial services' usage
-// out of machine capacities.
-func Multistage(p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
+// out of machine capacities. Partitioning is best-effort under
+// cancellation: a done context stops the stage-4 sampling early and the
+// partitioner returns a valid (if less balanced) result rather than an
+// error, so downstream anytime solves still get subproblems to work on.
+func Multistage(ctx context.Context, p *cluster.Problem, current *cluster.Assignment, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if err := p.Validate(); err != nil {
@@ -168,7 +172,7 @@ func Multistage(p *cluster.Problem, current *cluster.Assignment, opts Options) (
 			groups = append(groups, b)
 			continue
 		}
-		groups = append(groups, lossMinBalanced(p, b, opts, rng)...)
+		groups = append(groups, lossMinBalanced(ctx, p, b, opts, rng)...)
 	}
 
 	res := &Result{Alpha: alpha, MasterCount: len(masterSet)}
@@ -241,8 +245,10 @@ func compatibilityBlocks(p *cluster.Problem, services []int) (blocks [][]int, un
 // lossMinBalanced implements the stage-4 heuristic (Section IV-B4):
 // sample seed sets, grow subsets by multi-source BFS on the induced
 // affinity graph, keep balanced partitions, and return the one with the
-// minimum affinity cut.
-func lossMinBalanced(p *cluster.Problem, block []int, opts Options, rng *rand.Rand) [][]int {
+// minimum affinity cut. A done context stops the sampling loop after the
+// current trial; the best partition found so far (or the round-robin
+// fallback) is returned, never an error.
+func lossMinBalanced(ctx context.Context, p *cluster.Problem, block []int, opts Options, rng *rand.Rand) [][]int {
 	sub, orig := p.Affinity.Subgraph(block)
 	n := len(block)
 	h := (n + opts.TargetSize - 1) / opts.TargetSize
@@ -265,6 +271,9 @@ func lossMinBalanced(p *cluster.Problem, block []int, opts Options, rng *rand.Ra
 	best := cand{ratio: math.Inf(1), cut: math.Inf(1)}
 	bestBalanced := false
 	for trial := 0; trial < samples; trial++ {
+		if ctx.Err() != nil {
+			break
+		}
 		seeds := rng.Perm(n)[:h]
 		owner := sub.BFSFrom(seeds)
 		sizes := make([]int, h)

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -56,7 +57,7 @@ func TestAlpha(t *testing.T) {
 func TestMultistageNonAffinityTrivial(t *testing.T) {
 	// Services 3 and 4 have no edges: always trivial.
 	p := makeProblem(5, 4, [][3]float64{{0, 1, 5}, {1, 2, 3}})
-	res, err := Multistage(p, cluster.NewAssignment(5, 4), Options{MasterRatio: 1})
+	res, err := Multistage(context.Background(), p, cluster.NewAssignment(5, 4), Options{MasterRatio: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestMultistageMasterSelection(t *testing.T) {
 		edges = append(edges, [3]float64{0, float64(i), float64(10 - i)})
 	}
 	p := makeProblem(10, 6, edges)
-	res, err := Multistage(p, cluster.NewAssignment(10, 6), Options{MasterRatio: 0.3})
+	res, err := Multistage(context.Background(), p, cluster.NewAssignment(10, 6), Options{MasterRatio: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestMultistageCompatBlocks(t *testing.T) {
 	p.Schedulable[2].Set(3)
 	p.Schedulable[3].Set(2)
 	p.Schedulable[3].Set(3)
-	res, err := Multistage(p, cluster.NewAssignment(4, 4), Options{MasterRatio: 1})
+	res, err := Multistage(context.Background(), p, cluster.NewAssignment(4, 4), Options{MasterRatio: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestMultistageUnplaceableService(t *testing.T) {
 	p.Schedulable = make([]cluster.Bitmap, 2)
 	p.Schedulable[0] = nil                  // anywhere
 	p.Schedulable[1] = cluster.NewBitmap(2) // nowhere
-	res, err := Multistage(p, cluster.NewAssignment(2, 2), Options{MasterRatio: 1})
+	res, err := Multistage(context.Background(), p, cluster.NewAssignment(2, 2), Options{MasterRatio: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestMultistageResidualCapacity(t *testing.T) {
 	p.Services[2].Replicas = 1
 	cur := cluster.NewAssignment(3, 2)
 	cur.Set(2, 0, 1)
-	res, err := Multistage(p, cur, Options{MasterRatio: 1})
+	res, err := Multistage(context.Background(), p, cur, Options{MasterRatio: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestMultistageAntiResidual(t *testing.T) {
 	p.AntiAffinity = []cluster.AntiAffinityRule{{Services: []int{0, 2}, MaxPerHost: 3}}
 	cur := cluster.NewAssignment(3, 2)
 	cur.Set(2, 0, 1)
-	res, err := Multistage(p, cur, Options{MasterRatio: 1})
+	res, err := Multistage(context.Background(), p, cur, Options{MasterRatio: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestLossMinBalancedSplitsLargeBlocks(t *testing.T) {
 		edges = append(edges, [3]float64{float64(i), float64(i + 1), 1})
 	}
 	p := makeProblem(30, 10, edges)
-	res, err := Multistage(p, cluster.NewAssignment(30, 10), Options{MasterRatio: 1, TargetSize: 10, Seed: 7})
+	res, err := Multistage(context.Background(), p, cluster.NewAssignment(30, 10), Options{MasterRatio: 1, TargetSize: 10, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,11 +251,11 @@ func TestMultistageDeterministic(t *testing.T) {
 		edges = append(edges, [3]float64{float64(rng.Intn(40)), float64(rng.Intn(40)), rng.Float64() + 0.1})
 	}
 	p := makeProblem(40, 12, edges)
-	a, err := Multistage(p, cluster.NewAssignment(40, 12), Options{Seed: 42, MasterRatio: 1, TargetSize: 8})
+	a, err := Multistage(context.Background(), p, cluster.NewAssignment(40, 12), Options{Seed: 42, MasterRatio: 1, TargetSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Multistage(p, cluster.NewAssignment(40, 12), Options{Seed: 42, MasterRatio: 1, TargetSize: 8})
+	b, err := Multistage(context.Background(), p, cluster.NewAssignment(40, 12), Options{Seed: 42, MasterRatio: 1, TargetSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestRandomBaseline(t *testing.T) {
 		edges = append(edges, [3]float64{float64(i), float64((i + 1) % 20), 1})
 	}
 	p := makeProblem(22, 8, edges) // services 20, 21 have no affinity
-	res, err := Random(p, cluster.NewAssignment(22, 8), Options{TargetSize: 5, Seed: 3})
+	res, err := Random(context.Background(), p, cluster.NewAssignment(22, 8), Options{TargetSize: 5, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestRandomBaseline(t *testing.T) {
 
 func TestNoneBaseline(t *testing.T) {
 	p := makeProblem(5, 3, [][3]float64{{0, 1, 1}})
-	res, err := None(p)
+	res, err := None(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,13 +370,13 @@ func TestNoneBaseline(t *testing.T) {
 func TestPropertyPartitionInvariants(t *testing.T) {
 	runAll := func(p *cluster.Problem, cur *cluster.Assignment, seed int64) []*Result {
 		var out []*Result
-		if r, err := Multistage(p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
+		if r, err := Multistage(context.Background(), p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
 			out = append(out, r)
 		}
-		if r, err := Random(p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
+		if r, err := Random(context.Background(), p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
 			out = append(out, r)
 		}
-		if r, err := KWay(p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
+		if r, err := KWay(context.Background(), p, cur, Options{Seed: seed, TargetSize: 6}); err == nil {
 			out = append(out, r)
 		}
 		return out
@@ -451,8 +452,8 @@ func TestSkewFavorsMultistageOnAverage(t *testing.T) {
 		}
 		p := makeProblem(n, m, edges)
 		cur := cluster.NewAssignment(n, m)
-		ms, err1 := Multistage(p, cur, Options{Seed: seed, TargetSize: 8, MasterRatio: 1})
-		rd, err2 := Random(p, cur, Options{Seed: seed, TargetSize: 8})
+		ms, err1 := Multistage(context.Background(), p, cur, Options{Seed: seed, TargetSize: 8, MasterRatio: 1})
+		rd, err2 := Random(context.Background(), p, cur, Options{Seed: seed, TargetSize: 8})
 		if err1 != nil || err2 != nil {
 			t.Fatal(err1, err2)
 		}
@@ -475,7 +476,7 @@ func BenchmarkMultistage(b *testing.B) {
 	cur := cluster.NewAssignment(n, m)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Multistage(p, cur, Options{Seed: int64(i)}); err != nil {
+		if _, err := Multistage(context.Background(), p, cur, Options{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -11,15 +12,20 @@ import "github.com/cloudsched/rasa/internal/cluster"
 // SolveAll solves every subproblem concurrently, dispatching each to the
 // algorithm algFor(i), under one shared wall-clock budget. Subproblems
 // are independent after partitioning (Section IV-A), so parallel solving
-// is exactly what the production deployment does. Results are returned
-// in subproblem order; a subproblem whose solve errors yields an empty
-// OutOfTime result rather than failing the batch, mirroring the paper's
-// tolerance of failed deployments.
-func SolveAll(subs []*cluster.Subproblem, algFor func(i int) Algorithm, budget time.Duration, parallelism int) []Result {
+// is exactly what the production deployment does. The shared budget is
+// enforced by a derived context deadline, so when it expires every
+// in-flight sibling solve is cancelled together and returns its best
+// incumbent; cancelling the parent context has the same effect. Results
+// are returned in subproblem order; a subproblem whose solve errors
+// yields an empty OutOfTime result rather than failing the batch,
+// mirroring the paper's tolerance of failed deployments.
+func SolveAll(ctx context.Context, subs []*cluster.Subproblem, algFor func(i int) Algorithm, budget time.Duration, parallelism int) []Result {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	deadline := time.Now().Add(budget)
+	ctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
 	results := make([]Result, len(subs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallelism)
@@ -30,7 +36,7 @@ func SolveAll(subs []*cluster.Subproblem, algFor func(i int) Algorithm, budget t
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			alg := algFor(i)
-			res, err := Solve(subs[i], alg, deadline)
+			res, err := Solve(ctx, subs[i], alg, deadline)
 			if err != nil {
 				results[i] = Result{Algorithm: alg, OutOfTime: true}
 				return

@@ -5,6 +5,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/mip"
 	"github.com/cloudsched/rasa/internal/model"
+	"github.com/cloudsched/rasa/internal/solve"
 )
 
 // Algorithm identifies a member of the pool.
@@ -39,6 +41,9 @@ type Result struct {
 	Objective  float64 // gained affinity of the placements
 	Algorithm  Algorithm
 	OutOfTime  bool // the budget expired before a solution was found
+	// Stats is the solver effort behind this result: iteration counts,
+	// per-phase wall time, and the cause that stopped the solve.
+	Stats solve.Stats
 }
 
 // maxMIPCells bounds the direct-MIP formulation size (rows * columns of
@@ -50,19 +55,29 @@ const maxMIPCells = 20_000_000
 
 // Solve dispatches the subproblem to the chosen algorithm with the
 // given deadline. Both algorithms are anytime: with an expired deadline
-// they return their best (possibly greedy) feasible schedule.
-func Solve(sp *cluster.Subproblem, alg Algorithm, deadline time.Time) (Result, error) {
+// or a cancelled context they return their best (possibly greedy)
+// feasible schedule rather than an error.
+func Solve(ctx context.Context, sp *cluster.Subproblem, alg Algorithm, deadline time.Time) (Result, error) {
 	switch alg {
 	case CG:
-		return SolveCG(sp, deadline)
+		return SolveCG(ctx, sp, deadline)
 	case MIP:
-		return SolveMIP(sp, deadline)
+		return SolveMIP(ctx, sp, deadline)
 	}
 	return Result{}, fmt.Errorf("pool: unknown algorithm %d", alg)
 }
 
 // SolveMIP solves the subproblem with the direct MIP formulation.
-func SolveMIP(sp *cluster.Subproblem, deadline time.Time) (Result, error) {
+func SolveMIP(ctx context.Context, sp *cluster.Subproblem, deadline time.Time) (Result, error) {
+	return SolveMIPCutoff(ctx, sp, deadline, nil)
+}
+
+// SolveMIPCutoff is SolveMIP with an objective cutoff: when cutoff
+// reports (c, true) and the branch-and-bound proves its global upper
+// bound cannot exceed c, the solve stops early with a Cancelled stop
+// cause. The selector's labelling race uses it to abandon a MIP solve
+// once the concurrent CG result is provably unbeatable.
+func SolveMIPCutoff(ctx context.Context, sp *cluster.Subproblem, deadline time.Time, cutoff func() (float64, bool)) (Result, error) {
 	m, err := model.BuildMIP(sp)
 	if err != nil {
 		return Result{}, err
@@ -70,26 +85,28 @@ func SolveMIP(sp *cluster.Subproblem, deadline time.Time) (Result, error) {
 	if cells := int64(m.NumVars()) * int64(m.NumRows()); cells > maxMIPCells {
 		return Result{Algorithm: MIP, OutOfTime: true}, nil
 	}
-	sol, err := mip.Solve(&m.Prob, mip.Options{
+	sol, err := mip.Solve(ctx, &m.Prob, mip.Options{
 		Deadline: deadline,
 		Rounder:  m.Rounder(),
+		Cutoff:   cutoff,
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	if sol.X == nil {
-		return Result{Algorithm: MIP, OutOfTime: true}, nil
+		return Result{Algorithm: MIP, OutOfTime: true, Stats: sol.Stats}, nil
 	}
 	return Result{
 		Placements: m.Extract(sol.X),
 		Objective:  m.AffinityValue(sol.X),
 		Algorithm:  MIP,
+		Stats:      sol.Stats,
 	}, nil
 }
 
 // SolveCG solves the subproblem with column generation.
-func SolveCG(sp *cluster.Subproblem, deadline time.Time) (Result, error) {
-	res, err := cg.Solve(sp, cg.Options{Deadline: deadline})
+func SolveCG(ctx context.Context, sp *cluster.Subproblem, deadline time.Time) (Result, error) {
+	res, err := cg.Solve(ctx, sp, cg.Options{Deadline: deadline})
 	if err != nil {
 		return Result{}, err
 	}
@@ -97,5 +114,6 @@ func SolveCG(sp *cluster.Subproblem, deadline time.Time) (Result, error) {
 		Placements: res.Placements,
 		Objective:  res.Objective,
 		Algorithm:  CG,
+		Stats:      res.Stats,
 	}, nil
 }

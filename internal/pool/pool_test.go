@@ -1,6 +1,7 @@
 package pool_test
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func pairSubproblem(capacity float64) *cluster.Subproblem {
 
 func TestBothAlgorithmsSolveOptimally(t *testing.T) {
 	for _, alg := range []Algorithm{CG, MIP} {
-		res, err := Solve(pairSubproblem(4), alg, time.Now().Add(5*time.Second))
+		res, err := Solve(context.Background(), pairSubproblem(4), alg, time.Now().Add(5*time.Second))
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -49,7 +50,7 @@ func TestBothAlgorithmsSolveOptimally(t *testing.T) {
 }
 
 func TestUnknownAlgorithm(t *testing.T) {
-	if _, err := Solve(pairSubproblem(4), Algorithm(99), time.Time{}); err == nil {
+	if _, err := Solve(context.Background(), pairSubproblem(4), Algorithm(99), time.Time{}); err == nil {
 		t.Fatal("expected error for unknown algorithm")
 	}
 }
@@ -71,7 +72,7 @@ func TestMIPOversizedGoesOOT(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := cluster.FullSubproblem(c.Problem)
-	res, err := SolveMIP(sp, time.Now().Add(100*time.Millisecond))
+	res, err := SolveMIP(context.Background(), sp, time.Now().Add(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,14 +89,14 @@ func TestSolveAllParallelAndOrdered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{TargetSize: 8, Seed: 1})
+	pres, err := partition.Multistage(context.Background(), c.Problem, c.Original, partition.Options{TargetSize: 8, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pres.Subproblems) < 2 {
 		t.Fatalf("want multiple subproblems, got %d", len(pres.Subproblems))
 	}
-	results := SolveAll(pres.Subproblems, func(i int) Algorithm {
+	results := SolveAll(context.Background(), pres.Subproblems, func(i int) Algorithm {
 		if i%2 == 0 {
 			return CG
 		}
@@ -117,7 +118,7 @@ func TestSolveAllParallelAndOrdered(t *testing.T) {
 
 func TestSolveAllExpiredBudgetStillReturns(t *testing.T) {
 	sp := pairSubproblem(4)
-	results := SolveAll([]*cluster.Subproblem{sp, sp}, func(int) Algorithm { return CG }, -time.Second, 2)
+	results := SolveAll(context.Background(), []*cluster.Subproblem{sp, sp}, func(int) Algorithm { return CG }, -time.Second, 2)
 	if len(results) != 2 {
 		t.Fatalf("results = %d", len(results))
 	}

@@ -16,6 +16,7 @@
 package prodsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -189,41 +190,42 @@ type Comparison struct {
 	Without, With, Collocated *Report
 }
 
-// Run simulates one scenario.
-func Run(cfg Config, scenario Scenario) (*Report, error) {
+// Run simulates one scenario. Cancelling the context stops the
+// simulation between ticks and returns the context's error.
+func Run(ctx context.Context, cfg Config, scenario Scenario) (*Report, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.Generate(cfg.Workload)
 	if err != nil {
 		return nil, err
 	}
-	return run(cfg, scenario, w)
+	return run(ctx, cfg, scenario, w)
 }
 
 // RunAll simulates all three scenarios over the same generated cluster
 // and identical churn schedules, as required for a like-for-like
 // comparison.
-func RunAll(cfg Config) (*Comparison, error) {
+func RunAll(ctx context.Context, cfg Config) (*Comparison, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.Generate(cfg.Workload)
 	if err != nil {
 		return nil, err
 	}
-	without, err := run(cfg, WithoutRASA, w)
+	without, err := run(ctx, cfg, WithoutRASA, w)
 	if err != nil {
 		return nil, err
 	}
-	with, err := run(cfg, WithRASA, w)
+	with, err := run(ctx, cfg, WithRASA, w)
 	if err != nil {
 		return nil, err
 	}
-	col, err := run(cfg, OnlyCollocated, w)
+	col, err := run(ctx, cfg, OnlyCollocated, w)
 	if err != nil {
 		return nil, err
 	}
 	return &Comparison{Without: without, With: with, Collocated: col}, nil
 }
 
-func run(cfg Config, scenario Scenario, w *workload.Cluster) (*Report, error) {
+func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster) (*Report, error) {
 	p := w.Problem
 	assign := w.Original.Clone()
 	rep := &Report{Scenario: scenario, TrackedPairs: topPairs(p, cfg.TrackedPairs)}
@@ -234,6 +236,9 @@ func run(cfg Config, scenario Scenario, w *workload.Cluster) (*Report, error) {
 	unschedulableUntil := make([]int, p.N())
 
 	for tick := 0; tick < cfg.Ticks; tick++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("prodsim: stopped at tick %d: %w", tick, err)
+		}
 		tm := TickMetrics{}
 
 		// 1. Cluster churn: some services get redeployed by their owners
@@ -243,7 +248,7 @@ func run(cfg Config, scenario Scenario, w *workload.Cluster) (*Report, error) {
 
 		// 2. CronJob: trigger the RASA workflow on schedule.
 		if scenario == WithRASA && tick%cfg.OptimizeEvery == 0 {
-			res, err := core.Optimize(p, assign, core.Options{
+			res, err := core.Optimize(ctx, p, assign, core.Options{
 				Budget:        cfg.Budget,
 				Partition:     withSeed(cfg.Partition, cfg.Seed+int64(tick)),
 				SkipMigration: true,

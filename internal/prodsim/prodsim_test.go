@@ -1,6 +1,7 @@
 package prodsim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func testConfig(seed int64) Config {
 }
 
 func TestRunWithoutRASA(t *testing.T) {
-	rep, err := Run(testConfig(1), WithoutRASA)
+	rep, err := Run(context.Background(), testConfig(1), WithoutRASA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRunWithoutRASA(t *testing.T) {
 }
 
 func TestRunAllOrdering(t *testing.T) {
-	cmp, err := RunAll(testConfig(2))
+	cmp, err := RunAll(context.Background(), testConfig(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestRunAllOrdering(t *testing.T) {
 }
 
 func TestWithRASAAppliesReallocations(t *testing.T) {
-	rep, err := Run(testConfig(3), WithRASA)
+	rep, err := Run(context.Background(), testConfig(3), WithRASA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestWithRASAAppliesReallocations(t *testing.T) {
 func TestDryRunGateSuppressesTinyImprovements(t *testing.T) {
 	cfg := testConfig(4)
 	cfg.MinImprovement = 1e9 // nothing can pass
-	rep, err := Run(cfg, WithRASA)
+	rep, err := Run(context.Background(), cfg, WithRASA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRollbackMechanism(t *testing.T) {
 	cfg := testConfig(5)
 	cfg.RollbackUtilization = 0.01 // every reallocation looks imbalanced
 	cfg.UnschedulableTicks = 100
-	rep, err := Run(cfg, WithRASA)
+	rep, err := Run(context.Background(), cfg, WithRASA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestRollbackMechanism(t *testing.T) {
 }
 
 func TestOnlyCollocatedIsFullyLocal(t *testing.T) {
-	rep, err := Run(testConfig(6), OnlyCollocated)
+	rep, err := Run(context.Background(), testConfig(6), OnlyCollocated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestChurnErodesAffinityWithoutRASA(t *testing.T) {
 	cfg := testConfig(7)
 	cfg.Ticks = 12
 	cfg.ChurnServices = 5
-	rep, err := Run(cfg, WithoutRASA)
+	rep, err := Run(context.Background(), cfg, WithoutRASA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestUnschedulableTaggingFreezesServices(t *testing.T) {
 	cfg.ChurnServices = 0 // isolate the tagging effect
 	cfg.RollbackUtilization = 0.01
 	cfg.UnschedulableTicks = 1000
-	rep, err := Run(cfg, WithRASA)
+	rep, err := Run(context.Background(), cfg, WithRASA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestOptimizeEveryRespected(t *testing.T) {
 	cfg := testConfig(9)
 	cfg.Ticks = 9
 	cfg.OptimizeEvery = 3
-	rep, err := Run(cfg, WithRASA)
+	rep, err := Run(context.Background(), cfg, WithRASA)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -269,15 +270,15 @@ func Complete(p *cluster.Problem, a *cluster.Assignment) *cluster.Assignment {
 // under the shared deadline, and merge. Random partitioning is cheap but
 // severs affinity edges indiscriminately — the weakness Fig. 9
 // quantifies.
-func POP(p *cluster.Problem, current *cluster.Assignment, opts Options) (*cluster.Assignment, error) {
-	res, err := partition.Random(p, current, partition.Options{
+func POP(ctx context.Context, p *cluster.Problem, current *cluster.Assignment, opts Options) (*cluster.Assignment, error) {
+	res, err := partition.Random(ctx, p, current, partition.Options{
 		TargetSize: opts.targetSize(),
 		Seed:       opts.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	results := pool.SolveAll(res.Subproblems, func(int) pool.Algorithm { return pool.MIP }, opts.Deadline, opts.parallelism())
+	results := pool.SolveAll(ctx, res.Subproblems, func(int) pool.Algorithm { return pool.MIP }, opts.Deadline, opts.parallelism())
 	return merge(p, current, res, results), nil
 }
 

@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -71,7 +72,7 @@ func TestCompleteFillsShortfall(t *testing.T) {
 
 func TestPOPFeasibleAndBeatsOriginal(t *testing.T) {
 	c := testCluster(t, 4)
-	a, err := POP(c.Problem, c.Original, Options{Deadline: 2 * time.Second, Seed: 5})
+	a, err := POP(context.Background(), c.Problem, c.Original, Options{Deadline: 2 * time.Second, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,10 @@
 package selector
 
 import (
+	"context"
+	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/cluster"
@@ -147,26 +150,57 @@ type Labeled struct {
 	MIPObj float64
 }
 
+// winnerMargin is how clearly MIP must beat CG to win a label: near-ties
+// are dominated by solver timing noise, and mislabelled ties poison the
+// classifier. Ties go to CG, the cheaper algorithm.
+const winnerMargin = 0.01
+
 // Label races both pool algorithms on the subproblem with the given
 // per-algorithm budget and returns the labelled example (Section IV-D:
 // "we attempt each subproblem with the two candidate algorithms and
 // choose the one that returns better objective within a time limit").
-// Ties go to CG, the cheaper algorithm.
-func Label(sp *cluster.Subproblem, budget time.Duration) (Labeled, error) {
-	cgRes, err := pool.SolveCG(sp, time.Now().Add(budget))
-	if err != nil {
-		return Labeled{}, err
+// The two arms run concurrently: CG on its own goroutine, MIP on the
+// calling one. Once CG finishes, its objective feeds the MIP solve as a
+// cutoff, so the branch and bound stops the moment its proven upper
+// bound shows it cannot beat CG by winnerMargin — the losing arm is
+// cancelled instead of running out its budget. Ties go to CG.
+func Label(ctx context.Context, sp *cluster.Subproblem, budget time.Duration) (Labeled, error) {
+	deadline := time.Now().Add(budget)
+
+	var (
+		cgObjBits atomic.Uint64
+		cgDone    = make(chan struct{})
+		cgRes     pool.Result
+		cgErr     error
+	)
+	go func() {
+		defer close(cgDone)
+		cgRes, cgErr = pool.SolveCG(ctx, sp, deadline)
+		if cgErr == nil {
+			cgObjBits.Store(math.Float64bits(cgRes.Objective))
+		}
+	}()
+
+	cutoff := func() (float64, bool) {
+		select {
+		case <-cgDone:
+		default:
+			return 0, false
+		}
+		return math.Float64frombits(cgObjBits.Load()) * (1 + winnerMargin), true
 	}
-	mipRes, err := pool.SolveMIP(sp, time.Now().Add(budget))
-	if err != nil {
-		return Labeled{}, err
+	mipRes, mipErr := pool.SolveMIPCutoff(ctx, sp, deadline, cutoff)
+	<-cgDone
+	if cgErr != nil {
+		return Labeled{}, cgErr
+	}
+	if mipErr != nil {
+		return Labeled{}, mipErr
 	}
 	out := Labeled{Sub: sp, CGObj: cgRes.Objective, MIPObj: mipRes.Objective, Winner: pool.CG}
-	// MIP must beat CG by a clear margin to win the label: near-ties are
-	// dominated by solver timing noise, and mislabelled ties poison the
-	// classifier. Ties go to CG, the cheaper algorithm.
-	const margin = 0.01
-	if !mipRes.OutOfTime && mipRes.Objective > cgRes.Objective*(1+margin)+1e-9 {
+	// A MIP arm stopped by the cutoff has a proven bound below the margin
+	// threshold, so this comparison cannot falsely promote it.
+	if !mipRes.OutOfTime && mipRes.Objective > cgRes.Objective*(1+winnerMargin)+1e-9 {
 		out.Winner = pool.MIP
 	}
 	return out, nil

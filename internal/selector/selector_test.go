@@ -1,6 +1,7 @@
 package selector_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -65,7 +66,7 @@ func TestHeuristicRule(t *testing.T) {
 
 func TestLabelRacesAlgorithms(t *testing.T) {
 	sp := smallSubproblem()
-	l, err := Label(sp, 2*time.Second)
+	l, err := Label(context.Background(), sp, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,14 +92,14 @@ func TestTrainedSelectorsEndToEnd(t *testing.T) {
 	}
 	var labeled []Labeled
 	for seed := int64(0); seed < 6; seed++ {
-		pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{
+		pres, err := partition.Multistage(context.Background(), c.Problem, c.Original, partition.Options{
 			TargetSize: 6 + int(seed), Seed: seed,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, sp := range pres.Subproblems {
-			l, err := Label(sp, 150*time.Millisecond)
+			l, err := Label(context.Background(), sp, 150*time.Millisecond)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,64 @@
+package selector_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/pool"
+	. "github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// TestLabelConcurrencySpeedup measures the wall-time saving of racing
+// CG and MIP inside Label against the old sequential CG-then-MIP
+// labelling (each with the full budget). The saving is bounded by the
+// faster algorithm's runtime — MIP typically spends its whole budget
+// unless the cutoff fires — so the test only asserts the concurrent
+// path is not slower; the measured ratio is logged for the record.
+func TestLabelConcurrencySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	c, err := workload.Generate(workload.Preset{
+		Name: "speedup", Services: 120, Containers: 650, Machines: 28,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 2, Utilization: 0.55, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := partition.Multistage(context.Background(), c.Problem, c.Original, partition.Options{TargetSize: 26, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := pres.Subproblems
+	if len(subs) > 8 {
+		subs = subs[:8]
+	}
+	budget := 150 * time.Millisecond
+	var concurrent, sequential time.Duration
+	for _, sp := range subs {
+		s0 := time.Now()
+		if _, err := Label(context.Background(), sp, budget); err != nil {
+			t.Fatal(err)
+		}
+		concurrent += time.Since(s0)
+		// Sequential baseline: CG then MIP, each with the full budget —
+		// what Label did before the solve-contract refactor.
+		s1 := time.Now()
+		if _, err := pool.SolveCG(context.Background(), sp, time.Now().Add(budget)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pool.SolveMIP(context.Background(), sp, time.Now().Add(budget)); err != nil {
+			t.Fatal(err)
+		}
+		sequential += time.Since(s1)
+	}
+	t.Logf("subproblems=%d concurrent=%s sequential=%s speedup=%.2fx",
+		len(subs), concurrent, sequential, float64(sequential)/float64(concurrent))
+	// Allow scheduling jitter but catch a regression to sequential+overhead.
+	if float64(concurrent) > 1.15*float64(sequential) {
+		t.Fatalf("concurrent labelling slower than sequential: %s vs %s", concurrent, sequential)
+	}
+}

@@ -1,0 +1,100 @@
+package solve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCause(t *testing.T) {
+	if c := Cause(nil); c != None {
+		t.Errorf("Cause(nil) = %v, want None", c)
+	}
+	if c := Cause(context.DeadlineExceeded); c != Deadline {
+		t.Errorf("Cause(DeadlineExceeded) = %v, want Deadline", c)
+	}
+	if c := Cause(context.Canceled); c != Cancelled {
+		t.Errorf("Cause(Canceled) = %v, want Cancelled", c)
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	ctx := context.Background()
+	if c, done := Interrupted(ctx, time.Time{}); done {
+		t.Errorf("background ctx, no deadline: interrupted with %v", c)
+	}
+	if c, done := Interrupted(ctx, time.Now().Add(-time.Second)); !done || c != Deadline {
+		t.Errorf("past deadline: got (%v, %v), want (Deadline, true)", c, done)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if c, done := Interrupted(cancelled, time.Time{}); !done || c != Cancelled {
+		t.Errorf("cancelled ctx: got (%v, %v), want (Cancelled, true)", c, done)
+	}
+	// Context cancellation wins over an also-expired explicit deadline:
+	// the caller's intent to stop is the more specific cause.
+	if c, done := Interrupted(cancelled, time.Now().Add(-time.Second)); !done || c != Cancelled {
+		t.Errorf("cancelled ctx + past deadline: got (%v, %v), want (Cancelled, true)", c, done)
+	}
+	expired, cancel2 := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel2()
+	if c, done := Interrupted(expired, time.Time{}); !done || c != Deadline {
+		t.Errorf("deadline-exceeded ctx: got (%v, %v), want (Deadline, true)", c, done)
+	}
+}
+
+func TestPollChecksOnlyOnBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPoll(ctx, time.Time{}, 8)
+	for i := 1; i <= 16; i++ {
+		_, done := p.Interrupted()
+		onBoundary := i%8 == 0
+		if done != onBoundary {
+			t.Fatalf("iteration %d: done=%v, want %v", i, done, onBoundary)
+		}
+	}
+}
+
+func TestPollDefaultInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPoll(ctx, time.Time{}, 0)
+	var fired int
+	for i := 0; i < 2*DefaultPollInterval; i++ {
+		if _, done := p.Interrupted(); done {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("poll fired %d times over two default intervals, want 2", fired)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{SimplexIters: 1, Nodes: 2, Incumbents: 3, Columns: 4, PricingRounds: 5,
+		MasterTime: time.Second, Wall: time.Minute, Stop: Optimal}
+	a.Merge(Stats{SimplexIters: 10, Nodes: 20, Incumbents: 30, Columns: 40, PricingRounds: 50,
+		MasterTime: time.Second, PricingTime: 2 * time.Second, RoundingTime: 3 * time.Second,
+		Wall: time.Hour, Stop: Cancelled})
+	if a.SimplexIters != 11 || a.Nodes != 22 || a.Incumbents != 33 || a.Columns != 44 || a.PricingRounds != 55 {
+		t.Errorf("counter merge wrong: %+v", a)
+	}
+	if a.MasterTime != 2*time.Second || a.PricingTime != 2*time.Second || a.RoundingTime != 3*time.Second {
+		t.Errorf("phase time merge wrong: %+v", a)
+	}
+	if a.Wall != time.Minute || a.Stop != Optimal {
+		t.Errorf("Wall/Stop must not merge: %+v", a)
+	}
+}
+
+func TestStopCauseString(t *testing.T) {
+	for c, want := range map[StopCause]string{
+		None: "none", Optimal: "optimal", Deadline: "deadline",
+		Cancelled: "cancelled", NodeLimit: "node-limit", StopCause(99): "unknown",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("StopCause(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}

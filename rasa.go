@@ -30,6 +30,7 @@
 package rasa
 
 import (
+	"context"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/cluster"
@@ -41,6 +42,7 @@ import (
 	"github.com/cloudsched/rasa/internal/prodsim"
 	"github.com/cloudsched/rasa/internal/sched"
 	"github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/solve"
 	"github.com/cloudsched/rasa/internal/workload"
 )
 
@@ -93,6 +95,22 @@ type (
 	// Policy chooses between the MIP and column-generation algorithms
 	// for each subproblem.
 	Policy = selector.Policy
+	// SolveStats reports solver effort: simplex pivots, branch-and-bound
+	// nodes, CG columns and pricing rounds, per-phase wall time, and the
+	// cause that stopped the solve. Result.Stats aggregates it across
+	// every subproblem of an Optimize pass.
+	SolveStats = solve.Stats
+	// StopCause reports why a solve stopped (see the Stop* constants).
+	StopCause = solve.StopCause
+)
+
+// Stop causes reported in SolveStats.Stop.
+const (
+	StopNone      = solve.None
+	StopOptimal   = solve.Optimal
+	StopDeadline  = solve.Deadline
+	StopCancelled = solve.Cancelled
+	StopNodeLimit = solve.NodeLimit
 )
 
 // Partitioning strategies (Fig. 6 of the paper).
@@ -143,7 +161,16 @@ func NewAffinityGraph(n int) *AffinityGraph { return graph.New(n) }
 // solver per subproblem, solve in parallel under Options.Budget, merge,
 // and compute the migration plan from current to the optimized mapping.
 func Optimize(p *Problem, current *Assignment, opts Options) (*Result, error) {
-	return core.Optimize(p, current, opts)
+	return core.Optimize(context.Background(), p, current, opts)
+}
+
+// OptimizeContext is Optimize with cancellation: every phase of the
+// pipeline observes ctx, and a cancelled pass still returns the best
+// mapping assembled so far (solvers hand back their incumbents, greedy
+// fallbacks cover the rest) rather than an error. Result.Stats reports
+// how far the pass got and why it stopped.
+func OptimizeContext(ctx context.Context, p *Problem, current *Assignment, opts Options) (*Result, error) {
+	return core.Optimize(ctx, p, current, opts)
 }
 
 // Schedule computes an affinity-oblivious initial placement with the
@@ -157,7 +184,14 @@ func Schedule(p *Problem, seed int64) (*Assignment, error) {
 // assignment to another, keeping at least minAlive (default 0.75) of
 // every service's containers running and never exceeding capacities.
 func PlanMigration(p *Problem, from, to *Assignment, minAlive float64) (*MigrationPlan, error) {
-	return migrate.Compute(p, from, to, migrate.Options{MinAlive: minAlive})
+	return migrate.Compute(context.Background(), p, from, to, migrate.Options{MinAlive: minAlive})
+}
+
+// PlanMigrationContext is PlanMigration with cancellation: a cancelled
+// planning run returns the partial plan built so far together with the
+// context's error (every plan prefix is safe to execute).
+func PlanMigrationContext(ctx context.Context, p *Problem, from, to *Assignment, minAlive float64) (*MigrationPlan, error) {
+	return migrate.Compute(ctx, p, from, to, migrate.Options{MinAlive: minAlive})
 }
 
 // SimulateMigration replays a plan, validating every step, and returns
@@ -194,7 +228,13 @@ func TrainingPresets() []Preset { return workload.TrainingPresets() }
 // varying subproblem sizes, labels every subproblem by racing CG against
 // MIP under labelBudget, and trains the graph classifier on the result.
 func TrainSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
-	labeled, err := LabelSubproblems(clusters, labelBudget, seed)
+	return TrainSelectorContext(context.Background(), clusters, labelBudget, seed)
+}
+
+// TrainSelectorContext is TrainSelector with cancellation of the
+// labelling races (training itself is fast and uninterruptible).
+func TrainSelectorContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	labeled, err := LabelSubproblemsContext(ctx, clusters, labelBudget, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -215,10 +255,18 @@ func TrainMLPSelector(clusters []*GeneratedCluster, labelBudget time.Duration, s
 // TrainSelector; exposed for experiment harnesses that train both
 // models on identical data.
 func LabelSubproblems(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
+	return LabelSubproblemsContext(context.Background(), clusters, labelBudget, seed)
+}
+
+// LabelSubproblemsContext is LabelSubproblems with cancellation: each
+// CG-vs-MIP race observes ctx, and the races themselves run the two
+// algorithms concurrently, cancelling the MIP arm early once the CG
+// result is provably unbeatable.
+func LabelSubproblemsContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
 	var labeled []selector.Labeled
 	for ci, c := range clusters {
 		for round := 0; round < 3; round++ {
-			pres, err := partition.Multistage(c.Problem, c.Original, partition.Options{
+			pres, err := partition.Multistage(ctx, c.Problem, c.Original, partition.Options{
 				TargetSize: 6 + 4*round,
 				Seed:       seed + int64(ci*10+round),
 			})
@@ -226,7 +274,7 @@ func LabelSubproblems(clusters []*GeneratedCluster, labelBudget time.Duration, s
 				return nil, err
 			}
 			for _, sp := range pres.Subproblems {
-				l, err := selector.Label(sp, labelBudget)
+				l, err := selector.Label(ctx, sp, labelBudget)
 				if err != nil {
 					return nil, err
 				}
@@ -239,13 +287,23 @@ func LabelSubproblems(clusters []*GeneratedCluster, labelBudget time.Duration, s
 
 // Simulate runs the production simulator for one scenario.
 func Simulate(cfg Simulation, scenario prodsim.Scenario) (*SimulationReport, error) {
-	return prodsim.Run(cfg, scenario)
+	return prodsim.Run(context.Background(), cfg, scenario)
+}
+
+// SimulateContext is Simulate with cancellation between simulated ticks.
+func SimulateContext(ctx context.Context, cfg Simulation, scenario prodsim.Scenario) (*SimulationReport, error) {
+	return prodsim.Run(ctx, cfg, scenario)
 }
 
 // SimulateAll runs the WITH RASA / WITHOUT RASA / ONLY COLLOCATED
 // scenarios of Section V-F over identical churn.
 func SimulateAll(cfg Simulation) (*SimulationComparison, error) {
-	return prodsim.RunAll(cfg)
+	return prodsim.RunAll(context.Background(), cfg)
+}
+
+// SimulateAllContext is SimulateAll with cancellation between ticks.
+func SimulateAllContext(ctx context.Context, cfg Simulation) (*SimulationComparison, error) {
+	return prodsim.RunAll(ctx, cfg)
 }
 
 // Production-simulation scenarios.
