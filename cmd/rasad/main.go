@@ -1,14 +1,17 @@
-// Command rasad simulates the production control loop of Section III: a
-// CronJob that periodically collects the cluster state, runs the RASA
-// algorithm, and applies the resulting migration plan when the dry-run
-// gate passes. Given a snapshot it runs the workflow once and prints the
-// migration plan; with -loop it drives the full production simulator and
-// reports the latency/error improvements of Section V-F.
+// Command rasad runs the production workflows of Section III: a
+// CronJob-style control loop and, with -serve, a long-running
+// optimization service. Given a snapshot it runs the workflow once and
+// prints the migration plan; with -loop it drives the full production
+// simulator and reports the latency/error improvements of Section V-F;
+// with -serve it exposes the HTTP job API (POST /v1/jobs, GET
+// /v1/jobs/{id}, /metrics, /healthz) until SIGTERM drains it.
 //
 // Usage:
 //
 //	rasad -snapshot m1.json            # one optimization pass + plan
 //	rasad -loop -ticks 48              # simulated continuous operation
+//	rasad -serve :8080                 # optimization-as-a-service daemon
+//	rasad -loop -serve :8080           # simulation + live /metrics
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/obs"
 	"github.com/cloudsched/rasa/internal/partition"
 	"github.com/cloudsched/rasa/internal/prodsim"
 	"github.com/cloudsched/rasa/internal/sched"
@@ -31,11 +35,15 @@ import (
 
 func main() {
 	snapPath := flag.String("snapshot", "", "cluster snapshot JSON (from rasagen or a data collector)")
-	budget := flag.Duration("budget", 2*time.Second, "optimization budget per pass")
+	budget := flag.Duration("budget", 2*time.Second, "optimization budget per pass (default budget per job with -serve)")
 	loop := flag.Bool("loop", false, "run the continuous production simulation instead of one pass")
 	ticks := flag.Int("ticks", 48, "half-hour ticks to simulate with -loop")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print every migration command and per-subproblem solver stats")
+	serveAddr := flag.String("serve", "", "serve the optimization HTTP API on this address (e.g. :8080); with -loop, serves live /metrics instead")
+	workers := flag.Int("workers", 2, "concurrent optimization jobs with -serve")
+	queueDepth := flag.Int("queue", 64, "bounded job queue depth with -serve (overload returns 429)")
+	maxBudget := flag.Duration("max-budget", 60*time.Second, "upper clamp on per-job budgets with -serve")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the context: in-flight solves return their
@@ -44,7 +52,11 @@ func main() {
 	defer stop()
 
 	if *loop {
-		runLoop(ctx, *budget, *ticks, *seed)
+		runLoop(ctx, *budget, *ticks, *seed, *serveAddr)
+		return
+	}
+	if *serveAddr != "" {
+		runServe(ctx, *serveAddr, *workers, *queueDepth, *budget, *maxBudget)
 		return
 	}
 	runOnce(ctx, *snapPath, *budget, *seed, *verbose)
@@ -97,7 +109,17 @@ func runOnce(ctx context.Context, snapPath string, budget time.Duration, seed in
 	}
 }
 
-func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64) {
+func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64, addr string) {
+	// The loop publishes every optimization pass's solver stats through
+	// the same registry shape the -serve daemon exposes; with -serve the
+	// series are scrapeable live at /metrics while the simulation runs.
+	reg := obs.NewRegistry()
+	collector := obs.NewSolveCollector(reg, "rasa")
+	passes := reg.Counter("rasa_loop_passes_total", "RASA optimization passes run by the control loop.")
+	gain := reg.Gauge("rasa_loop_gained_affinity", "Gained affinity after the latest optimization pass.")
+	stopMetrics := serveMetrics(addr, reg)
+	defer stopMetrics()
+
 	cfg := prodsim.Config{
 		Workload: workload.Preset{
 			Name: "rasad", Services: 120, Containers: 700, Machines: 30,
@@ -108,6 +130,11 @@ func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64) {
 		Budget:        budget,
 		ChurnServices: 3,
 		Seed:          seed,
+		OnOptimize: func(tick int, res *core.Result) {
+			passes.Inc()
+			gain.Set(res.GainedAffinity)
+			collector.Observe(res.Stats)
+		},
 	}
 	cmp, err := prodsim.RunAll(ctx, cfg)
 	if err != nil {
@@ -121,6 +148,7 @@ func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64) {
 	fmt.Printf("latency improvement: %.2f%%, error improvement: %.2f%%\n",
 		100*(wo.Latency-wi.Latency)/wo.Latency,
 		100*(wo.ErrorRate-wi.ErrorRate)/wo.ErrorRate)
+	fmt.Printf("published %d optimization passes to the metrics registry\n", int(passes.Value()))
 }
 
 type snapshotCluster struct {
@@ -144,11 +172,7 @@ func loadOrGenerate(path string, seed int64) (*snapshotCluster, error) {
 		return nil, err
 	}
 	defer f.Close()
-	s, err := snapshot.Read(f)
-	if err != nil {
-		return nil, err
-	}
-	p, a, err := s.ToCluster()
+	p, a, err := snapshot.Load(f)
 	if err != nil {
 		return nil, err
 	}

@@ -80,6 +80,11 @@ type Config struct {
 	Latency            LatencyModel
 	Partition          partition.Options
 	Seed               int64
+	// OnOptimize, when non-nil, receives every RASA optimization pass of
+	// the WithRASA scenario (tick index plus the full pass result) as it
+	// completes. rasad -loop uses it to publish per-tick solver stats
+	// through its metrics registry; the hook must not retain res.
+	OnOptimize func(tick int, res *core.Result)
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +260,9 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 			})
 			if err != nil {
 				return nil, fmt.Errorf("prodsim: tick %d: %w", tick, err)
+			}
+			if cfg.OnOptimize != nil {
+				cfg.OnOptimize(tick, res)
 			}
 			// Respect unschedulable tags: tagged services stay put.
 			candidate := res.Assignment.Clone()

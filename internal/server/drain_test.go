@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// blockingOptimize returns a stub that parks until its context is
+// cancelled, then returns an "anytime incumbent" (the current
+// assignment) — a deterministic stand-in for a long solver pass.
+// started receives one value per invocation as it begins.
+func blockingOptimize(started chan<- string) func(ctx context.Context, p *cluster.Problem, cur *cluster.Assignment, opts core.Options) (*core.Result, error) {
+	return func(ctx context.Context, p *cluster.Problem, cur *cluster.Assignment, opts core.Options) (*core.Result, error) {
+		if started != nil {
+			started <- "started"
+		}
+		<-ctx.Done()
+		return &core.Result{
+			Assignment:       cur.Clone(),
+			GainedAffinity:   cur.GainedAffinity(p),
+			OriginalAffinity: cur.GainedAffinity(p),
+			Stats:            solve.Stats{Stop: solve.Cause(ctx.Err())},
+		}, nil
+	}
+}
+
+func submit(t *testing.T, ts *httptest.Server, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	started := make(chan string, 4)
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	s.optimize = blockingOptimize(started)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	snap := testSnapshot(t, 30)
+
+	// First job occupies the single worker...
+	code, first := submit(t, ts, snap)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	<-started
+	// ...second fills the queue...
+	if code, _ := submit(t, ts, snap); code != http.StatusAccepted {
+		t.Fatalf("second submit: %d", code)
+	}
+	// ...third must bounce with 429.
+	code, body := submit(t, ts, snap)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: %d %v", code, body)
+	}
+
+	// Drain: both accepted jobs must still complete.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	_, v := getJob(t, ts.URL, first["id"].(string), "")
+	if v.Status != StatusCompleted {
+		t.Fatalf("first job after drain: %q", v.Status)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	started := make(chan string, 4)
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	s.optimize = blockingOptimize(started)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	snap := testSnapshot(t, 31)
+
+	// One in-flight job, one queued behind it.
+	_, running := submit(t, ts, snap)
+	<-started
+	_, queued := submit(t, ts, snap)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Both jobs must have terminal results with their anytime incumbents
+	// and a "cancelled" stop cause.
+	for _, b := range []map[string]any{running, queued} {
+		_, v := getJob(t, ts.URL, b["id"].(string), "")
+		if v.Status != StatusCompleted {
+			t.Fatalf("job %v after drain: %q (error %q)", b["id"], v.Status, v.Error)
+		}
+		if v.Result == nil || len(v.Result.Assignment) == 0 {
+			t.Fatalf("job %v drained without an incumbent", b["id"])
+		}
+		if v.Result.Stats.Stop != solve.Cancelled {
+			t.Fatalf("job %v stop cause %v, want cancelled", b["id"], v.Result.Stats.Stop)
+		}
+	}
+
+	// New work is rejected with 503 and healthz reports draining.
+	if code, _ := submit(t, ts, snap); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit accepted: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+	}
+
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestShutdownTimeout(t *testing.T) {
+	// A worker stuck in a solve that ignores cancellation must not hang
+	// Shutdown past its context.
+	block := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	started := make(chan string, 1)
+	s.optimize = func(ctx context.Context, p *cluster.Problem, cur *cluster.Assignment, opts core.Options) (*core.Result, error) {
+		started <- "started"
+		<-block // ignores ctx: simulates a wedged solver
+		return &core.Result{Assignment: cur.Clone()}, nil
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer close(block)
+
+	submit(t, ts, testSnapshot(t, 32))
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown returned %v, want deadline exceeded", err)
+	}
+}

@@ -1,0 +1,472 @@
+// Package server is the optimization-as-a-service layer of the
+// production deployment (Section III): an HTTP daemon that accepts
+// cluster snapshots, queues them onto a bounded worker pool, runs the
+// RASA algorithm per job under its own deadline, and exposes results
+// and Prometheus-style metrics.
+//
+// The serving contract mirrors the solve contract one level up:
+//
+//   - Backpressure, not buffering: the job queue is bounded; an
+//     overloaded server answers 429 immediately instead of letting
+//     latency grow without bound.
+//   - Anytime under drain: SIGTERM (Server.Shutdown) cancels the shared
+//     base context — in-flight and still-queued jobs finish quickly
+//     with their solvers' anytime incumbents, new submissions get 503,
+//     and Shutdown returns once every accepted job has a result.
+//   - Observable: every job feeds solve.Stats into the obs registry
+//     scraped at GET /metrics.
+//
+// Endpoints:
+//
+//	POST /v1/jobs          submit a snapshot (bare, or wrapped with options)
+//	GET  /v1/jobs          list jobs
+//	GET  /v1/jobs/{id}     job status/result; ?wait=5s long-polls completion
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          liveness + drain state
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/obs"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/snapshot"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the number of concurrent optimization workers
+	// (default 2). Each job already parallelizes its subproblem solves
+	// internally, so a small pool saturates the machine.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64); submissions beyond it are rejected with 429.
+	QueueDepth int
+	// DefaultBudget applies when a request omits its budget (default 2s).
+	DefaultBudget time.Duration
+	// MaxBudget clamps requested budgets (default 60s, the paper's
+	// production time-out).
+	MaxBudget time.Duration
+	// MaxBodyBytes caps request bodies (default 64 MiB — an M2-scale
+	// snapshot is ~3 MiB).
+	MaxBodyBytes int64
+	// Registry receives the service metrics; nil creates a fresh one.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// budgetGrace pads a job's context deadline past its optimization
+// budget, so the in-band anytime machinery (which returns a merged,
+// SLA-reconciled result) finishes before the hard context cut.
+const budgetGrace = 5 * time.Second
+
+// Server is the optimization service. It implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+
+	queue   chan *Job
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+
+	// optimize is swappable for deterministic tests.
+	optimize func(ctx context.Context, p *cluster.Problem, cur *cluster.Assignment, opts core.Options) (*core.Result, error)
+
+	jobsTotal *obs.CounterVec
+	inflight  *obs.Gauge
+	jobSecs   *obs.Histogram
+	queueSecs *obs.Histogram
+	subStops  *obs.CounterVec
+	solver    *obs.SolveCollector
+}
+
+// New builds the service and starts its worker pool. Call Shutdown to
+// drain it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		drainCh:  make(chan struct{}),
+		optimize: core.Optimize,
+	}
+	reg := cfg.Registry
+	s.jobsTotal = reg.CounterVec("rasa_jobs_total", "Jobs by terminal outcome.", "status")
+	s.inflight = reg.Gauge("rasa_jobs_inflight", "Jobs currently being optimized.")
+	reg.GaugeFunc("rasa_queue_depth", "Jobs queued and not yet running.", func() float64 { return float64(len(s.queue)) })
+	reg.Gauge("rasa_queue_capacity", "Bounded queue capacity.").Set(float64(cfg.QueueDepth))
+	reg.Gauge("rasa_workers", "Worker pool size.").Set(float64(cfg.Workers))
+	s.jobSecs = reg.Histogram("rasa_job_duration_seconds", "Wall time of completed optimization jobs.", nil)
+	s.queueSecs = reg.Histogram("rasa_job_queue_seconds", "Time jobs spent queued before a worker picked them up.", nil)
+	s.subStops = reg.CounterVec("rasa_subsolve_stop_total", "Subproblem solves by stop cause.", "cause")
+	s.solver = obs.NewSolveCollector(reg, "rasa")
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.Handle("GET /metrics", reg.Handler())
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the metrics registry the server publishes into.
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: new submissions are rejected with 503,
+// the shared base context is cancelled so in-flight and queued jobs
+// finish promptly with their anytime incumbents, and Shutdown returns
+// once every accepted job has reached a terminal status (or ctx
+// expires). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		s.cancel()
+		close(s.drainCh)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has been initiated.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case job := <-s.queue:
+			s.runJob(job)
+		case <-s.drainCh:
+			// Drain: finish whatever is still queued — their contexts
+			// are already cancelled, so each solve returns its greedy/
+			// incumbent fallback almost immediately — then exit.
+			for {
+				select {
+				case job := <-s.queue:
+					s.runJob(job)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	s.queueSecs.Observe(time.Since(job.submitted).Seconds())
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+	job.setRunning()
+	ctx, cancel := context.WithTimeout(s.baseCtx, job.budget+budgetGrace)
+	defer cancel()
+	res, err := s.optimize(ctx, job.problem, job.current, job.opts)
+	if err != nil {
+		job.fail(err)
+		s.jobsTotal.With(string(StatusFailed)).Inc()
+		return
+	}
+	job.complete(buildResult(job.problem, res))
+	s.jobsTotal.With(string(StatusCompleted)).Inc()
+	s.jobSecs.Observe(time.Since(job.started).Seconds())
+	s.solver.Observe(res.Stats)
+	for _, sr := range res.SubResults {
+		s.subStops.With(sr.Stats.Stop.String()).Inc()
+	}
+}
+
+// submitRequest is the wrapped POST /v1/jobs body. A bare snapshot
+// (top-level "version"/"services") is also accepted, with every option
+// at its default.
+type submitRequest struct {
+	Snapshot      *snapshot.Snapshot `json:"snapshot"`
+	Budget        duration           `json:"budget,omitempty"`
+	Strategy      string             `json:"strategy,omitempty"`
+	Policy        string             `json:"policy,omitempty"`
+	MinAlive      float64            `json:"minAlive,omitempty"`
+	SkipMigration bool               `json:"skipMigration,omitempty"`
+	Parallelism   int                `json:"parallelism,omitempty"`
+	Seed          int64              `json:"seed,omitempty"`
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "", "multistage", "multi-stage", "multi-stage-partition":
+		return core.Multistage, nil
+	case "random", "random-partition":
+		return core.RandomPartition, nil
+	case "kway", "k-way", "kahip":
+		return core.KWayPartition, nil
+	case "none", "no-partition":
+		return core.NoPartition, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want multistage, random, kway, or none)", s)
+}
+
+func parsePolicy(s string) (selector.Policy, error) {
+	switch strings.ToLower(s) {
+	case "", "heuristic":
+		return selector.Heuristic{}, nil
+	case "cg":
+		return selector.Fixed{Algorithm: pool.CG}, nil
+	case "mip":
+		return selector.Fixed{Algorithm: pool.MIP}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want heuristic, cg, or mip)", s)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Snapshot == nil {
+		// Accept a bare snapshot body (rasagen output piped straight in)
+		// with every option at its default.
+		var snap snapshot.Snapshot
+		if err := json.Unmarshal(raw, &snap); err == nil && (snap.Version != 0 || len(snap.Services) > 0) {
+			req.Snapshot = &snap
+		}
+	}
+	if req.Snapshot == nil {
+		writeErr(w, http.StatusBadRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
+		return
+	}
+	budget := time.Duration(req.Budget)
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, current, err := req.Snapshot.ToCluster()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if current == nil {
+		// Snapshot without a recorded deployment: bootstrap with the
+		// ORIGINAL scheduler, like the one-shot CLI path.
+		current, err = sched.Original(p, seed)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "cannot bootstrap initial assignment: "+err.Error())
+			return
+		}
+	}
+	job := &Job{
+		submitted: time.Now(),
+		budget:    budget,
+		problem:   p,
+		current:   current,
+		opts: core.Options{
+			Budget:        budget,
+			Strategy:      strategy,
+			Policy:        policy,
+			MinAlive:      req.MinAlive,
+			SkipMigration: req.SkipMigration,
+			Parallelism:   req.Parallelism,
+		},
+		done: make(chan struct{}),
+	}
+	job.opts.Partition.Seed = seed
+
+	// Register and enqueue under the lock so a concurrent Shutdown
+	// either sees this job in the queue or rejected it here.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
+		return
+	}
+	s.seq++
+	job.id = newJobID(s.seq)
+	job.status = StatusQueued
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+	default:
+		s.mu.Unlock()
+		s.jobsTotal.With("rejected").Inc()
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d queued); retry later", s.cfg.QueueDepth))
+		return
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Location", "/v1/jobs/"+job.id)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     job.id,
+		"status": StatusQueued,
+		"budget": budget.String(),
+	})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid wait duration: "+err.Error())
+			return
+		}
+		select {
+		case <-job.done:
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]jobSummary, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		out = append(out, jobSummary{ID: j.id, Status: j.status, Submitted: j.submitted})
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.mu.Lock()
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"queued":   len(s.queue),
+		"inflight": int(s.inflight.Value()),
+		"jobs":     total,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

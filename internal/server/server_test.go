@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/solve"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// testSnapshot generates a small cluster snapshot as JSON.
+func testSnapshot(t *testing.T, seed int64) []byte {
+	t.Helper()
+	c, err := workload.Generate(workload.Preset{
+		Name: "srv", Services: 30, Containers: 150, Machines: 8,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(snapshot.FromCluster(c.Problem, c.Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJob(t *testing.T, base, id, query string) (int, jobView) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding job view: %v", err)
+	}
+	return resp.StatusCode, v
+}
+
+func TestSubmitBareSnapshotCompletes(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2, DefaultBudget: 500 * time.Millisecond})
+
+	code, body := postJSON(t, ts.URL+"/v1/jobs", testSnapshot(t, 1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", code, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", body)
+	}
+
+	code, v := getJob(t, ts.URL, id, "?wait=30s")
+	if code != http.StatusOK {
+		t.Fatalf("get status %d", code)
+	}
+	if v.Status != StatusCompleted {
+		t.Fatalf("job status %q, error %q", v.Status, v.Error)
+	}
+	r := v.Result
+	if r == nil {
+		t.Fatal("completed job has no result")
+	}
+	if len(r.Assignment) == 0 {
+		t.Fatal("result has no assignment")
+	}
+	if r.GainedAffinity <= 0 || r.TotalAffinity <= 0 {
+		t.Fatalf("affinity missing: gained=%v total=%v", r.GainedAffinity, r.TotalAffinity)
+	}
+	if r.GainedAffinity < r.OriginalAffinity-1e-9 {
+		t.Fatalf("optimization regressed: %v -> %v", r.OriginalAffinity, r.GainedAffinity)
+	}
+	if r.Plan == nil {
+		t.Fatal("result has no migration plan")
+	}
+	if len(r.SubResults) == 0 {
+		t.Fatal("result has no per-subproblem stats")
+	}
+	for i, sr := range r.SubResults {
+		if sr.Algorithm != "CG" && sr.Algorithm != "MIP" {
+			t.Fatalf("subresult %d has unknown algorithm %q", i, sr.Algorithm)
+		}
+	}
+	if r.Stats.Stop == solve.None {
+		t.Fatal("pass-level stop cause missing")
+	}
+
+	// The wire form must render stop causes as names, not numbers.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"stop":"`) {
+		t.Fatalf("stop causes not rendered as strings: %s", raw)
+	}
+}
+
+func TestSubmitWrappedOptions(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+
+	var wrapped bytes.Buffer
+	fmt.Fprintf(&wrapped, `{"snapshot": %s, "budget": "300ms", "strategy": "random", "policy": "cg", "skipMigration": true, "seed": 7}`,
+		testSnapshot(t, 2))
+	code, body := postJSON(t, ts.URL+"/v1/jobs", wrapped.Bytes())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", code, body)
+	}
+	if got := body["budget"]; got != "300ms" {
+		t.Fatalf("budget not honoured: %v", got)
+	}
+	id := body["id"].(string)
+	_, v := getJob(t, ts.URL, id, "?wait=30s")
+	if v.Status != StatusCompleted {
+		t.Fatalf("job status %q, error %q", v.Status, v.Error)
+	}
+	if v.Result.Plan != nil {
+		t.Fatal("skipMigration ignored: plan present")
+	}
+	for i, sr := range v.Result.SubResults {
+		if sr.Algorithm != "CG" {
+			t.Fatalf("policy=cg ignored: subresult %d solved with %s", i, sr.Algorithm)
+		}
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+
+	// Malformed JSON.
+	code, body := postJSON(t, ts.URL+"/v1/jobs", []byte("{nope"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d %v", code, body)
+	}
+
+	// Valid JSON, no snapshot.
+	code, _ = postJSON(t, ts.URL+"/v1/jobs", []byte(`{"budget": "1s"}`))
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing snapshot: status %d", code)
+	}
+
+	// Invalid snapshot: the validation error must name the entry.
+	code, body = postJSON(t, ts.URL+"/v1/jobs",
+		[]byte(`{"version":1,"resourceNames":["cpu"],"services":[{"name":"web","replicas":0,"request":[1]}],"machines":[{"name":"m0","capacity":[4]}]}`))
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid snapshot: status %d", code)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, `service 0 ("web") has non-positive replicas`) {
+		t.Fatalf("validation error not descriptive: %v", body)
+	}
+
+	// Unknown strategy.
+	var wrapped bytes.Buffer
+	fmt.Fprintf(&wrapped, `{"snapshot": %s, "strategy": "quantum"}`, testSnapshot(t, 3))
+	code, body = postJSON(t, ts.URL+"/v1/jobs", wrapped.Bytes())
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "unknown strategy") {
+		t.Fatalf("unknown strategy: status %d %v", code, body)
+	}
+
+	// Unknown job id.
+	code, _ = getJob(t, ts.URL, "job-does-not-exist", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, DefaultBudget: 300 * time.Millisecond})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	counterValue := func(out, name string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				var v float64
+				fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%g", &v)
+				return v
+			}
+		}
+		return 0
+	}
+
+	runOne := func(seed int64) {
+		_, body := postJSON(t, ts.URL+"/v1/jobs", testSnapshot(t, seed))
+		id := body["id"].(string)
+		_, v := getJob(t, ts.URL, id, "?wait=30s")
+		if v.Status != StatusCompleted {
+			t.Fatalf("job status %q, error %q", v.Status, v.Error)
+		}
+	}
+
+	runOne(10)
+	first := scrape()
+	if counterValue(first, `rasa_jobs_total{status="completed"}`) != 1 {
+		t.Fatalf("jobs_total after one job:\n%s", first)
+	}
+	pivots1 := counterValue(first, "rasa_solver_simplex_pivots_total")
+	if pivots1 <= 0 {
+		t.Fatalf("no simplex pivots recorded:\n%s", first)
+	}
+	if !strings.Contains(first, `rasa_solve_stop_total{cause="`) {
+		t.Fatalf("no stop causes recorded:\n%s", first)
+	}
+
+	// Counters must increase across a second job.
+	runOne(11)
+	second := scrape()
+	if counterValue(second, `rasa_jobs_total{status="completed"}`) != 2 {
+		t.Fatalf("jobs_total did not increase:\n%s", second)
+	}
+	if p2 := counterValue(second, "rasa_solver_simplex_pivots_total"); p2 <= pivots1 {
+		t.Fatalf("solver pivots did not increase: %v -> %v", pivots1, p2)
+	}
+	if counterValue(second, "rasa_job_duration_seconds_count") != 2 {
+		t.Fatalf("job duration histogram count:\n%s", second)
+	}
+}
+
+func TestListJobs(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, DefaultBudget: 200 * time.Millisecond})
+	_, body := postJSON(t, ts.URL+"/v1/jobs", testSnapshot(t, 20))
+	id := body["id"].(string)
+	getJob(t, ts.URL, id, "?wait=30s")
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []jobSummary `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 1 || out.Jobs[0].ID != id {
+		t.Fatalf("listing: %+v", out.Jobs)
+	}
+}

@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// FuzzLoadSave feeds arbitrary bytes through the full decode → validate
+// → rebuild → re-encode path. The invariants: malformed input returns
+// an error (never panics), and any input that passes validation must
+// survive a save/load round trip without drift.
+func FuzzLoadSave(f *testing.F) {
+	seed := minimal()
+	b, err := json.Marshal(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	c, err := workload.Generate(workload.Preset{
+		Name: "fuzz", Services: 12, Containers: 50, Machines: 5,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 2, Utilization: 0.5, Seed: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	gen, err := json.Marshal(FromCluster(c.Problem, c.Original))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gen)
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"resourceNames":["cpu"],"services":[{"replicas":-1,"request":[1]}]}`))
+	f.Add([]byte(`{"version":1,"resourceNames":["cpu"],"services":[{"replicas":1,"request":[1]}],"machines":[{"capacity":[1]}],"affinity":[{"a":0,"b":0,"weight":1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // not JSON at all: fine, as long as we did not panic
+		}
+		p, a, err := s.ToCluster()
+		if err != nil {
+			return // rejected with a descriptive error: fine
+		}
+		// Accepted: the rebuilt cluster must round-trip cleanly.
+		s2 := FromCluster(p, a)
+		var buf bytes.Buffer
+		if err := Write(&buf, s2); err != nil {
+			t.Fatalf("save of accepted snapshot failed: %v", err)
+		}
+		p2, a2, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reload of accepted snapshot failed: %v", err)
+		}
+		if p2.N() != p.N() || p2.M() != p.M() {
+			t.Fatalf("shape drifted: %d/%d -> %d/%d", p.N(), p.M(), p2.N(), p2.M())
+		}
+		if math.Abs(p2.Affinity.TotalWeight()-p.Affinity.TotalWeight()) > 1e-9 {
+			t.Fatalf("affinity weight drifted: %v -> %v", p.Affinity.TotalWeight(), p2.Affinity.TotalWeight())
+		}
+		if (a == nil) != (a2 == nil) {
+			t.Fatalf("assignment presence drifted")
+		}
+		if a != nil && math.Abs(a.GainedAffinity(p)-a2.GainedAffinity(p2)) > 1e-9 {
+			t.Fatalf("gained affinity drifted")
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/graph"
@@ -102,11 +103,116 @@ func FromCluster(p *cluster.Problem, a *cluster.Assignment) *Snapshot {
 	return s
 }
 
-// ToCluster reconstructs the problem and assignment (nil if the
-// snapshot has no placements).
-func (s *Snapshot) ToCluster() (*cluster.Problem, *cluster.Assignment, error) {
+// svcLabel names a service in errors: index plus name when present.
+func svcLabel(i int, name string) string {
+	if name == "" {
+		return fmt.Sprintf("service %d", i)
+	}
+	return fmt.Sprintf("service %d (%q)", i, name)
+}
+
+func machLabel(i int, name string) string {
+	if name == "" {
+		return fmt.Sprintf("machine %d", i)
+	}
+	return fmt.Sprintf("machine %d (%q)", i, name)
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Validate checks the snapshot against the schema invariants before
+// any cluster structures are built, so malformed input — hand-edited
+// files, truncated collector output, hostile API bodies — surfaces as
+// a descriptive error naming the offending entry instead of a panic or
+// garbage deep in the solver.
+func (s *Snapshot) Validate() error {
 	if s.Version != CurrentVersion {
-		return nil, nil, fmt.Errorf("snapshot: unsupported version %d", s.Version)
+		return fmt.Errorf("snapshot: unsupported version %d (this build reads version %d)", s.Version, CurrentVersion)
+	}
+	nr := len(s.ResourceNames)
+	if nr == 0 {
+		return fmt.Errorf("snapshot: resourceNames is empty")
+	}
+	n, m := len(s.Services), len(s.Machines)
+	for i, sj := range s.Services {
+		if sj.Replicas <= 0 {
+			return fmt.Errorf("snapshot: %s has non-positive replicas %d", svcLabel(i, sj.Name), sj.Replicas)
+		}
+		if len(sj.Request) != nr {
+			return fmt.Errorf("snapshot: %s request has %d entries, want %d (one per resourceNames entry)",
+				svcLabel(i, sj.Name), len(sj.Request), nr)
+		}
+		for r, v := range sj.Request {
+			if v < 0 || !finite(v) {
+				return fmt.Errorf("snapshot: %s has invalid %s request %v", svcLabel(i, sj.Name), s.ResourceNames[r], v)
+			}
+		}
+		for _, mi := range sj.Machines {
+			if mi < 0 || mi >= m {
+				return fmt.Errorf("snapshot: %s restricted to machine %d, outside [0,%d)", svcLabel(i, sj.Name), mi, m)
+			}
+		}
+	}
+	for i, mj := range s.Machines {
+		if len(mj.Capacity) != nr {
+			return fmt.Errorf("snapshot: %s capacity has %d entries, want %d (one per resourceNames entry)",
+				machLabel(i, mj.Name), len(mj.Capacity), nr)
+		}
+		for r, v := range mj.Capacity {
+			if v < 0 || !finite(v) {
+				return fmt.Errorf("snapshot: %s has invalid %s capacity %v", machLabel(i, mj.Name), s.ResourceNames[r], v)
+			}
+		}
+	}
+	for i, e := range s.Affinity {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return fmt.Errorf("snapshot: affinity edge %d references services (%d,%d), outside [0,%d)", i, e.A, e.B, n)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("snapshot: affinity edge %d is a self-loop on service %d", i, e.A)
+		}
+		if e.Weight < 0 || !finite(e.Weight) {
+			return fmt.Errorf("snapshot: affinity edge %d (%d,%d) has invalid weight %v", i, e.A, e.B, e.Weight)
+		}
+	}
+	for i, r := range s.AntiAffinity {
+		if r.MaxPerHost < 0 {
+			return fmt.Errorf("snapshot: anti-affinity rule %d has negative maxPerHost %d", i, r.MaxPerHost)
+		}
+		for _, svc := range r.Services {
+			if svc < 0 || svc >= n {
+				return fmt.Errorf("snapshot: anti-affinity rule %d references service %d, outside [0,%d)", i, svc, n)
+			}
+		}
+	}
+	placed := make([]int, n)
+	for i, pl := range s.Assignment {
+		if pl.Service < 0 || pl.Service >= n {
+			return fmt.Errorf("snapshot: assignment entry %d places unknown service %d, outside [0,%d)", i, pl.Service, n)
+		}
+		if pl.Machine < 0 || pl.Machine >= m {
+			return fmt.Errorf("snapshot: assignment entry %d places %s on unknown machine %d, outside [0,%d)",
+				i, svcLabel(pl.Service, s.Services[pl.Service].Name), pl.Machine, m)
+		}
+		if pl.Count <= 0 {
+			return fmt.Errorf("snapshot: assignment entry %d has non-positive count %d", i, pl.Count)
+		}
+		placed[pl.Service] += pl.Count
+		if repl := s.Services[pl.Service].Replicas; placed[pl.Service] > repl {
+			return fmt.Errorf("snapshot: assignment places %d containers of %s, more than its %d replicas",
+				placed[pl.Service], svcLabel(pl.Service, s.Services[pl.Service].Name), repl)
+		}
+	}
+	return nil
+}
+
+// ToCluster validates the snapshot and reconstructs the problem and
+// assignment (nil if the snapshot has no placements).
+func (s *Snapshot) ToCluster() (*cluster.Problem, *cluster.Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
 	}
 	p := &cluster.Problem{ResourceNames: s.ResourceNames}
 	n, m := len(s.Services), len(s.Machines)
@@ -124,9 +230,6 @@ func (s *Snapshot) ToCluster() (*cluster.Problem, *cluster.Assignment, error) {
 	}
 	g := graph.New(n)
 	for _, e := range s.Affinity {
-		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
-			return nil, nil, fmt.Errorf("snapshot: affinity edge (%d,%d) out of range", e.A, e.B)
-		}
 		g.AddEdge(e.A, e.B, e.Weight)
 	}
 	p.Affinity = g
@@ -143,9 +246,6 @@ func (s *Snapshot) ToCluster() (*cluster.Problem, *cluster.Assignment, error) {
 			}
 			bm := cluster.NewBitmap(m)
 			for _, mi := range sj.Machines {
-				if mi < 0 || mi >= m {
-					return nil, nil, fmt.Errorf("snapshot: service %d restricted to unknown machine %d", si, mi)
-				}
 				bm.Set(mi)
 			}
 			p.Schedulable[si] = bm
@@ -158,13 +258,21 @@ func (s *Snapshot) ToCluster() (*cluster.Problem, *cluster.Assignment, error) {
 	if len(s.Assignment) > 0 {
 		a = cluster.NewAssignment(n, m)
 		for _, pl := range s.Assignment {
-			if pl.Service < 0 || pl.Service >= n || pl.Machine < 0 || pl.Machine >= m || pl.Count < 0 {
-				return nil, nil, fmt.Errorf("snapshot: invalid placement %+v", pl)
-			}
 			a.Add(pl.Service, pl.Machine, pl.Count)
 		}
 	}
 	return p, a, nil
+}
+
+// Load reads, validates, and reconstructs a cluster from r in one
+// step — the entry point for anything consuming collector output
+// (rasad, the optimization service).
+func Load(r io.Reader) (*cluster.Problem, *cluster.Assignment, error) {
+	s, err := Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.ToCluster()
 }
 
 // Write encodes the snapshot as indented JSON.

@@ -54,26 +54,112 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-func TestToClusterRejectsBadData(t *testing.T) {
-	bad := []Snapshot{
-		{Version: 99},
-		{Version: 1, ResourceNames: []string{"cpu"},
-			Services: []ServiceJSON{{Name: "a", Replicas: 1, Request: []float64{1}}},
-			Machines: []MachineJSON{{Name: "m", Capacity: []float64{1}}},
-			Affinity: []EdgeJSON{{A: 0, B: 9, Weight: 1}}},
-		{Version: 1, ResourceNames: []string{"cpu"},
-			Services:   []ServiceJSON{{Name: "a", Replicas: 1, Request: []float64{1}}},
-			Machines:   []MachineJSON{{Name: "m", Capacity: []float64{1}}},
-			Assignment: []PlacementJSON{{Service: 0, Machine: 5, Count: 1}}},
-		{Version: 1, ResourceNames: []string{"cpu"},
-			Services: []ServiceJSON{{Name: "a", Replicas: 1, Request: []float64{1}, Machines: []int{9}}},
-			Machines: []MachineJSON{{Name: "m", Capacity: []float64{1}}}},
+// minimal returns a small well-formed snapshot for mutation tests.
+func minimal() Snapshot {
+	return Snapshot{
+		Version:       CurrentVersion,
+		ResourceNames: []string{"cpu", "mem"},
+		Services: []ServiceJSON{
+			{Name: "web", Replicas: 2, Request: []float64{1, 2}},
+			{Name: "db", Replicas: 1, Request: []float64{2, 4}},
+		},
+		Machines: []MachineJSON{
+			{Name: "m0", Capacity: []float64{8, 16}},
+			{Name: "m1", Capacity: []float64{8, 16}},
+		},
+		Affinity:   []EdgeJSON{{A: 0, B: 1, Weight: 1}},
+		Assignment: []PlacementJSON{{Service: 0, Machine: 0, Count: 2}, {Service: 1, Machine: 1, Count: 1}},
 	}
-	for i, s := range bad {
-		s := s
-		if _, _, err := s.ToCluster(); err == nil {
-			t.Fatalf("case %d accepted", i)
-		}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	s := minimal()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ToCluster(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Snapshot)
+		wantErr string
+	}{
+		{"unsupported version", func(s *Snapshot) { s.Version = 99 }, "unsupported version 99"},
+		{"no resources", func(s *Snapshot) { s.ResourceNames = nil }, "resourceNames is empty"},
+		{"short request", func(s *Snapshot) { s.Services[1].Request = []float64{1} },
+			`service 1 ("db") request has 1 entries, want 2`},
+		{"negative request", func(s *Snapshot) { s.Services[0].Request[1] = -3 },
+			`service 0 ("web") has invalid mem request -3`},
+		{"non-positive replicas", func(s *Snapshot) { s.Services[0].Replicas = 0 },
+			`service 0 ("web") has non-positive replicas 0`},
+		{"restriction out of range", func(s *Snapshot) { s.Services[1].Machines = []int{7} },
+			`service 1 ("db") restricted to machine 7, outside [0,2)`},
+		{"short capacity", func(s *Snapshot) { s.Machines[0].Capacity = []float64{8} },
+			`machine 0 ("m0") capacity has 1 entries, want 2`},
+		{"negative capacity", func(s *Snapshot) { s.Machines[1].Capacity[0] = -1 },
+			`machine 1 ("m1") has invalid cpu capacity -1`},
+		{"affinity out of range", func(s *Snapshot) { s.Affinity[0].B = 9 },
+			"affinity edge 0 references services (0,9), outside [0,2)"},
+		{"affinity self-loop", func(s *Snapshot) { s.Affinity[0].B = 0 },
+			"affinity edge 0 is a self-loop on service 0"},
+		{"affinity negative weight", func(s *Snapshot) { s.Affinity[0].Weight = -2 },
+			"affinity edge 0 (0,1) has invalid weight -2"},
+		{"anti-affinity out of range", func(s *Snapshot) {
+			s.AntiAffinity = []AntiJSON{{Services: []int{0, 5}, MaxPerHost: 1}}
+		}, "anti-affinity rule 0 references service 5, outside [0,2)"},
+		{"anti-affinity negative cap", func(s *Snapshot) {
+			s.AntiAffinity = []AntiJSON{{Services: []int{0}, MaxPerHost: -1}}
+		}, "anti-affinity rule 0 has negative maxPerHost -1"},
+		{"assignment unknown service", func(s *Snapshot) { s.Assignment[0].Service = 4 },
+			"assignment entry 0 places unknown service 4, outside [0,2)"},
+		{"assignment unknown machine", func(s *Snapshot) { s.Assignment[1].Machine = 3 },
+			`assignment entry 1 places service 1 ("db") on unknown machine 3, outside [0,2)`},
+		{"assignment non-positive count", func(s *Snapshot) { s.Assignment[0].Count = 0 },
+			"assignment entry 0 has non-positive count 0"},
+		{"assignment overplaced", func(s *Snapshot) { s.Assignment[1].Count = 5 },
+			`assignment places 5 containers of service 1 ("db"), more than its 1 replicas`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := minimal()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("malformed snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending entry (want substring %q)", err, tc.wantErr)
+			}
+			// ToCluster must reject identically (it validates first).
+			if _, _, err2 := s.ToCluster(); err2 == nil {
+				t.Fatal("ToCluster accepted what Validate rejected")
+			}
+		})
+	}
+}
+
+func TestLoad(t *testing.T) {
+	s := minimal()
+	var buf bytes.Buffer
+	if err := Write(&buf, &s); err != nil {
+		t.Fatal(err)
+	}
+	p, a, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 2 || p.M() != 2 || a == nil || a.Placed(0) != 2 {
+		t.Fatalf("load drifted: %d services, %d machines", p.N(), p.M())
+	}
+	if _, _, err := Load(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("Load accepted unsupported version")
+	}
+	if _, _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("Load accepted garbage")
 	}
 }
 

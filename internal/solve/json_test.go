@@ -1,0 +1,93 @@
+package solve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStopCauseJSONRoundTrip(t *testing.T) {
+	for c := None; c <= NodeLimit; c++ {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + c.String() + `"`; string(b) != want {
+			t.Fatalf("marshal %v = %s, want %s", c, b, want)
+		}
+		var back StopCause
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Fatalf("round trip %v -> %v", c, back)
+		}
+	}
+}
+
+func TestStopCauseJSONLegacyNumeric(t *testing.T) {
+	var c StopCause
+	if err := json.Unmarshal([]byte("2"), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c != Deadline {
+		t.Fatalf("numeric 2 -> %v, want deadline", c)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &c); err == nil {
+		t.Fatal("unknown cause accepted")
+	}
+	if err := json.Unmarshal([]byte("99"), &c); err == nil {
+		t.Fatal("out-of-range numeric accepted")
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := Stats{
+		SimplexIters: 1200, Nodes: 34, Incumbents: 3, Columns: 56, PricingRounds: 7,
+		MasterTime: 15 * time.Millisecond, PricingTime: 9 * time.Millisecond,
+		RoundingTime: 2 * time.Millisecond, Wall: 31 * time.Millisecond,
+		Stop: Deadline,
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"stop":"deadline"`) {
+		t.Fatalf("stop cause not rendered as name: %s", b)
+	}
+	if !strings.Contains(string(b), `"wall":"31ms"`) {
+		t.Fatalf("wall not rendered as duration string: %s", b)
+	}
+	var back Stats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func TestStatsJSONZeroOmitsDurations(t *testing.T) {
+	b, err := json.Marshal(Stats{Stop: Optimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "wall") || strings.Contains(string(b), "masterTime") {
+		t.Fatalf("zero durations not omitted: %s", b)
+	}
+	var back Stats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stop != Optimal {
+		t.Fatalf("stop drifted: %v", back.Stop)
+	}
+}
+
+func TestStatsJSONBadDuration(t *testing.T) {
+	var s Stats
+	if err := json.Unmarshal([]byte(`{"wall":"not-a-duration"}`), &s); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
