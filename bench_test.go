@@ -306,6 +306,28 @@ func BenchmarkLemma1TailShare(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverWorkspace regenerates the PR-3 solver benchmark
+// (BENCH_pr3.json): LP workspace reuse (allocs/solve, ns/solve) and
+// branch-and-bound warm starts (node throughput within a fixed budget,
+// pivots/node, completion-objective agreement).
+func BenchmarkSolverWorkspace(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SolverBench(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.MIP.ObjectivesAgree {
+			b.Fatalf("warm and cold completion objectives disagree: max delta %g", res.MIP.MaxObjectiveDelta)
+		}
+		b.ReportMetric(100*res.LP.AllocReduction, "alloc-reduction-pct")
+		b.ReportMetric(res.LP.AllocsReused, "allocs/solve")
+		b.ReportMetric(res.LP.NsReused, "ns/solve")
+		b.ReportMetric(res.MIP.NodeRatio, "warm-node-ratio-x")
+		b.ReportMetric(res.MIP.PivotsPerNodeWarm, "pivots/node")
+	}
+}
+
 // BenchmarkCancellationLatency measures the anytime contract's reaction
 // time on M1: how long OptimizeContext takes to hand back its incumbent
 // after the context is cancelled mid-pass. The acceptance target for

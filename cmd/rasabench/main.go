@@ -10,10 +10,12 @@
 //
 // Flags:
 //
-//	-budget 1.5s   per-optimization time-out (the paper's 60 s scaled)
-//	-small         quarter-scale clusters for quick runs
-//	-seed 1        random seed
-//	-csv DIR       additionally write each figure's data series as CSV
+//	-budget 1.5s       per-optimization time-out (the paper's 60 s scaled)
+//	-small             quarter-scale clusters for quick runs
+//	-seed 1            random seed
+//	-csv DIR           additionally write each figure's data series as CSV
+//	-solverbench FILE  run the solver micro-benchmark and write its JSON
+//	                   artifact (BENCH_pr3.json schema) to FILE
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 	small := flag.Bool("small", false, "use quarter-scale clusters")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "directory to write CSV data series into")
+	solverBench := flag.String("solverbench", "", "run the solver benchmark and write its JSON artifact to this file")
 	flag.Parse()
 
 	cfg := experiments.FromEnv()
@@ -59,11 +62,22 @@ func main() {
 		}
 	}
 
+	start := time.Now()
+	if *solverBench != "" {
+		if err := runSolverBench(cfg, *solverBench); err != nil {
+			fail(fmt.Errorf("solverbench: %w", err))
+		}
+		// With no experiments named, -solverbench is the whole run.
+		if len(flag.Args()) == 0 {
+			fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+			return
+		}
+	}
+
 	which := flag.Args()
 	if len(which) == 0 {
 		which = []string{"all"}
 	}
-	start := time.Now()
 	for _, name := range which {
 		if err := ctx.Err(); err != nil {
 			fail(fmt.Errorf("interrupted: %w", err))
@@ -73,6 +87,25 @@ func main() {
 		}
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runSolverBench runs the PR-3 solver benchmark and writes its JSON
+// artifact (ns/solve, allocs/solve, pivots/node, nodes within budget).
+func runSolverBench(cfg experiments.Config, path string) error {
+	r, err := experiments.SolverBench(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteSolverBenchJSON(f, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
 }
 
 func fail(err error) {

@@ -77,6 +77,15 @@ type state struct {
 	pats  []pattern
 	seen  map[string]bool
 	stats solve.Stats
+
+	// masterWS and masterBasis warm-start each restricted-master LP from
+	// the previous round's optimal basis: the master's rows are fixed
+	// (one per group + one per service) and only columns are appended, so
+	// the old vertex stays primal feasible and the re-solve prices the
+	// new columns in with a handful of warm pivots instead of a full
+	// two-phase solve.
+	masterWS    *lp.Workspace
+	masterBasis *lp.Basis
 }
 
 type edge struct {
@@ -113,12 +122,14 @@ func Solve(ctx context.Context, sp *cluster.Subproblem, opts Options) (Result, e
 		groups = split
 	}
 	st := &state{
-		ctx:    ctx,
-		sp:     sp,
-		groups: groups,
-		opts:   opts,
-		seen:   make(map[string]bool),
+		ctx:      ctx,
+		sp:       sp,
+		groups:   groups,
+		opts:     opts,
+		seen:     make(map[string]bool),
+		masterWS: lp.AcquireWorkspace(),
 	}
+	defer st.masterWS.Release()
 
 	// An already-expired budget (or cancelled context) gets no master,
 	// pricing, or rounding MIP at all: go straight to the greedy
@@ -425,10 +436,13 @@ func (st *state) solveMaster(integral bool) (lp.Solution, bool) {
 		}
 	}
 	if !integral {
-		sol, err := lp.Solve(st.ctx, &prob, lp.Options{Deadline: st.loopDeadline})
+		sol, err := st.masterWS.SolveFrom(st.ctx, &prob, lp.Options{Deadline: st.loopDeadline}, st.masterBasis)
 		st.stats.Merge(sol.Stats)
 		if err != nil || sol.Status == lp.Infeasible || sol.Status == lp.Unbounded || sol.X == nil {
 			return lp.Solution{}, false
+		}
+		if sol.Status == lp.Optimal {
+			st.masterBasis = st.masterWS.CaptureBasis(st.masterBasis)
 		}
 		return sol, true
 	}

@@ -1,0 +1,372 @@
+// Solver benchmark (BENCH_pr3.json): quantifies the LP workspace layer
+// introduced in PR 3 — tableau-storage reuse (allocs/solve, ns/solve)
+// and branch-and-bound warm starts (nodes explored within a fixed
+// budget, pivots/node) — on the standard subproblem benchmark: MIP
+// formulations of multistage-partitioned workload clusters, the exact
+// instances the production solve path feeds to internal/mip. Later PRs
+// regenerate the same artifact to track the solver-perf trajectory.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/lp"
+	"github.com/cloudsched/rasa/internal/mip"
+	"github.com/cloudsched/rasa/internal/model"
+	"github.com/cloudsched/rasa/internal/partition"
+)
+
+// SolverBenchResult is the schema of BENCH_pr3.json. All aggregate
+// ratios are also derivable from the per-case entries; they are
+// materialized so trajectory comparisons are one jq expression.
+type SolverBenchResult struct {
+	// Schema names the layout so later BENCH_*.json revisions can evolve.
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	// LPSolves is how many repeated solves each LP case averages over.
+	LPSolves int `json:"lpSolvesPerCase"`
+	// MIPBudget is the fixed wall-clock budget of the node-throughput
+	// comparison (Go duration string).
+	MIPBudget string `json:"mipBudget"`
+
+	LP  LPBenchGroup  `json:"lp"`
+	MIP MIPBenchGroup `json:"mip"`
+}
+
+// LPBenchGroup compares cold solves in a fresh workspace per solve (the
+// pre-workspace allocation profile: every tableau row, cost row, and
+// index slice allocated anew) against cold solves reusing one workspace.
+type LPBenchGroup struct {
+	Cases []LPBenchCase `json:"cases"`
+	// Means across cases (per solve).
+	NsFresh      float64 `json:"nsPerSolveFresh"`
+	NsReused     float64 `json:"nsPerSolveReused"`
+	AllocsFresh  float64 `json:"allocsPerSolveFresh"`
+	AllocsReused float64 `json:"allocsPerSolveReused"`
+	// AllocReduction = 1 - reused/fresh; the PR-3 acceptance floor is 0.40.
+	AllocReduction float64 `json:"allocReduction"`
+}
+
+// LPBenchCase is one subproblem's root-relaxation LP.
+type LPBenchCase struct {
+	Name         string  `json:"name"`
+	Vars         int     `json:"vars"`
+	Rows         int     `json:"rows"`
+	NsFresh      float64 `json:"nsPerSolveFresh"`
+	NsReused     float64 `json:"nsPerSolveReused"`
+	AllocsFresh  float64 `json:"allocsPerSolveFresh"`
+	AllocsReused float64 `json:"allocsPerSolveReused"`
+}
+
+// MIPBenchGroup compares branch and bound with per-node warm starts
+// (default) against DisableWarmStart under one fixed wall-clock budget,
+// plus run-to-completion objective agreement between the two paths.
+type MIPBenchGroup struct {
+	Cases []MIPBenchCase `json:"cases"`
+	// NodeRatio is the mean warm/cold node count over budget-bound cases;
+	// the PR-3 acceptance floor is 1.5.
+	NodeRatio         float64 `json:"nodeRatio"`
+	PivotsPerNodeCold float64 `json:"pivotsPerNodeCold"`
+	PivotsPerNodeWarm float64 `json:"pivotsPerNodeWarm"`
+	// MaxObjectiveDelta is the largest |warm-cold| completion-objective
+	// gap; ObjectivesAgree requires every delta <= 1e-6.
+	MaxObjectiveDelta float64 `json:"maxObjectiveDelta"`
+	ObjectivesAgree   bool    `json:"objectivesAgree"`
+}
+
+// MIPBenchCase is one subproblem's MIP formulation.
+type MIPBenchCase struct {
+	Name string `json:"name"`
+	Vars int    `json:"vars"`
+	Rows int    `json:"rows"`
+	// Fixed-budget runs.
+	NodesCold         int     `json:"nodesCold"`
+	NodesWarm         int     `json:"nodesWarm"`
+	PivotsPerNodeCold float64 `json:"pivotsPerNodeCold"`
+	PivotsPerNodeWarm float64 `json:"pivotsPerNodeWarm"`
+	// WarmPivotShare is warm pivots / total pivots of the warm run.
+	WarmPivotShare float64 `json:"warmPivotShare"`
+	// BudgetBound marks cases whose cold run exhausted the budget; only
+	// those contribute to NodeRatio (a case both paths solve to
+	// optimality inside the budget says nothing about throughput).
+	BudgetBound bool `json:"budgetBound"`
+	// Run-to-completion comparison (omitted when the case is too large
+	// to finish: Completed=false, objectives zero).
+	Completed      bool    `json:"completed"`
+	ObjectiveCold  float64 `json:"objectiveCold"`
+	ObjectiveWarm  float64 `json:"objectiveWarm"`
+	ObjectiveDelta float64 `json:"objectiveDelta"`
+}
+
+// benchCase is one selected subproblem formulation.
+type benchCase struct {
+	name string
+	m    *model.MIPModel
+}
+
+// solverBenchCases builds the benchmark instances: multistage-partition
+// each evaluation cluster and keep MIP-tractable subproblem formulations
+// whose root relaxation is fractional (so branch and bound has a tree to
+// explore), capped per preset and in total.
+func solverBenchCases(cfg Config) ([]benchCase, error) {
+	const (
+		minCells    = 2_000   // below this the LP solves in microseconds; noise
+		maxCells    = 400_000 // above this one node LP eats the whole budget
+		perPreset   = 2
+		totalCap    = 8
+		targetSize  = 10
+		sampleSeeds = 3
+	)
+	var out []benchCase
+	for _, ps := range cfg.Presets {
+		c, err := getCluster(ps)
+		if err != nil {
+			return nil, err
+		}
+		kept := 0
+		for seed := int64(0); seed < sampleSeeds && kept < perPreset && len(out) < totalCap; seed++ {
+			pres, err := partition.Multistage(cfg.Ctx, c.Problem, c.Original, partition.Options{
+				TargetSize: targetSize, Seed: cfg.Seed + seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, sp := range pres.Subproblems {
+				if kept >= perPreset || len(out) >= totalCap {
+					break
+				}
+				m, err := model.BuildMIP(sp)
+				if err != nil {
+					continue
+				}
+				cells := int64(m.NumVars()) * int64(m.NumRows())
+				if cells < minCells || cells > maxCells {
+					continue
+				}
+				out = append(out, benchCase{
+					name: fmt.Sprintf("%s/seed%d/%dv%dr", ps.Name, cfg.Seed+seed, m.NumVars(), m.NumRows()),
+					m:    m,
+				})
+				kept++
+			}
+		}
+	}
+	return out, nil
+}
+
+// measureLP runs `solves` cold solves of prob and returns the mean
+// ns/solve and allocs/solve. fresh=true allocates a new workspace per
+// solve (the pre-workspace profile); fresh=false reuses one workspace.
+func measureLP(ctx context.Context, prob *lp.Problem, solves int, fresh bool) (nsPerSolve, allocsPerSolve float64, err error) {
+	ws := new(lp.Workspace)
+	// Warm-up solve so one-time costs (lazy slices sized to this problem)
+	// don't pollute the reused measurement.
+	if _, err := ws.Solve(ctx, prob, lp.Options{}); err != nil {
+		return 0, 0, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < solves; i++ {
+		if fresh {
+			ws = new(lp.Workspace)
+		}
+		if _, err := ws.Solve(ctx, prob, lp.Options{}); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(solves)
+	return float64(elapsed.Nanoseconds()) / n, float64(after.Mallocs-before.Mallocs) / n, nil
+}
+
+// SolverBench runs the solver benchmark and prints a summary table to
+// cfg.Out. Serialize the result with WriteSolverBenchJSON.
+func SolverBench(cfg Config) (*SolverBenchResult, error) {
+	cfg = cfg.withDefaults()
+	// The node-throughput comparison wants a budget tight enough that
+	// branch and bound cannot finish: a tenth of the optimization budget,
+	// clamped to keep both arms meaningful across -budget overrides.
+	mipBudget := cfg.Budget / 10
+	if mipBudget < 50*time.Millisecond {
+		mipBudget = 50 * time.Millisecond
+	}
+	if mipBudget > 500*time.Millisecond {
+		mipBudget = 500 * time.Millisecond
+	}
+	const lpSolves = 200
+
+	cases, err := solverBenchCases(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("solverbench: no benchmark cases survived selection")
+	}
+
+	res := &SolverBenchResult{
+		Schema:    "rasa-solver-bench/1",
+		Seed:      cfg.Seed,
+		LPSolves:  lpSolves,
+		MIPBudget: mipBudget.String(),
+	}
+
+	header(cfg.Out, "SOLVER-BENCH", "LP workspace reuse + B&B warm starts (BENCH_pr3.json)")
+	row(cfg.Out, "case", "vars", "rows", "allocs/solve fresh", "allocs/solve reused", "ns/solve fresh", "ns/solve reused")
+	for _, bc := range cases {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
+		prob := &bc.m.Prob.LP
+		nsF, alF, err := measureLP(cfg.Ctx, prob, lpSolves, true)
+		if err != nil {
+			return nil, fmt.Errorf("solverbench %s: %w", bc.name, err)
+		}
+		nsR, alR, err := measureLP(cfg.Ctx, prob, lpSolves, false)
+		if err != nil {
+			return nil, fmt.Errorf("solverbench %s: %w", bc.name, err)
+		}
+		lc := LPBenchCase{
+			Name: bc.name, Vars: bc.m.NumVars(), Rows: bc.m.NumRows(),
+			NsFresh: nsF, NsReused: nsR, AllocsFresh: alF, AllocsReused: alR,
+		}
+		res.LP.Cases = append(res.LP.Cases, lc)
+		row(cfg.Out, bc.name, lc.Vars, lc.Rows, lc.AllocsFresh, lc.AllocsReused, lc.NsFresh, lc.NsReused)
+	}
+	for _, lc := range res.LP.Cases {
+		res.LP.NsFresh += lc.NsFresh
+		res.LP.NsReused += lc.NsReused
+		res.LP.AllocsFresh += lc.AllocsFresh
+		res.LP.AllocsReused += lc.AllocsReused
+	}
+	n := float64(len(res.LP.Cases))
+	res.LP.NsFresh /= n
+	res.LP.NsReused /= n
+	res.LP.AllocsFresh /= n
+	res.LP.AllocsReused /= n
+	if res.LP.AllocsFresh > 0 {
+		res.LP.AllocReduction = 1 - res.LP.AllocsReused/res.LP.AllocsFresh
+	}
+	row(cfg.Out, "LP MEAN", "", "", res.LP.AllocsFresh, res.LP.AllocsReused, res.LP.NsFresh, res.LP.NsReused)
+	fmt.Fprintf(cfg.Out, "alloc reduction: %.1f%%\n", 100*res.LP.AllocReduction)
+
+	// completionCells bounds run-to-completion comparisons: larger
+	// formulations may not finish in reasonable time on either path.
+	const completionCells = 120_000
+	row(cfg.Out, "case", "nodes cold", "nodes warm", "piv/node cold", "piv/node warm", "obj cold", "obj warm")
+	var ratioSum float64
+	var ratioN int
+	res.MIP.ObjectivesAgree = true
+	var totalPivCold, totalPivWarm, totalNodesCold, totalNodesWarm float64
+	for _, bc := range cases {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
+		runBudget := func(disable bool) (mip.Solution, error) {
+			return mip.Solve(cfg.Ctx, &bc.m.Prob, mip.Options{
+				Deadline:         time.Now().Add(mipBudget),
+				Rounder:          bc.m.Rounder(),
+				DisableWarmStart: disable,
+			})
+		}
+		cold, err := runBudget(true)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := runBudget(false)
+		if err != nil {
+			return nil, err
+		}
+		mc := MIPBenchCase{
+			Name: bc.name, Vars: bc.m.NumVars(), Rows: bc.m.NumRows(),
+			NodesCold: cold.Nodes, NodesWarm: warm.Nodes,
+			BudgetBound: cold.Status != mip.Optimal,
+		}
+		if cold.Nodes > 0 {
+			mc.PivotsPerNodeCold = float64(cold.Stats.SimplexIters) / float64(cold.Nodes)
+		}
+		if warm.Nodes > 0 {
+			mc.PivotsPerNodeWarm = float64(warm.Stats.SimplexIters) / float64(warm.Nodes)
+		}
+		if warm.Stats.SimplexIters > 0 {
+			mc.WarmPivotShare = float64(warm.Stats.WarmPivots) / float64(warm.Stats.SimplexIters)
+		}
+		totalPivCold += float64(cold.Stats.SimplexIters)
+		totalPivWarm += float64(warm.Stats.SimplexIters)
+		totalNodesCold += float64(cold.Nodes)
+		totalNodesWarm += float64(warm.Nodes)
+		if mc.BudgetBound && cold.Nodes > 0 {
+			ratioSum += float64(warm.Nodes) / float64(cold.Nodes)
+			ratioN++
+		}
+
+		if int64(mc.Vars)*int64(mc.Rows) <= completionCells {
+			// A generous but bounded deadline: cases that cannot prove
+			// optimality within it report Completed=false instead of
+			// stalling the whole benchmark on one hard tree.
+			runFull := func(disable bool) (mip.Solution, error) {
+				return mip.Solve(cfg.Ctx, &bc.m.Prob, mip.Options{
+					Deadline:         time.Now().Add(20 * mipBudget),
+					MaxNodes:         200_000,
+					Rounder:          bc.m.Rounder(),
+					DisableWarmStart: disable,
+				})
+			}
+			fc, err := runFull(true)
+			if err != nil {
+				return nil, err
+			}
+			fw, err := runFull(false)
+			if err != nil {
+				return nil, err
+			}
+			if fc.Status == mip.Optimal && fw.Status == mip.Optimal {
+				mc.Completed = true
+				mc.ObjectiveCold = fc.Objective
+				mc.ObjectiveWarm = fw.Objective
+				mc.ObjectiveDelta = abs(fw.Objective - fc.Objective)
+				if mc.ObjectiveDelta > res.MIP.MaxObjectiveDelta {
+					res.MIP.MaxObjectiveDelta = mc.ObjectiveDelta
+				}
+				if mc.ObjectiveDelta > 1e-6 {
+					res.MIP.ObjectivesAgree = false
+				}
+			}
+		}
+		res.MIP.Cases = append(res.MIP.Cases, mc)
+		row(cfg.Out, bc.name, mc.NodesCold, mc.NodesWarm, mc.PivotsPerNodeCold, mc.PivotsPerNodeWarm, mc.ObjectiveCold, mc.ObjectiveWarm)
+	}
+	if ratioN > 0 {
+		res.MIP.NodeRatio = ratioSum / float64(ratioN)
+	}
+	if totalNodesCold > 0 {
+		res.MIP.PivotsPerNodeCold = totalPivCold / totalNodesCold
+	}
+	if totalNodesWarm > 0 {
+		res.MIP.PivotsPerNodeWarm = totalPivWarm / totalNodesWarm
+	}
+	fmt.Fprintf(cfg.Out, "node ratio (warm/cold, budget-bound cases): %.2fx; piv/node %.1f -> %.1f; max obj delta %.2g\n",
+		res.MIP.NodeRatio, res.MIP.PivotsPerNodeCold, res.MIP.PivotsPerNodeWarm, res.MIP.MaxObjectiveDelta)
+	return res, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// WriteSolverBenchJSON writes the BENCH_*.json artifact.
+func WriteSolverBenchJSON(w io.Writer, r *SolverBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -15,6 +15,12 @@
 // an automatic switch to Bland's rule when cycling is suspected. It is
 // sized for RASA subproblems (hundreds to a few thousand rows), which is
 // exactly the regime the paper's partitioning phase produces.
+//
+// The engine lives in a Workspace (see workspace.go) whose tableau
+// storage is flat, pooled, and reused across solves, and which supports
+// dual-simplex warm starts from a captured Basis — the mechanism
+// branch-and-bound children and CG master re-solves use to re-optimize
+// in a few pivots instead of a full two-phase solve.
 package lp
 
 import (
@@ -130,90 +136,30 @@ const (
 // ErrBadProblem reports a malformed LP (bad indices or non-finite data).
 var ErrBadProblem = errors.New("lp: malformed problem")
 
-type tableau struct {
-	m, n   int // constraint rows, total columns (excluding RHS)
-	nStruc int // structural variables
-	// rows[i] has length n+1; the last entry is the RHS.
-	rows [][]float64
-	// cost rows, length n+1; last entry is the negated objective value.
-	phase1 []float64
-	phase2 []float64
-	basis  []int // basis[i] = column basic in row i
-	// artificial marks artificial columns (blocked in phase 2).
-	artificial []bool
-	// slackCol[i] is the column of row i's slack/surplus/artificial used
-	// to read the dual value; slackSign[i] converts the reduced cost at
-	// that column into the dual of the original (unflipped) row.
-	slackCol  []int
-	slackSign []float64
-}
-
-// Solve solves the LP. The context interrupts the solve between pivots
-// (checked every solve.DefaultPollInterval iterations); an interrupted
-// phase-2 solve still reports the current basic feasible point, keeping
-// the anytime contract.
+// Solve solves the LP cold (full two-phase simplex) in a pooled
+// Workspace. The context interrupts the solve between pivots (checked
+// every solve.DefaultPollInterval iterations); an interrupted phase-2
+// solve still reports the current basic feasible point, keeping the
+// anytime contract. Callers solving many related LPs should hold a
+// Workspace themselves and use its Solve/SolveFrom for storage reuse
+// and warm starts.
 func Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
-	start := time.Now()
-	if err := validate(p); err != nil {
-		return Solution{}, err
-	}
-	var stats solve.Stats
-	finish := func(sol Solution) (Solution, error) {
-		sol.Stats = stats
-		sol.Stats.Wall = time.Since(start)
-		return sol, nil
-	}
-	// An already-expired budget never gets a pivot: the caller's anytime
-	// fallback (greedy rounding, spill fill) is strictly cheaper.
-	if cause, stop := solve.Interrupted(ctx, opts.Deadline); stop {
-		stats.Stop = cause
-		return finish(Solution{Status: IterLimit})
-	}
-	t := build(p)
-	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 200 * (t.m + t.n + 10)
-	}
-
-	// Phase 1: drive artificials to zero.
-	st, cause := t.iterate(ctx, t.phase1, maxIter, opts.Deadline, true, &stats)
-	if st == IterLimit {
-		stats.Stop = cause
-		return finish(Solution{Status: IterLimit})
-	}
-	// Phase-1 objective is -(sum of artificials); feasible iff it reached ~0.
-	if -t.phase1[t.n] < -feasEps {
-		return finish(Solution{Status: Infeasible})
-	}
-	t.expelArtificials()
-
-	// Phase 2: original objective.
-	st, cause = t.iterate(ctx, t.phase2, maxIter, opts.Deadline, false, &stats)
-	sol := Solution{Status: st}
-	if st == Unbounded {
-		return finish(sol)
-	}
-	stats.Stop = cause
-	// Optimal, or IterLimit with a feasible basic point: report it either way.
-	sol.X = make([]float64, t.nStruc)
-	for i, c := range t.basis {
-		if c < t.nStruc {
-			sol.X[c] = t.rows[i][t.n]
-		}
-	}
-	sol.Objective = -t.phase2[t.n]
-	sol.Duals = t.duals()
-	return finish(sol)
+	w := AcquireWorkspace()
+	defer w.Release()
+	return w.Solve(ctx, p, opts)
 }
 
 func validate(p *Problem) error {
-	check := func(cs []Coef, where string) error {
+	// The happy path must not allocate: this runs once per solve, and a
+	// branch-and-bound run solves thousands of node LPs. Error strings
+	// (including the row label) are built only once a defect is found.
+	check := func(cs []Coef, row int) error {
 		for _, c := range cs {
 			if c.Var < 0 || c.Var >= p.NumVars {
-				return fmt.Errorf("%w: %s references variable %d of %d", ErrBadProblem, where, c.Var, p.NumVars)
+				return fmt.Errorf("%w: %s references variable %d of %d", ErrBadProblem, rowLabel(row), c.Var, p.NumVars)
 			}
 			if math.IsNaN(c.Val) || math.IsInf(c.Val, 0) {
-				return fmt.Errorf("%w: %s has non-finite coefficient", ErrBadProblem, where)
+				return fmt.Errorf("%w: %s has non-finite coefficient", ErrBadProblem, rowLabel(row))
 			}
 		}
 		return nil
@@ -221,11 +167,11 @@ func validate(p *Problem) error {
 	if p.NumVars < 0 {
 		return fmt.Errorf("%w: negative variable count", ErrBadProblem)
 	}
-	if err := check(p.Objective, "objective"); err != nil {
+	if err := check(p.Objective, -1); err != nil {
 		return err
 	}
 	for i, r := range p.Rows {
-		if err := check(r.Coefs, fmt.Sprintf("row %d", i)); err != nil {
+		if err := check(r.Coefs, i); err != nil {
 			return err
 		}
 		if math.IsNaN(r.RHS) || math.IsInf(r.RHS, 0) {
@@ -235,259 +181,10 @@ func validate(p *Problem) error {
 	return nil
 }
 
-// build constructs the initial tableau: structural columns, then one
-// slack/surplus column per inequality row, then artificial columns as
-// needed, with the phase-1 and phase-2 cost rows canonicalized against
-// the starting basis.
-func build(p *Problem) *tableau {
-	m := len(p.Rows)
-	nStruc := p.NumVars
-
-	// Count extra columns.
-	nSlack := 0
-	nArt := 0
-	for _, r := range p.Rows {
-		flip := r.RHS < 0
-		sense := r.Sense
-		if flip && sense != EQ {
-			if sense == LE {
-				sense = GE
-			} else {
-				sense = LE
-			}
-		}
-		if sense != EQ {
-			nSlack++
-		}
-		if sense != LE {
-			nArt++
-		}
+// rowLabel names a constraint row (or the objective) in error messages.
+func rowLabel(row int) string {
+	if row < 0 {
+		return "objective"
 	}
-	n := nStruc + nSlack + nArt
-	t := &tableau{
-		m: m, n: n, nStruc: nStruc,
-		rows:       make([][]float64, m),
-		phase1:     make([]float64, n+1),
-		phase2:     make([]float64, n+1),
-		basis:      make([]int, m),
-		artificial: make([]bool, n),
-		slackCol:   make([]int, m),
-		slackSign:  make([]float64, m),
-	}
-	for _, c := range p.Objective {
-		t.phase2[c.Var] += c.Val
-	}
-
-	slack := nStruc
-	art := nStruc + nSlack
-	for i, r := range p.Rows {
-		row := make([]float64, n+1)
-		sign := 1.0
-		if r.RHS < 0 {
-			sign = -1.0
-		}
-		for _, c := range r.Coefs {
-			row[c.Var] += sign * c.Val
-		}
-		row[n] = sign * r.RHS
-		sense := r.Sense
-		if sign < 0 && sense != EQ {
-			if sense == LE {
-				sense = GE
-			} else {
-				sense = LE
-			}
-		}
-		switch sense {
-		case LE:
-			row[slack] = 1
-			t.basis[i] = slack
-			t.slackCol[i] = slack
-			t.slackSign[i] = -sign // dual = -reducedCost(slack), flipped rows negate
-			slack++
-		case GE:
-			row[slack] = -1
-			t.slackCol[i] = slack
-			t.slackSign[i] = sign // dual = +reducedCost(surplus)
-			slack++
-			row[art] = 1
-			t.basis[i] = art
-			t.artificial[art] = true
-			art++
-		case EQ:
-			row[art] = 1
-			t.basis[i] = art
-			t.artificial[art] = true
-			// dual read from the artificial column: dual = -reducedCost.
-			t.slackCol[i] = art
-			t.slackSign[i] = -sign
-			art++
-		}
-		t.rows[i] = row
-	}
-	// Phase-1 objective: maximize -(sum of artificials). Canonicalize by
-	// adding each artificial-basic row into the cost row.
-	for j := nStruc + nSlack; j < n; j++ {
-		t.phase1[j] = -1
-	}
-	for i, b := range t.basis {
-		if t.artificial[b] {
-			addScaled(t.phase1, t.rows[i], 1)
-		}
-	}
-	return t
-}
-
-func addScaled(dst, src []float64, k float64) {
-	for j := range dst {
-		dst[j] += k * src[j]
-	}
-}
-
-// iterate runs primal simplex pivots against the given cost row until
-// optimality, unboundedness, cancellation, or a budget is hit. Both cost
-// rows are kept in sync so phase 2 can start immediately after phase 1.
-// The second return value is the stop cause when the status is IterLimit
-// or Optimal.
-func (t *tableau) iterate(ctx context.Context, cost []float64, maxIter int, deadline time.Time, phase1 bool, stats *solve.Stats) (Status, solve.StopCause) {
-	bland := false
-	stall := 0
-	lastObj := math.Inf(-1)
-	poll := solve.NewPoll(ctx, deadline, 0)
-	for iter := 0; iter < maxIter; iter++ {
-		if cause, stop := poll.Interrupted(); stop {
-			return IterLimit, cause
-		}
-		enter := t.chooseEntering(cost, bland, phase1)
-		if enter < 0 {
-			return Optimal, solve.Optimal
-		}
-		leave := t.chooseLeaving(enter)
-		if leave < 0 {
-			if phase1 {
-				// Phase-1 objective is bounded above by 0; an unbounded
-				// direction indicates numerical trouble; treat current
-				// point as optimal for the phase.
-				return Optimal, solve.Optimal
-			}
-			return Unbounded, solve.None
-		}
-		t.pivot(leave, enter)
-		stats.SimplexIters++
-
-		obj := -cost[t.n]
-		if obj <= lastObj+1e-12 {
-			stall++
-			if stall > 2*(t.m+10) {
-				bland = true // suspected cycling: switch to Bland's rule
-			}
-		} else {
-			stall = 0
-			lastObj = obj
-		}
-	}
-	return IterLimit, solve.NodeLimit
-}
-
-// chooseEntering picks the entering column: Dantzig (most positive
-// reduced cost) or Bland (lowest index with positive reduced cost).
-// Artificial columns never re-enter outside phase 1.
-func (t *tableau) chooseEntering(cost []float64, bland, phase1 bool) int {
-	best := -1
-	bestVal := costEps
-	for j := 0; j < t.n; j++ {
-		if !phase1 && t.artificial[j] {
-			continue
-		}
-		c := cost[j]
-		if c > bestVal {
-			if bland {
-				return j
-			}
-			best, bestVal = j, c
-		}
-	}
-	return best
-}
-
-// chooseLeaving runs the minimum-ratio test on column enter, breaking
-// ties by the smallest basis column index (lexicographic, Bland-safe).
-func (t *tableau) chooseLeaving(enter int) int {
-	best := -1
-	bestRatio := math.Inf(1)
-	for i := 0; i < t.m; i++ {
-		a := t.rows[i][enter]
-		if a <= pivotEps {
-			continue
-		}
-		ratio := t.rows[i][t.n] / a
-		if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (best < 0 || t.basis[i] < t.basis[best])) {
-			best, bestRatio = i, ratio
-		}
-	}
-	return best
-}
-
-func (t *tableau) pivot(leave, enter int) {
-	prow := t.rows[leave]
-	pe := prow[enter]
-	inv := 1 / pe
-	for j := range prow {
-		prow[j] *= inv
-	}
-	prow[enter] = 1 // kill round-off on the pivot element itself
-	for i := 0; i < t.m; i++ {
-		if i == leave {
-			continue
-		}
-		if f := t.rows[i][enter]; f != 0 {
-			addScaled(t.rows[i], prow, -f)
-			t.rows[i][enter] = 0
-		}
-	}
-	if f := t.phase1[enter]; f != 0 {
-		addScaled(t.phase1, prow, -f)
-		t.phase1[enter] = 0
-	}
-	if f := t.phase2[enter]; f != 0 {
-		addScaled(t.phase2, prow, -f)
-		t.phase2[enter] = 0
-	}
-	t.basis[leave] = enter
-}
-
-// expelArtificials pivots zero-valued artificial variables out of the
-// basis after phase 1 where possible; rows where no pivot exists are
-// redundant and are neutralized.
-func (t *tableau) expelArtificials() {
-	for i := 0; i < t.m; i++ {
-		if !t.artificial[t.basis[i]] {
-			continue
-		}
-		// Artificial basic at (numerically) zero: find any usable
-		// non-artificial pivot in this row.
-		done := false
-		for j := 0; j < t.n && !done; j++ {
-			if t.artificial[j] {
-				continue
-			}
-			if math.Abs(t.rows[i][j]) > 1e-7 {
-				t.pivot(i, j)
-				done = true
-			}
-		}
-		// If none found the row is linearly dependent; the artificial
-		// stays basic at zero, which is harmless because artificial
-		// columns never re-enter and the row's RHS is ~0.
-	}
-}
-
-// duals reads the dual value of each original row from the reduced cost
-// of its slack/surplus/artificial column in the final phase-2 cost row.
-func (t *tableau) duals() []float64 {
-	out := make([]float64, t.m)
-	for i := 0; i < t.m; i++ {
-		out[i] = t.slackSign[i] * t.phase2[t.slackCol[i]]
-	}
-	return out
+	return fmt.Sprintf("row %d", row)
 }

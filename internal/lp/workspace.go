@@ -1,0 +1,665 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// Workspace owns the dense-tableau backing arrays of the simplex engine
+// and is reset and reused across solves, so a branch-and-bound run or a
+// column-generation loop pays for tableau allocation once instead of at
+// every node or master re-solve. The tableau is stored row-major in one
+// flat slice (stride n+1, last entry of each row the RHS).
+//
+// A Workspace additionally supports warm starts: CaptureBasis snapshots
+// the optimal basis of the last solve, and SolveFrom re-optimizes a
+// related problem from that basis — dual simplex when rows were added
+// (a branch-and-bound child tightening one bound), primal simplex when
+// columns were added (a column-generation master with new patterns) —
+// instead of running the full two-phase method from scratch.
+//
+// A Workspace is not safe for concurrent use. Acquire one per goroutine
+// (AcquireWorkspace / Release are backed by a sync.Pool, so parallel
+// subproblem solves do not contend on a shared tableau).
+type Workspace struct {
+	m, n, nStruc int // rows, total columns (excl. RHS), structural vars
+	stride       int // n+1
+
+	a          []float64 // m*stride flat tableau; a[i*stride+n] is row i's RHS
+	phase1     []float64 // phase-1 cost row (cold solves only), len stride
+	phase2     []float64 // phase-2 cost row, len stride
+	basis      []int     // basis[i] = column basic in row i
+	artificial []bool    // artificial columns (blocked outside phase 1)
+	slackCol   []int     // per original row: slack/surplus/artificial column for dual reads
+	slackSign  []float64 // converts that column's reduced cost into the row's dual
+	colRow     []int     // column -> owning row (-1 for structural columns)
+	target     []int     // scratch: warm-start target basis
+
+	// trackPhase1 gates phase-1 cost-row maintenance; warm starts never
+	// run phase 1 and skip the bookkeeping.
+	trackPhase1 bool
+}
+
+// Basis is a snapshot of the simplex basis of a solved tableau, the
+// warm-start handle passed back into SolveFrom. It records the column
+// layout dimensions at capture time so basis columns can be remapped
+// when the follow-up problem appends structural variables (CG master)
+// or rows (branch-and-bound children).
+type Basis struct {
+	cols   []int // basic column of each row (order-insensitive: used as a set)
+	m      int   // rows covered
+	nStruc int   // structural variables at capture
+	n      int   // total columns at capture
+}
+
+// Rows reports how many constraint rows the basis covers.
+func (b *Basis) Rows() int { return b.m }
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// AcquireWorkspace returns a pooled Workspace. Release it when done so
+// parallel solvers recycle tableau storage instead of reallocating.
+func AcquireWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// Release returns the workspace (and its backing arrays) to the pool.
+// The workspace must not be used after Release.
+func (w *Workspace) Release() { wsPool.Put(w) }
+
+// CaptureBasis snapshots the basis of the workspace's most recent solve
+// into dst (allocated when nil) and returns it. Only meaningful after a
+// solve that ended with a usable basis (Optimal, or IterLimit with a
+// feasible point).
+func (w *Workspace) CaptureBasis(dst *Basis) *Basis {
+	if dst == nil {
+		dst = &Basis{}
+	}
+	dst.cols = append(dst.cols[:0], w.basis[:w.m]...)
+	dst.m, dst.nStruc, dst.n = w.m, w.nStruc, w.n
+	return dst
+}
+
+// row returns the backing slice of tableau row i (including the RHS).
+func (w *Workspace) row(i int) []float64 {
+	return w.a[i*w.stride : i*w.stride+w.stride : i*w.stride+w.stride]
+}
+
+func (w *Workspace) rhs(i int) float64 { return w.a[i*w.stride+w.n] }
+
+// grow returns s resized to length k, reusing capacity when possible
+// and zeroing the active region.
+func growF(s []float64, k int) []float64 {
+	if cap(s) < k {
+		return make([]float64, k)
+	}
+	s = s[:k]
+	clear(s)
+	return s
+}
+
+func growI(s []int, k int) []int {
+	if cap(s) < k {
+		return make([]int, k)
+	}
+	s = s[:k]
+	clear(s)
+	return s
+}
+
+func growB(s []bool, k int) []bool {
+	if cap(s) < k {
+		return make([]bool, k)
+	}
+	s = s[:k]
+	clear(s)
+	return s
+}
+
+// Solve runs a cold two-phase solve in the workspace, reusing its
+// backing arrays. Semantics match the package-level Solve.
+func (w *Workspace) Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
+	return w.solveImpl(ctx, p, opts, nil)
+}
+
+// SolveFrom solves p warm-started from a basis captured on a related
+// problem: p must extend the basis's problem by appending structural
+// variables (columns) and/or LE/GE rows, with the shared prefix of rows
+// unchanged. Unsupported or numerically unusable bases fall back to a
+// cold solve, so SolveFrom never returns worse answers than Solve —
+// warm starts are purely an optimization. Pivots performed on the warm
+// path are counted in Stats.WarmPivots (cold-path pivots, including
+// fallbacks, in Stats.ColdPivots).
+func (w *Workspace) SolveFrom(ctx context.Context, p *Problem, opts Options, from *Basis) (Solution, error) {
+	return w.solveImpl(ctx, p, opts, from)
+}
+
+func (w *Workspace) solveImpl(ctx context.Context, p *Problem, opts Options, from *Basis) (Solution, error) {
+	start := time.Now()
+	if err := validate(p); err != nil {
+		return Solution{}, err
+	}
+	var stats solve.Stats
+	finish := func(sol Solution) (Solution, error) {
+		sol.Stats = stats
+		sol.Stats.Wall = time.Since(start)
+		return sol, nil
+	}
+	// An already-expired budget never gets a pivot: the caller's anytime
+	// fallback (greedy rounding, spill fill) is strictly cheaper.
+	if cause, stop := solve.Interrupted(ctx, opts.Deadline); stop {
+		stats.Stop = cause
+		return finish(Solution{Status: IterLimit})
+	}
+	if from != nil {
+		if sol, ok := w.solveWarm(ctx, p, opts, from, &stats); ok {
+			return finish(sol)
+		}
+		// Basis unusable (layout drift, singular, or infeasible start):
+		// fall through to the cold path below.
+	}
+
+	w.trackPhase1 = true
+	w.build(p)
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * (w.m + w.n + 10)
+	}
+
+	// Phase 1: drive artificials to zero.
+	st, cause := w.iterate(ctx, w.phase1, maxIter, opts.Deadline, true, false, &stats)
+	if st == IterLimit {
+		stats.Stop = cause
+		return finish(Solution{Status: IterLimit})
+	}
+	// Phase-1 objective is -(sum of artificials); feasible iff it reached ~0.
+	if -w.phase1[w.n] < -feasEps {
+		return finish(Solution{Status: Infeasible})
+	}
+	w.expelArtificials()
+
+	// Phase 2: original objective.
+	st, cause = w.iterate(ctx, w.phase2, maxIter, opts.Deadline, false, false, &stats)
+	if st == Unbounded {
+		return finish(Solution{Status: Unbounded})
+	}
+	stats.Stop = cause
+	// Optimal, or IterLimit with a feasible basic point: report it either way.
+	return finish(w.extract(st))
+}
+
+// extract reads the solution (point, objective, duals) off the tableau.
+func (w *Workspace) extract(st Status) Solution {
+	sol := Solution{Status: st}
+	sol.X = make([]float64, w.nStruc)
+	for i := 0; i < w.m; i++ {
+		if c := w.basis[i]; c < w.nStruc {
+			sol.X[c] = w.rhs(i)
+		}
+	}
+	sol.Objective = -w.phase2[w.n]
+	sol.Duals = w.duals()
+	return sol
+}
+
+// build constructs the initial tableau. Columns are laid out
+// structural-first, then per row in row order: a slack (LE) or surplus
+// plus artificial (GE) or artificial (EQ). The per-row interleaving —
+// unlike the textbook all-slacks-then-all-artificials grouping — keeps
+// every existing column's index stable when rows are appended, which is
+// what lets a branch-and-bound child reuse its parent's basis verbatim.
+func (w *Workspace) build(p *Problem) {
+	m := len(p.Rows)
+	nStruc := p.NumVars
+	n := nStruc
+	for _, r := range p.Rows {
+		switch normSense(r) {
+		case LE:
+			n++
+		case GE:
+			n += 2
+		case EQ:
+			n++
+		}
+	}
+
+	w.m, w.n, w.nStruc, w.stride = m, n, nStruc, n+1
+	w.a = growF(w.a, m*w.stride)
+	w.phase1 = growF(w.phase1, w.stride)
+	w.phase2 = growF(w.phase2, w.stride)
+	w.basis = growI(w.basis, m)
+	w.slackCol = growI(w.slackCol, m)
+	w.slackSign = growF(w.slackSign, m)
+	w.artificial = growB(w.artificial, n)
+	w.colRow = growI(w.colRow, n)
+	for j := 0; j < nStruc; j++ {
+		w.colRow[j] = -1
+	}
+
+	for _, c := range p.Objective {
+		w.phase2[c.Var] += c.Val
+	}
+	col := nStruc
+	for i, r := range p.Rows {
+		row := w.row(i)
+		sign := 1.0
+		if r.RHS < 0 {
+			sign = -1.0
+		}
+		for _, c := range r.Coefs {
+			row[c.Var] += sign * c.Val
+		}
+		row[n] = sign * r.RHS
+		switch normSense(r) {
+		case LE:
+			row[col] = 1
+			w.basis[i] = col
+			w.slackCol[i] = col
+			w.slackSign[i] = -sign // dual = -reducedCost(slack), flipped rows negate
+			w.colRow[col] = i
+			col++
+		case GE:
+			row[col] = -1
+			w.slackCol[i] = col
+			w.slackSign[i] = sign // dual = +reducedCost(surplus)
+			w.colRow[col] = i
+			col++
+			row[col] = 1
+			w.basis[i] = col
+			w.artificial[col] = true
+			w.colRow[col] = i
+			col++
+		case EQ:
+			row[col] = 1
+			w.basis[i] = col
+			w.artificial[col] = true
+			// dual read from the artificial column: dual = -reducedCost.
+			w.slackCol[i] = col
+			w.slackSign[i] = -sign
+			w.colRow[col] = i
+			col++
+		}
+	}
+	if w.trackPhase1 {
+		// Phase-1 objective: maximize -(sum of artificials). Canonicalize
+		// by adding each artificial-basic row into the cost row.
+		for j := nStruc; j < n; j++ {
+			if w.artificial[j] {
+				w.phase1[j] = -1
+			}
+		}
+		for i := 0; i < m; i++ {
+			if w.artificial[w.basis[i]] {
+				addScaled(w.phase1, w.row(i), 1)
+			}
+		}
+	}
+}
+
+// normSense is the row's sense after RHS-sign normalization (rows with
+// negative RHS are negated at build time, mirroring LE<->GE).
+func normSense(r Constraint) Sense {
+	s := r.Sense
+	if r.RHS < 0 && s != EQ {
+		if s == LE {
+			return GE
+		}
+		return LE
+	}
+	return s
+}
+
+// solveWarm attempts the warm-started solve. ok=false means the basis
+// was unusable and the caller must run the cold path; ok=true means the
+// returned Solution is final (any Status).
+func (w *Workspace) solveWarm(ctx context.Context, p *Problem, opts Options, from *Basis, stats *solve.Stats) (Solution, bool) {
+	m := len(p.Rows)
+	if from == nil || from.m > m || from.nStruc > p.NumVars || len(from.cols) != from.m {
+		return Solution{}, false
+	}
+	w.trackPhase1 = false
+	w.build(p)
+
+	// Target basis: the captured basis with non-structural columns
+	// shifted past any appended structural variables, plus the slack or
+	// surplus of every appended row. Appended EQ rows have no slack to
+	// seed the extended basis with, so they cannot warm-start.
+	shift := p.NumVars - from.nStruc
+	w.target = w.target[:0]
+	for _, c := range from.cols {
+		if c >= from.nStruc {
+			c += shift
+		}
+		if c < 0 || c >= w.n {
+			return Solution{}, false
+		}
+		w.target = append(w.target, c)
+	}
+	for i := from.m; i < m; i++ {
+		sc := w.slackCol[i]
+		if w.artificial[sc] {
+			return Solution{}, false
+		}
+		w.target = append(w.target, sc)
+	}
+	if !w.canonicalize(w.target) {
+		return Solution{}, false
+	}
+
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * (w.m + w.n + 10)
+	}
+
+	primalFeasible := true
+	for i := 0; i < w.m; i++ {
+		if w.rhs(i) < -feasEps {
+			primalFeasible = false
+			break
+		}
+	}
+	if !primalFeasible {
+		// The basis must at least be dual feasible for the dual simplex
+		// to repair it; a parent's optimal basis always is, so a failure
+		// here means layout drift — punt to the cold path. Basic columns
+		// read exactly 0 after canonicalization, so one sweep suffices.
+		for j := 0; j < w.n; j++ {
+			if !w.artificial[j] && w.phase2[j] > 10*costEps {
+				return Solution{}, false
+			}
+		}
+		st, cause := w.dualIterate(ctx, maxIter, opts.Deadline, stats)
+		switch st {
+		case Infeasible:
+			return Solution{Status: Infeasible}, true
+		case IterLimit:
+			// Interrupted before regaining feasibility: no basic feasible
+			// point to report.
+			stats.Stop = cause
+			return Solution{Status: IterLimit}, true
+		}
+	}
+	// Primal-feasible basis: finish (or polish) with warm primal pivots.
+	st, cause := w.iterate(ctx, w.phase2, maxIter, opts.Deadline, false, true, stats)
+	if st == Unbounded {
+		return Solution{Status: Unbounded}, true
+	}
+	stats.Stop = cause
+	return w.extract(st), true
+}
+
+// canonicalize runs Gauss-Jordan elimination driving the target columns
+// into the basis (partial pivoting over rows, so the row<->basis-column
+// pairing is re-derived rather than trusted). Returns false when the
+// target set is singular for this tableau.
+func (w *Workspace) canonicalize(target []int) bool {
+	if len(target) != w.m {
+		return false
+	}
+	for k, c := range target {
+		best := -1
+		bestAbs := 1e-7
+		for r := k; r < w.m; r++ {
+			if v := math.Abs(w.a[r*w.stride+c]); v > bestAbs {
+				best, bestAbs = r, v
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		if best != k {
+			ra, rb := w.row(k), w.row(best)
+			for j := range ra {
+				ra[j], rb[j] = rb[j], ra[j]
+			}
+		}
+		w.pivot(k, c)
+	}
+	return true
+}
+
+// iterate runs primal simplex pivots against the given cost row until
+// optimality, unboundedness, cancellation, or a budget is hit. The
+// entering rule is Dantzig pricing with an anti-cycling guard: a run of
+// degenerate pivots (no objective progress) switches to Bland's rule,
+// and the first strict improvement switches back, so one degenerate
+// stretch does not condemn the rest of the solve to Bland's slow
+// convergence. The second return value is the stop cause when the
+// status is IterLimit or Optimal.
+func (w *Workspace) iterate(ctx context.Context, cost []float64, maxIter int, deadline time.Time, phase1, warm bool, stats *solve.Stats) (Status, solve.StopCause) {
+	bland := false
+	stall := 0
+	// degenerateRunLimit is how many pivots may pass without objective
+	// progress before cycling is suspected. Beale's example cycles in
+	// runs of 6; real degenerate-but-acyclic stretches scale with the
+	// basis size, hence the m-dependent slack.
+	degenerateRunLimit := w.m + 6
+	lastObj := math.Inf(-1)
+	poll := solve.NewPoll(ctx, deadline, 0)
+	for iter := 0; iter < maxIter; iter++ {
+		if cause, stop := poll.Interrupted(); stop {
+			return IterLimit, cause
+		}
+		enter := w.chooseEntering(cost, bland, phase1)
+		if enter < 0 {
+			return Optimal, solve.Optimal
+		}
+		leave := w.chooseLeaving(enter)
+		if leave < 0 {
+			if phase1 {
+				// Phase-1 objective is bounded above by 0; an unbounded
+				// direction indicates numerical trouble; treat current
+				// point as optimal for the phase.
+				return Optimal, solve.Optimal
+			}
+			return Unbounded, solve.None
+		}
+		w.pivot(leave, enter)
+		w.countPivot(warm, stats)
+
+		obj := -cost[w.n]
+		if obj <= lastObj+1e-12 {
+			stall++
+			if stall >= degenerateRunLimit {
+				bland = true // suspected cycling: switch to Bland's rule
+			}
+		} else {
+			bland = false // progress resumed: back to Dantzig pricing
+			stall = 0
+			lastObj = obj
+		}
+	}
+	return IterLimit, solve.NodeLimit
+}
+
+// dualIterate runs dual simplex pivots from a dual-feasible basis until
+// primal feasibility (then Optimal is left to the primal polish),
+// proven primal infeasibility, or a budget/cancellation stop. It is the
+// warm-start engine for branch-and-bound children: the one added bound
+// row makes the parent basis primal infeasible by exactly one variable,
+// and a handful of dual pivots restores it.
+func (w *Workspace) dualIterate(ctx context.Context, maxIter int, deadline time.Time, stats *solve.Stats) (Status, solve.StopCause) {
+	poll := solve.NewPoll(ctx, deadline, 0)
+	for iter := 0; iter < maxIter; iter++ {
+		if cause, stop := poll.Interrupted(); stop {
+			return IterLimit, cause
+		}
+		// Leaving row: most negative RHS. Rows kept by a basic artificial
+		// are redundant (~0) and are never selected.
+		leave := -1
+		worst := -feasEps
+		for i := 0; i < w.m; i++ {
+			if w.artificial[w.basis[i]] {
+				continue
+			}
+			if v := w.rhs(i); v < worst {
+				leave, worst = i, v
+			}
+		}
+		if leave < 0 {
+			return Optimal, solve.Optimal // primal feasible again
+		}
+		// Entering column: dual ratio test over negative row entries,
+		// ties to the lowest index (Bland-safe).
+		row := w.row(leave)
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < w.n; j++ {
+			if w.artificial[j] {
+				continue
+			}
+			aj := row[j]
+			if aj >= -pivotEps {
+				continue
+			}
+			ratio := w.phase2[j] / aj // both <= 0: ratio >= 0
+			if ratio < bestRatio-1e-12 {
+				enter, bestRatio = j, ratio
+			}
+		}
+		if enter < 0 {
+			// The row reads sum(a_j x_j) = b < 0 with every usable a_j >= 0
+			// over x >= 0: primal infeasible.
+			return Infeasible, solve.None
+		}
+		w.pivot(leave, enter)
+		w.countPivot(true, stats)
+	}
+	return IterLimit, solve.NodeLimit
+}
+
+func (w *Workspace) countPivot(warm bool, stats *solve.Stats) {
+	stats.SimplexIters++
+	if warm {
+		stats.WarmPivots++
+	} else {
+		stats.ColdPivots++
+	}
+}
+
+// chooseEntering picks the entering column: Dantzig (most positive
+// reduced cost) or Bland (lowest index with positive reduced cost).
+// Artificial columns never re-enter outside phase 1.
+func (w *Workspace) chooseEntering(cost []float64, bland, phase1 bool) int {
+	best := -1
+	bestVal := costEps
+	for j := 0; j < w.n; j++ {
+		if !phase1 && w.artificial[j] {
+			continue
+		}
+		c := cost[j]
+		if c > bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, c
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum-ratio test on column enter, breaking
+// ties by the smallest basis column index (lexicographic, Bland-safe).
+func (w *Workspace) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < w.m; i++ {
+		a := w.a[i*w.stride+enter]
+		if a <= pivotEps {
+			continue
+		}
+		ratio := w.rhs(i) / a
+		if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (best < 0 || w.basis[i] < w.basis[best])) {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+func (w *Workspace) pivot(leave, enter int) {
+	prow := w.row(leave)
+	pe := prow[enter]
+	inv := 1 / pe
+	for j := range prow {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // kill round-off on the pivot element itself
+	for i := 0; i < w.m; i++ {
+		if i == leave {
+			continue
+		}
+		r := w.row(i)
+		if f := r[enter]; f != 0 {
+			addScaled(r, prow, -f)
+			r[enter] = 0
+		}
+	}
+	if w.trackPhase1 {
+		if f := w.phase1[enter]; f != 0 {
+			addScaled(w.phase1, prow, -f)
+			w.phase1[enter] = 0
+		}
+	}
+	if f := w.phase2[enter]; f != 0 {
+		addScaled(w.phase2, prow, -f)
+		w.phase2[enter] = 0
+	}
+	w.basis[leave] = enter
+}
+
+func addScaled(dst, src []float64, k float64) {
+	_ = src[len(dst)-1]
+	for j := range dst {
+		dst[j] += k * src[j]
+	}
+}
+
+// expelArtificials pivots zero-valued artificial variables out of the
+// basis after phase 1 where possible; rows where no pivot exists are
+// redundant and are neutralized.
+func (w *Workspace) expelArtificials() {
+	for i := 0; i < w.m; i++ {
+		if !w.artificial[w.basis[i]] {
+			continue
+		}
+		// Artificial basic at (numerically) zero: find any usable
+		// non-artificial pivot in this row.
+		row := w.row(i)
+		for j := 0; j < w.n; j++ {
+			if w.artificial[j] {
+				continue
+			}
+			if math.Abs(row[j]) > 1e-7 {
+				w.pivot(i, j)
+				break
+			}
+		}
+		// If none found the row is linearly dependent; the artificial
+		// stays basic at zero, which is harmless because artificial
+		// columns never re-enter and the row's RHS is ~0.
+	}
+}
+
+// duals reads the dual value of each original row from the reduced cost
+// of its slack/surplus/artificial column in the final phase-2 cost row.
+// Rows whose artificial is still basic are linearly dependent on the
+// rest of the system: the basis prices their constraint through the
+// rows they depend on, so the only consistent dual for the redundant
+// copy is exactly 0 — the raw column read would hand CG pricing roundoff
+// noise at the reduced-cost tolerance instead.
+func (w *Workspace) duals() []float64 {
+	out := make([]float64, w.m)
+	for i := 0; i < w.m; i++ {
+		out[i] = w.slackSign[i] * w.phase2[w.slackCol[i]]
+	}
+	for i := 0; i < w.m; i++ {
+		if b := w.basis[i]; w.artificial[b] {
+			if r := w.colRow[b]; r >= 0 {
+				out[r] = 0
+			}
+		}
+	}
+	return out
+}

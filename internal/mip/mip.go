@@ -101,6 +101,11 @@ type Options struct {
 	// further is wasted budget (used by selector.Label to cancel the
 	// loser of the CG-vs-MIP race).
 	Cutoff func() (float64, bool)
+	// DisableWarmStart forces every node LP to a cold two-phase solve
+	// instead of the default dual-simplex warm start from the parent's
+	// basis. Ablation/benchmark knob (BENCH_pr3.json compares node
+	// throughput with and without it); production solves leave it false.
+	DisableWarmStart bool
 }
 
 // Solution is the result of a solve.
@@ -131,6 +136,11 @@ type node struct {
 	pcFrac        float64
 	pcUp          bool
 	pcParentBound float64
+
+	// basis is the optimal LP basis of this node, captured when its
+	// relaxation solves to optimality; children warm-start from it (their
+	// problem is this node's problem plus one appended bound row).
+	basis *lp.Basis
 }
 
 func (n *node) rows() []lp.Constraint {
@@ -164,6 +174,10 @@ type solver struct {
 	ctx  context.Context
 	prob *Problem
 	opts Options
+	// ws is the pooled LP workspace shared by every node LP of this
+	// solve: tableau storage is allocated once and reused, and node
+	// solves warm-start in it from their parent's captured basis.
+	ws *lp.Workspace
 	// pseudocost state: sums of per-unit objective degradation and
 	// observation counts, for down and up branches.
 	pcDownSum, pcUpSum []float64
@@ -202,6 +216,7 @@ func Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
 		ctx:          ctx,
 		prob:         p,
 		opts:         opts,
+		ws:           lp.AcquireWorkspace(),
 		pcDownSum:    make([]float64, p.LP.NumVars),
 		pcUpSum:      make([]float64, p.LP.NumVars),
 		pcDownN:      make([]int, p.LP.NumVars),
@@ -210,11 +225,17 @@ func Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
 	}
 	start := time.Now()
 	sol, err := s.run()
+	s.ws.Release()
 	sol.Stats.Wall = time.Since(start)
 	return sol, err
 }
 
-// solveLP solves the root LP plus the node's branch rows.
+// solveLP solves the root LP plus the node's branch rows, warm-started
+// from the parent's captured basis when available (the node's problem
+// extends the parent's by exactly one appended bound row, which is the
+// dual-simplex sweet spot). On an optimal solve the node's own basis is
+// captured for its future children before the shared workspace moves on
+// to the next node.
 func (s *solver) solveLP(n *node) (lp.Solution, error) {
 	extra := n.rows()
 	prob := lp.Problem{
@@ -224,7 +245,15 @@ func (s *solver) solveLP(n *node) (lp.Solution, error) {
 	}
 	prob.Rows = append(prob.Rows, s.prob.LP.Rows...)
 	prob.Rows = append(prob.Rows, extra...)
-	sol, err := lp.Solve(s.ctx, &prob, lp.Options{Deadline: s.opts.Deadline})
+	opts := lp.Options{Deadline: s.opts.Deadline}
+	var from *lp.Basis
+	if !s.opts.DisableWarmStart && n.parent != nil {
+		from = n.parent.basis // nil when the parent's LP didn't reach optimality
+	}
+	sol, err := s.ws.SolveFrom(s.ctx, &prob, opts, from)
+	if err == nil && sol.Status == lp.Optimal {
+		n.basis = s.ws.CaptureBasis(nil)
+	}
 	s.stats.Merge(sol.Stats)
 	return sol, err
 }

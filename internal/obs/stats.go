@@ -12,6 +12,8 @@ import (
 // histograms.
 type SolveCollector struct {
 	pivots     *Counter
+	warmPivots *Counter
+	coldPivots *Counter
 	nodes      *Counter
 	incumbents *Counter
 	columns    *Counter
@@ -30,6 +32,8 @@ func NewSolveCollector(r *Registry, prefix string) *SolveCollector {
 	}
 	return &SolveCollector{
 		pivots:     r.Counter(p+"solver_simplex_pivots_total", "Simplex pivots across all LP solves."),
+		warmPivots: r.Counter(p+"solver_warm_pivots_total", "Simplex pivots on warm-started (basis-reuse) solves."),
+		coldPivots: r.Counter(p+"solver_cold_pivots_total", "Simplex pivots on cold two-phase solves."),
 		nodes:      r.Counter(p+"solver_bb_nodes_total", "Branch-and-bound nodes explored."),
 		incumbents: r.Counter(p+"solver_incumbents_total", "Integer-feasible incumbents accepted."),
 		columns:    r.Counter(p+"solver_columns_total", "Column-generation patterns generated."),
@@ -45,6 +49,8 @@ func NewSolveCollector(r *Registry, prefix string) *SolveCollector {
 // reflect only solves that actually ran the phase.
 func (c *SolveCollector) Observe(st solve.Stats) {
 	c.pivots.Add(float64(st.SimplexIters))
+	c.warmPivots.Add(float64(st.WarmPivots))
+	c.coldPivots.Add(float64(st.ColdPivots))
 	c.nodes.Add(float64(st.Nodes))
 	c.incumbents.Add(float64(st.Incumbents))
 	c.columns.Add(float64(st.Columns))

@@ -1,0 +1,90 @@
+package pool_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/partition"
+	. "github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// TestSolveAllSiblingCancellationStress exercises sibling cancellation
+// in SolveAll under the race detector: one shared deadline context fans
+// out to every concurrent subproblem solve (each of which pools an LP
+// workspace and polls cancellation inside its pivot loops), and budgets
+// tight enough to expire mid-solve make every sibling observe the
+// cancellation at a different point. A second wave cancels the parent
+// context outright while solves are in flight.
+func TestSolveAllSiblingCancellationStress(t *testing.T) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "race", Services: 60, Containers: 300, Machines: 16,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := partition.Multistage(context.Background(), c.Problem, c.Original, partition.Options{TargetSize: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := pres.Subproblems
+	if len(subs) < 2 {
+		t.Fatalf("want multiple subproblems, got %d", len(subs))
+	}
+	mixed := func(i int) Algorithm {
+		if i%2 == 0 {
+			return CG
+		}
+		return MIP
+	}
+
+	// Wave 1: shared budget expires while solves are in flight; every
+	// result must still arrive (anytime contract), in order.
+	for _, budget := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 25 * time.Millisecond} {
+		results := SolveAll(context.Background(), subs, mixed, budget, 4)
+		if len(results) != len(subs) {
+			t.Fatalf("budget %v: results = %d, want %d", budget, len(results), len(subs))
+		}
+		for i, r := range results {
+			if r.Algorithm != mixed(i) {
+				t.Fatalf("budget %v: result %d algorithm = %v, want %v", budget, i, r.Algorithm, mixed(i))
+			}
+		}
+	}
+
+	// Wave 2: the parent context is cancelled mid-batch, racing the
+	// derived deadline; all siblings must unwind together.
+	for trial := 0; trial < 3; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(time.Duration(trial+1) * 2 * time.Millisecond)
+		results := SolveAll(ctx, subs, mixed, time.Second, 4)
+		cancel()
+		if len(results) != len(subs) {
+			t.Fatalf("trial %d: results = %d, want %d", trial, len(results), len(subs))
+		}
+	}
+}
+
+// TestSolveAllSharedSubproblemStress solves the same subproblem object
+// concurrently in every slot: solvers must treat the subproblem as
+// read-only, so this is a pure data-race probe on the shared model
+// state (and on the pooled LP workspaces behind the solves).
+func TestSolveAllSharedSubproblemStress(t *testing.T) {
+	sp := pairSubproblem(4)
+	subs := make([]*cluster.Subproblem, 8)
+	for i := range subs {
+		subs[i] = sp
+	}
+	results := SolveAll(context.Background(), subs, func(int) Algorithm { return MIP }, 2*time.Second, 8)
+	for i, r := range results {
+		if r.OutOfTime {
+			t.Fatalf("result %d unexpectedly out of time", i)
+		}
+	}
+}

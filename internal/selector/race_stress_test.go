@@ -1,0 +1,51 @@
+package selector_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/pool"
+	. "github.com/cloudsched/rasa/internal/selector"
+)
+
+// TestLabelCutoffRaceStress hammers the CG-vs-MIP labelling race under
+// the race detector: the CG arm publishes its objective through an
+// atomic that the MIP arm's cutoff closure reads at every node pop, and
+// the cgDone channel orders the publish against the read. Tiny, varied
+// budgets make the CG finish land at every possible point of the MIP
+// solve — before it starts, mid-tree, after it ends — and a portion of
+// runs are cancelled mid-flight from the outside.
+func TestLabelCutoffRaceStress(t *testing.T) {
+	sp := smallSubproblem()
+	budgets := []time.Duration{
+		500 * time.Microsecond, 2 * time.Millisecond, 8 * time.Millisecond, 40 * time.Millisecond,
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 6; round++ {
+		for bi, budget := range budgets {
+			wg.Add(1)
+			go func(round, bi int, budget time.Duration) {
+				defer wg.Done()
+				ctx := context.Background()
+				if (round+bi)%3 == 0 {
+					// Cancel mid-flight so both arms race their sibling
+					// cancellation paths too.
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, budget/2)
+					defer cancel()
+				}
+				l, err := Label(ctx, sp, budget)
+				if err != nil {
+					t.Errorf("round %d budget %v: %v", round, budget, err)
+					return
+				}
+				if l.Winner != pool.CG && l.Winner != pool.MIP {
+					t.Errorf("invalid winner %v", l.Winner)
+				}
+			}(round, bi, budget)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// stuckJob registers a job that never reaches a terminal state, so a
+// long-poll on it can only end via its wait timer or client disconnect.
+func stuckJob(s *Server, id string) {
+	s.mu.Lock()
+	s.jobs[id] = &Job{id: id, submitted: time.Now(), status: StatusQueued, done: make(chan struct{})}
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+}
+
+// TestLongPollClientDisconnect: an abandoned GET /v1/jobs/{id}?wait=
+// must return as soon as the client goes away, not sit out the full
+// wait duration.
+func TestLongPollClientDisconnect(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	stuckJob(s, "stuck")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("GET", "/v1/jobs/stuck?wait=10m", nil).WithContext(ctx)
+	returned := make(chan struct{})
+	go func() {
+		s.ServeHTTP(httptest.NewRecorder(), req)
+		close(returned)
+	}()
+
+	// The handler must actually be waiting (job incomplete, wait huge).
+	select {
+	case <-returned:
+		t.Fatal("long-poll returned before disconnect or completion")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	cancel() // client disconnect
+	select {
+	case <-returned:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler still blocked 2s after client disconnect; leaks a goroutine per abandoned poll")
+	}
+}
+
+// TestLongPollAbandonedReleasesTimers: each abandoned long-poll must
+// release its wait timer immediately. With time.After the timer (and
+// its channel) stay live until the full wait elapses, so a burst of
+// abandoned polls with generous waits retains memory for minutes; with
+// an explicitly stopped timer the retained heap stays flat.
+func TestLongPollAbandonedReleasesTimers(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	stuckJob(s, "stuck")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every poll is abandoned on arrival
+
+	const polls = 3000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < polls; i++ {
+		req := httptest.NewRequest("GET", "/v1/jobs/stuck?wait=10m", nil).WithContext(ctx)
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	// 3000 leaked 10-minute timers retain ~1 MB (timer + channel each);
+	// with timers stopped on disconnect the growth is only test noise.
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth > 512*1024 {
+		t.Fatalf("heap grew %d bytes across %d abandoned long-polls; wait timers are not being released",
+			growth, polls)
+	}
+}
+
+// TestLongPollTimerFires: the wait timer still works — a poll shorter
+// than the job returns the non-terminal status after the wait elapses.
+func TestLongPollTimerFires(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	stuckJob(s, "stuck")
+
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/stuck?wait=50ms", nil))
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("poll returned after %v, before the wait elapsed", el)
+	}
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+}

@@ -418,10 +418,17 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "invalid wait duration: "+err.Error())
 			return
 		}
+		// A stopped timer releases its runtime resources immediately;
+		// time.After would pin them for the full wait duration even after
+		// the client disconnected, so a burst of abandoned long-polls with
+		// generous waits would accumulate live timers for minutes.
+		timer := time.NewTimer(d)
 		select {
 		case <-job.done:
-		case <-time.After(d):
+			timer.Stop()
+		case <-timer.C:
 		case <-r.Context().Done():
+			timer.Stop()
 			return
 		}
 	}

@@ -48,6 +48,8 @@ func (c *StopCause) UnmarshalJSON(b []byte) error {
 // strings ("15ms"), the stop cause as its name.
 type statsJSON struct {
 	SimplexIters  int       `json:"simplexIters,omitempty"`
+	WarmPivots    int       `json:"warmPivots,omitempty"`
+	ColdPivots    int       `json:"coldPivots,omitempty"`
 	Nodes         int       `json:"nodes,omitempty"`
 	Incumbents    int       `json:"incumbents,omitempty"`
 	Columns       int       `json:"columns,omitempty"`
@@ -78,6 +80,8 @@ func parseDuration(s string) (time.Duration, error) {
 func (s Stats) MarshalJSON() ([]byte, error) {
 	return json.Marshal(statsJSON{
 		SimplexIters:  s.SimplexIters,
+		WarmPivots:    s.WarmPivots,
+		ColdPivots:    s.ColdPivots,
 		Nodes:         s.Nodes,
 		Incumbents:    s.Incumbents,
 		Columns:       s.Columns,
@@ -98,6 +102,8 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 	}
 	out := Stats{
 		SimplexIters:  j.SimplexIters,
+		WarmPivots:    j.WarmPivots,
+		ColdPivots:    j.ColdPivots,
 		Nodes:         j.Nodes,
 		Incumbents:    j.Incumbents,
 		Columns:       j.Columns,

@@ -44,7 +44,8 @@ func TestStopCauseJSONLegacyNumeric(t *testing.T) {
 
 func TestStatsJSONRoundTrip(t *testing.T) {
 	s := Stats{
-		SimplexIters: 1200, Nodes: 34, Incumbents: 3, Columns: 56, PricingRounds: 7,
+		SimplexIters: 1200, WarmPivots: 900, ColdPivots: 300,
+		Nodes: 34, Incumbents: 3, Columns: 56, PricingRounds: 7,
 		MasterTime: 15 * time.Millisecond, PricingTime: 9 * time.Millisecond,
 		RoundingTime: 2 * time.Millisecond, Wall: 31 * time.Millisecond,
 		Stop: Deadline,

@@ -66,6 +66,12 @@ func (c StopCause) String() string {
 type Stats struct {
 	// SimplexIters counts simplex pivots across all LP solves.
 	SimplexIters int
+	// WarmPivots counts the subset of SimplexIters performed on a
+	// warm-started path (dual-simplex repair from a parent basis, or a
+	// primal re-solve from a previous vertex); ColdPivots counts pivots
+	// of full two-phase solves. WarmPivots+ColdPivots == SimplexIters.
+	WarmPivots int
+	ColdPivots int
 	// Nodes counts branch-and-bound nodes explored.
 	Nodes int
 	// Incumbents counts integer-feasible incumbents accepted.
@@ -89,6 +95,8 @@ type Stats struct {
 // owned by the aggregating layer and are not merged.
 func (s *Stats) Merge(o Stats) {
 	s.SimplexIters += o.SimplexIters
+	s.WarmPivots += o.WarmPivots
+	s.ColdPivots += o.ColdPivots
 	s.Nodes += o.Nodes
 	s.Incumbents += o.Incumbents
 	s.Columns += o.Columns

@@ -72,13 +72,16 @@ func TestPollDefaultInterval(t *testing.T) {
 }
 
 func TestStatsMerge(t *testing.T) {
-	a := Stats{SimplexIters: 1, Nodes: 2, Incumbents: 3, Columns: 4, PricingRounds: 5,
+	a := Stats{SimplexIters: 1, WarmPivots: 1, ColdPivots: 0, Nodes: 2, Incumbents: 3, Columns: 4, PricingRounds: 5,
 		MasterTime: time.Second, Wall: time.Minute, Stop: Optimal}
-	a.Merge(Stats{SimplexIters: 10, Nodes: 20, Incumbents: 30, Columns: 40, PricingRounds: 50,
+	a.Merge(Stats{SimplexIters: 10, WarmPivots: 6, ColdPivots: 4, Nodes: 20, Incumbents: 30, Columns: 40, PricingRounds: 50,
 		MasterTime: time.Second, PricingTime: 2 * time.Second, RoundingTime: 3 * time.Second,
 		Wall: time.Hour, Stop: Cancelled})
 	if a.SimplexIters != 11 || a.Nodes != 22 || a.Incumbents != 33 || a.Columns != 44 || a.PricingRounds != 55 {
 		t.Errorf("counter merge wrong: %+v", a)
+	}
+	if a.WarmPivots != 7 || a.ColdPivots != 4 {
+		t.Errorf("pivot split merge wrong: %+v", a)
 	}
 	if a.MasterTime != 2*time.Second || a.PricingTime != 2*time.Second || a.RoundingTime != 3*time.Second {
 		t.Errorf("phase time merge wrong: %+v", a)
