@@ -16,6 +16,8 @@
 //	-csv DIR           additionally write each figure's data series as CSV
 //	-solverbench FILE  run the solver micro-benchmark and write its JSON
 //	                   artifact (BENCH_pr3.json schema) to FILE
+//	-incrbench FILE    run the incremental re-optimization benchmark and
+//	                   write its JSON artifact (BENCH_pr4.json schema) to FILE
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "directory to write CSV data series into")
 	solverBench := flag.String("solverbench", "", "run the solver benchmark and write its JSON artifact to this file")
+	incrBench := flag.String("incrbench", "", "run the incremental re-optimization benchmark and write its JSON artifact to this file")
 	flag.Parse()
 
 	cfg := experiments.FromEnv()
@@ -63,15 +66,23 @@ func main() {
 	}
 
 	start := time.Now()
+	benchOnly := false
 	if *solverBench != "" {
 		if err := runSolverBench(cfg, *solverBench); err != nil {
 			fail(fmt.Errorf("solverbench: %w", err))
 		}
-		// With no experiments named, -solverbench is the whole run.
-		if len(flag.Args()) == 0 {
-			fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
-			return
+		benchOnly = true
+	}
+	if *incrBench != "" {
+		if err := runIncrBench(cfg, *incrBench); err != nil {
+			fail(fmt.Errorf("incrbench: %w", err))
 		}
+		benchOnly = true
+	}
+	// With no experiments named, the benchmark flags are the whole run.
+	if benchOnly && len(flag.Args()) == 0 {
+		fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	which := flag.Args()
@@ -102,6 +113,26 @@ func runSolverBench(cfg experiments.Config, path string) error {
 	}
 	defer f.Close()
 	if err := experiments.WriteSolverBenchJSON(f, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// runIncrBench runs the PR-4 incremental re-optimization benchmark and
+// writes its JSON artifact (wall clock, moves, and affinity per tick,
+// delta arm vs forced-full arm).
+func runIncrBench(cfg experiments.Config, path string) error {
+	r, err := experiments.IncrBench(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteIncrBenchJSON(f, r); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -7,15 +7,19 @@
 //
 //	rasagen -preset M1 -out m1.json
 //	rasagen -services 500 -containers 2500 -machines 100 -out custom.json
+//	rasagen -preset T3 -out t3.json -churn 200
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"github.com/cloudsched/rasa/internal/incr"
 	"github.com/cloudsched/rasa/internal/snapshot"
 	"github.com/cloudsched/rasa/internal/workload"
+	"github.com/cloudsched/rasa/internal/workload/churn"
 )
 
 func main() {
@@ -27,6 +31,9 @@ func main() {
 	zones := flag.Int("zones", 1, "compatibility zones")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "-", "output file ('-' for stdout)")
+	churnN := flag.Int("churn", 0, "also emit a churn trace with this many events")
+	churnOut := flag.String("churn-out", "", "churn trace output (default '<out>.churn.json')")
+	churnPerTick := flag.Int("churn-per-tick", 5, "events per re-optimization tick in the churn trace")
 	flag.Parse()
 
 	ps, err := resolvePreset(*preset, *services, *containers, *machines, *beta, *zones, *seed)
@@ -52,6 +59,36 @@ func main() {
 	fmt.Fprintf(os.Stderr, "generated %s: %d services, %d machines, %d affinity edges, gained affinity %.4f\n",
 		ps.Name, c.Problem.N(), c.Problem.M(), c.Problem.Affinity.M(),
 		c.Original.GainedAffinity(c.Problem)/c.Problem.Affinity.TotalWeight())
+
+	if *churnN > 0 {
+		tr, err := churn.Generate(c, churn.Config{
+			Events: *churnN, PerTick: *churnPerTick, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		path := *churnOut
+		if path == "" {
+			if *out == "-" {
+				path = "churn.json"
+			} else {
+				path = strings.TrimSuffix(*out, ".json") + ".churn.json"
+			}
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := incr.WriteTrace(f, tr); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		last := tr.Events[len(tr.Events)-1]
+		fmt.Fprintf(os.Stderr, "churn trace %s: %d events over %d ticks\n", path, len(tr.Events), last.Tick+1)
+	}
 }
 
 func resolvePreset(name string, services, containers, machines int, beta float64, zones int, seed int64) (workload.Preset, error) {

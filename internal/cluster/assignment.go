@@ -100,6 +100,30 @@ func (a *Assignment) Clone() *Assignment {
 	return c
 }
 
+// DropService returns a copy of the assignment with service s removed;
+// services above s shift down by one index. The incremental engine uses
+// it when a RemoveService event rebuilds the problem.
+func (a *Assignment) DropService(s int) *Assignment {
+	if s < 0 || s >= a.N {
+		panic(fmt.Sprintf("cluster: DropService index %d out of range [0,%d)", s, a.N))
+	}
+	c := NewAssignment(a.N-1, a.M)
+	for old := 0; old < a.N; old++ {
+		if old == s || a.counts[old] == nil {
+			continue
+		}
+		to := old
+		if old > s {
+			to = old - 1
+		}
+		c.counts[to] = make(map[int]int, len(a.counts[old]))
+		for m, v := range a.counts[old] {
+			c.counts[to][m] = v
+		}
+	}
+	return c
+}
+
 // PerMachine returns, for each machine, the services placed on it with
 // their counts (sorted by service id). Useful for per-machine constraint
 // checks and affinity evaluation.

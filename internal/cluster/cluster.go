@@ -117,6 +117,19 @@ func (b Bitmap) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
 // Get reports bit i.
 func (b Bitmap) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
 
+// Grow returns a bitmap able to hold n bits, preserving every set bit.
+// The receiver is returned unchanged when it is already large enough,
+// so cheap no-op growth is the common case.
+func (b Bitmap) Grow(n int) Bitmap {
+	want := (n + 63) / 64
+	if len(b) >= want {
+		return b
+	}
+	out := make(Bitmap, want)
+	copy(out, b)
+	return out
+}
+
 // Clone returns a copy of the bitmap.
 func (b Bitmap) Clone() Bitmap {
 	out := make(Bitmap, len(b))

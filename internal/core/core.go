@@ -112,12 +112,14 @@ type Result struct {
 	Stats solve.Stats
 }
 
-// reconcileSLA keeps under-placed services' surplus containers at their
+// ReconcileSLA keeps under-placed services' surplus containers at their
 // current machines where capacity (and constraints) allow. The optimizer
 // tolerates failed deployments, but a target that places fewer
 // containers than currently run would force the migration to scale a
 // service down; keeping those containers in place is strictly better.
-func reconcileSLA(p *cluster.Problem, current, next *cluster.Assignment) {
+// Exported for the incremental engine, whose delta solves merge through
+// the same pipeline outside Optimize.
+func ReconcileSLA(p *cluster.Problem, current, next *cluster.Assignment) {
 	used := next.UsedResources(p)
 	antiUsed := make([][]int, len(p.AntiAffinity))
 	for k := range antiUsed {
@@ -169,12 +171,13 @@ func reconcileSLA(p *cluster.Problem, current, next *cluster.Assignment) {
 	}
 }
 
-// evictForSLA makes room for under-placed compatibility-restricted
+// EvictForSLA makes room for under-placed compatibility-restricted
 // services by evicting containers of unrestricted services (which can
 // run anywhere) from the restricted services' compatible machines.
 // Returns true if any eviction happened; callers must re-run the default
-// scheduler to re-place the evicted containers.
-func evictForSLA(p *cluster.Problem, next *cluster.Assignment) bool {
+// scheduler to re-place the evicted containers. Exported alongside
+// ReconcileSLA for the incremental engine's merge path.
+func EvictForSLA(p *cluster.Problem, next *cluster.Assignment) bool {
 	if p.Schedulable == nil {
 		return false
 	}
@@ -314,12 +317,12 @@ func Optimize(ctx context.Context, p *cluster.Problem, current *cluster.Assignme
 
 	// Phase 3: merge and migration path.
 	newAssign := sched.Merge(p, current, pres, results)
-	reconcileSLA(p, current, newAssign)
-	if evictForSLA(p, newAssign) {
+	ReconcileSLA(p, current, newAssign)
+	if EvictForSLA(p, newAssign) {
 		// Evicted containers need re-placing; reconcile again so nothing
 		// regresses below the current deployment.
 		newAssign = sched.Complete(p, newAssign)
-		reconcileSLA(p, current, newAssign)
+		ReconcileSLA(p, current, newAssign)
 	}
 	res := &Result{
 		Assignment:       newAssign,

@@ -99,6 +99,39 @@ func (g *Graph) checkVertex(u int) {
 	}
 }
 
+// SetEdge sets the weight of edge (u,v) to exactly weight, unlike
+// AddEdge which accumulates. Setting a present edge to a non-positive
+// weight zeroes it in place (the structural entry remains but it no
+// longer contributes affinity anywhere: HasEdge, gained affinity, and
+// cut/total weights all treat it as absent). Setting an absent edge to
+// a positive weight creates it. Self-loops are ignored.
+func (g *Graph) SetEdge(u, v int, weight float64) {
+	if u == v {
+		return
+	}
+	g.checkVertex(u)
+	g.checkVertex(v)
+	i, ok := g.index[g.key(u, v)]
+	if !ok {
+		g.AddEdge(u, v, weight)
+		return
+	}
+	if weight < 0 {
+		weight = 0
+	}
+	g.edges[i].Weight = weight
+	for j := range g.adj[u] {
+		if g.adj[u][j].To == v {
+			g.adj[u][j].Weight = weight
+		}
+	}
+	for j := range g.adj[v] {
+		if g.adj[v][j].To == u {
+			g.adj[v][j].Weight = weight
+		}
+	}
+}
+
 // Weight returns the weight of edge (u,v), or 0 if absent.
 func (g *Graph) Weight(u, v int) float64 {
 	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {

@@ -1,0 +1,458 @@
+package incr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/migrate"
+	"github.com/cloudsched/rasa/internal/obs"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// Options tune the incremental engine.
+type Options struct {
+	// Budget bounds a full pipeline pass (escalations and the
+	// bootstrap); default 2s.
+	Budget time.Duration
+	// DeltaBudget bounds the solver phase of a delta pass; default
+	// Budget. Delta passes normally finish far inside it — the bound
+	// exists so a pathological subproblem cannot stall the event loop.
+	DeltaBudget time.Duration
+	// DriftThreshold is the maximum tolerated loss of normalized gained
+	// affinity relative to the last full solve before a delta pass
+	// escalates to the full pipeline; default 0.05 (five points of
+	// normalized affinity).
+	DriftThreshold float64
+	// MaxDirtyRatio escalates straight to a full solve when more than
+	// this fraction of subproblems is dirty — at that point scoped
+	// re-solves approach full-pipeline cost without its re-partitioning
+	// benefit; default 0.5.
+	MaxDirtyRatio float64
+	// ForceFull makes every Reoptimize run the full pipeline (the
+	// benchmark's baseline arm and an operational escape hatch).
+	ForceFull bool
+
+	// The remaining fields forward to core.Optimize for full passes and
+	// to the selector/pool machinery for delta passes.
+	Strategy      core.Strategy
+	Partition     partition.Options
+	Policy        selector.Policy
+	Parallelism   int
+	MinAlive      float64
+	SkipMigration bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 2 * time.Second
+	}
+	if o.DeltaBudget <= 0 {
+		o.DeltaBudget = o.Budget
+	}
+	if o.DriftThreshold <= 0 {
+		o.DriftThreshold = 0.05
+	}
+	if o.MaxDirtyRatio <= 0 {
+		o.MaxDirtyRatio = 0.5
+	}
+	if o.Policy == nil {
+		o.Policy = selector.Heuristic{}
+	}
+	if o.MinAlive == 0 {
+		o.MinAlive = 0.75
+	}
+	return o
+}
+
+// Mode is the path a Reoptimize call took.
+type Mode int
+
+// Reoptimize paths.
+const (
+	// ModeNoop: nothing dirty, nothing solved.
+	ModeNoop Mode = iota
+	// ModeDelta: only dirty subproblems re-solved.
+	ModeDelta
+	// ModeFull: the full pipeline ran (bootstrap or escalation).
+	ModeFull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNoop:
+		return "noop"
+	case ModeDelta:
+		return "delta"
+	case ModeFull:
+		return "full"
+	}
+	return "unknown"
+}
+
+// Escalation reasons (EscalationReason values and the obs counter
+// label).
+const (
+	ReasonBootstrap  = "bootstrap"   // no full solve yet
+	ReasonForced     = "force-full"  // Options.ForceFull
+	ReasonDirtyRatio = "dirty-ratio" // dirty set beyond MaxDirtyRatio
+	ReasonDrift      = "drift"       // delta result lost too much affinity
+	ReasonPartition  = "partition-error"
+)
+
+// PlacementDelta is one changed placement cell: service s went from
+// Before to After containers on machine m.
+type PlacementDelta struct {
+	Service int `json:"service"`
+	Machine int `json:"machine"`
+	Before  int `json:"before"`
+	After   int `json:"after"`
+}
+
+// Result is the outcome of one Reoptimize call.
+type Result struct {
+	Mode Mode
+	// Escalated reports that a full pass ran for any reason;
+	// EscalationReason says which (empty for noop/delta).
+	Escalated        bool
+	EscalationReason string
+	// DirtySubproblems / TotalSubproblems as seen at entry.
+	DirtySubproblems int
+	TotalSubproblems int
+	// EventsApplied is the state's cumulative event count.
+	EventsApplied int
+	// GainedAffinity is the absolute gain of the adopted assignment;
+	// NormalizedGain divides by the affinity graph's total weight;
+	// BaselineGain is the normalized gain of the last full solve.
+	GainedAffinity float64
+	NormalizedGain float64
+	BaselineGain   float64
+	// Moves counts containers whose machine changed versus the
+	// assignment at entry; Changed lists the differing cells.
+	Moves   int
+	Changed []PlacementDelta
+	// Plan transitions the entry assignment to the adopted one (nil for
+	// noop, or when SkipMigration).
+	Plan             *migrate.Plan
+	PartialMigration bool
+	OutOfTime        bool
+	Stats            solve.Stats
+	Elapsed          time.Duration
+}
+
+// Engine drives incremental re-optimization over a State.
+type Engine struct {
+	st       *State
+	opts     Options
+	m        *metrics
+	fullRuns int
+}
+
+// New wraps st in an engine. reg may be nil (no metrics).
+func New(st *State, opts Options, reg *obs.Registry) *Engine {
+	return &Engine{st: st, opts: opts.withDefaults(), m: newMetrics(reg)}
+}
+
+// State returns the engine's state.
+func (e *Engine) State() *State { return e.st }
+
+// Apply forwards events to the state and counts them in the metrics.
+func (e *Engine) Apply(events ...Event) (int, error) {
+	applied, err := e.st.Apply(events...)
+	for i := 0; i < applied; i++ {
+		e.m.event(events[i].Kind())
+	}
+	return applied, err
+}
+
+// Reoptimize brings the assignment back to optimized quality after a
+// batch of events. It decides between three paths: nothing dirty —
+// noop; a bounded dirty set — re-solve only the dirty subproblems
+// (warm-started where the formulation shape survived) and merge with
+// the untouched remainder; otherwise, or when the delta result drifted
+// too far below the last full solve's gained affinity, the full
+// pipeline.
+func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
+	st := e.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	start := time.Now()
+
+	dirtyCount := len(st.dirty)
+	totalGroups := len(st.groups)
+
+	reason := ""
+	switch {
+	case e.opts.ForceFull:
+		reason = ReasonForced
+	case !st.havePartition:
+		reason = ReasonBootstrap
+	case dirtyCount == 0 && !st.dirtyTrivial:
+		res := &Result{
+			Mode:             ModeNoop,
+			TotalSubproblems: totalGroups,
+			EventsApplied:    st.eventsApplied,
+			BaselineGain:     st.baseGain,
+			Elapsed:          time.Since(start),
+		}
+		res.GainedAffinity = st.assign.GainedAffinity(st.p)
+		if total := st.p.Affinity.TotalWeight(); total > 0 {
+			res.NormalizedGain = res.GainedAffinity / total
+		}
+		e.m.reoptimize(res.Mode)
+		return res, nil
+	case float64(dirtyCount) > e.opts.MaxDirtyRatio*float64(totalGroups):
+		reason = ReasonDirtyRatio
+	}
+	if reason != "" {
+		return e.full(ctx, start, reason, dirtyCount, totalGroups)
+	}
+
+	ratio := 0.0
+	if totalGroups > 0 {
+		ratio = float64(dirtyCount) / float64(totalGroups)
+	}
+	e.m.dirtyRatio(ratio)
+
+	// Delta pass. Collect dirty groups in index order (determinism),
+	// build their subproblems against the untouched remainder's
+	// residual capacities, and re-solve only those.
+	old := st.assign.Clone()
+	var dirtyIdx []int
+	var dirtyGroups [][]int
+	inDirty := make([]bool, st.p.N())
+	for g := 0; g < totalGroups; g++ {
+		if !st.dirty[g] {
+			continue
+		}
+		dirtyIdx = append(dirtyIdx, g)
+		dirtyGroups = append(dirtyGroups, st.groups[g])
+		for _, s := range st.groups[g] {
+			inDirty[s] = true
+		}
+	}
+	stay := make([]int, 0, st.p.N())
+	for s := 0; s < st.p.N(); s++ {
+		if !inDirty[s] {
+			stay = append(stay, s)
+		}
+	}
+
+	subs, err := partition.AssignMachines(st.p, st.assign, dirtyGroups, stay)
+	if err != nil {
+		// Delta subproblem construction failed (should not happen on a
+		// valid state); the full pipeline re-partitions from scratch.
+		return e.full(ctx, start, ReasonPartition, dirtyCount, totalGroups)
+	}
+	selected := make([]pool.Algorithm, len(subs))
+	for i, sp := range subs {
+		selected[i] = e.opts.Policy.Select(sp)
+	}
+	results := pool.SolveAllWarm(ctx, subs,
+		func(i int) pool.Algorithm { return selected[i] },
+		func(i int) *pool.WarmStart { return st.warmFor(dirtyIdx[i]) },
+		e.opts.DeltaBudget, e.opts.Parallelism)
+
+	next := sched.Merge(st.p, st.assign, &partition.Result{Subproblems: subs}, results)
+	core.ReconcileSLA(st.p, st.assign, next)
+	if core.EvictForSLA(st.p, next) {
+		next = sched.Complete(st.p, next)
+		core.ReconcileSLA(st.p, st.assign, next)
+	}
+
+	total := st.p.Affinity.TotalWeight()
+	gain := next.GainedAffinity(st.p)
+	norm := 0.0
+	if total > 0 {
+		norm = gain / total
+	}
+	if st.baseGain-norm > e.opts.DriftThreshold {
+		// The scoped solve cannot recover enough of the affinity the
+		// events destroyed (typically cross-subproblem edges the current
+		// partition cannot collocate): re-partition with the full
+		// pipeline. The delta result is discarded; st.assign is still
+		// the entry assignment.
+		return e.full(ctx, start, ReasonDrift, dirtyCount, totalGroups)
+	}
+
+	res := &Result{
+		Mode:             ModeDelta,
+		DirtySubproblems: dirtyCount,
+		TotalSubproblems: totalGroups,
+		EventsApplied:    st.eventsApplied,
+		GainedAffinity:   gain,
+		NormalizedGain:   norm,
+		BaselineGain:     st.baseGain,
+	}
+	for _, r := range results {
+		res.Stats.Merge(r.Stats)
+	}
+	res.OutOfTime = true
+	for _, r := range results {
+		if !r.OutOfTime {
+			res.OutOfTime = false
+			break
+		}
+	}
+	if len(results) == 0 {
+		res.OutOfTime = false
+	}
+
+	adopted := next
+	if !e.opts.SkipMigration && ctx.Err() == nil {
+		plan, reached, partial, perr := planMigration(ctx, st.p, old, next, e.opts.MinAlive)
+		if perr != nil {
+			return nil, perr
+		}
+		res.Plan = plan
+		res.PartialMigration = partial
+		if reached != nil {
+			adopted = reached
+			res.GainedAffinity = adopted.GainedAffinity(st.p)
+			if total > 0 {
+				res.NormalizedGain = res.GainedAffinity / total
+			}
+		}
+	}
+	st.assign = adopted
+	st.dirty = make(map[int]bool)
+	st.dirtyTrivial = false
+
+	res.Moves = cluster.MoveCount(old, adopted)
+	res.Changed = diffPlacements(old, adopted)
+	res.Elapsed = time.Since(start)
+	e.m.reoptimize(res.Mode)
+	e.m.deltaSolve(res.Elapsed)
+	e.m.addMoves(res.Moves)
+	return res, nil
+}
+
+// full runs the complete pipeline under the state lock and installs the
+// fresh partition as the new delta baseline.
+func (e *Engine) full(ctx context.Context, start time.Time, reason string, dirtyCount, totalGroups int) (*Result, error) {
+	st := e.st
+	e.fullRuns++
+	copts := core.Options{
+		Budget:        e.opts.Budget,
+		Strategy:      e.opts.Strategy,
+		Partition:     e.opts.Partition,
+		Policy:        e.opts.Policy,
+		Parallelism:   e.opts.Parallelism,
+		MinAlive:      e.opts.MinAlive,
+		SkipMigration: e.opts.SkipMigration,
+	}
+	// Vary the sampling seed across runs so repeated escalations explore
+	// different partitions instead of replaying one.
+	copts.Partition.Seed += int64(e.fullRuns)
+	old := st.assign
+	cres, err := core.Optimize(ctx, st.p, old, copts)
+	if err != nil {
+		return nil, fmt.Errorf("incr: full pipeline: %w", err)
+	}
+	st.assign = cres.Assignment
+
+	groups := make([][]int, 0, len(cres.Partition.Subproblems))
+	for _, sp := range cres.Partition.Subproblems {
+		groups = append(groups, append([]int(nil), sp.Services...))
+	}
+	st.setPartition(groups)
+
+	total := st.p.Affinity.TotalWeight()
+	norm := 0.0
+	if total > 0 {
+		norm = cres.GainedAffinity / total
+	}
+	st.baseGain = norm
+
+	res := &Result{
+		Mode:             ModeFull,
+		Escalated:        true,
+		EscalationReason: reason,
+		DirtySubproblems: dirtyCount,
+		TotalSubproblems: totalGroups,
+		EventsApplied:    st.eventsApplied,
+		GainedAffinity:   cres.GainedAffinity,
+		NormalizedGain:   norm,
+		BaselineGain:     norm,
+		Moves:            cluster.MoveCount(old, st.assign),
+		Changed:          diffPlacements(old, st.assign),
+		Plan:             cres.Plan,
+		PartialMigration: cres.PartialMigration,
+		OutOfTime:        cres.OutOfTime,
+		Stats:            cres.Stats,
+		Elapsed:          time.Since(start),
+	}
+	e.m.reoptimize(res.Mode)
+	e.m.escalation(reason)
+	e.m.addMoves(res.Moves)
+	return res, nil
+}
+
+// planMigration computes the migration plan from old to next, handling
+// the same edge cases as core.Optimize: deadlock-breaking relocations
+// make the replayed state authoritative, and a stalled plan adopts the
+// reachable state completed by the default scheduler (with the plan
+// extended to transition exactly there). reached is nil when next is
+// already authoritative.
+func planMigration(ctx context.Context, p *cluster.Problem, old, next *cluster.Assignment, minAlive float64) (plan *migrate.Plan, reached *cluster.Assignment, partial bool, err error) {
+	plan, err = migrate.Compute(ctx, p, old, next, migrate.Options{MinAlive: minAlive})
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return nil, nil, false, nil
+	case err == nil:
+		if plan.Relocations > 0 {
+			r, simErr := migrate.Simulate(p, old, plan, minAlive)
+			if simErr != nil {
+				return nil, nil, false, fmt.Errorf("incr: migration replay: %w", simErr)
+			}
+			return plan, r, false, nil
+		}
+		return plan, nil, false, nil
+	case errors.Is(err, migrate.ErrStalled):
+		r, simErr := migrate.Simulate(p, old, plan, minAlive)
+		if simErr != nil {
+			return nil, nil, false, fmt.Errorf("incr: partial migration replay: %w", simErr)
+		}
+		completed := sched.Complete(p, r)
+		var finalStep migrate.Step
+		completed.EachPlacement(func(s, m, count int) {
+			for extra := count - r.Get(s, m); extra > 0; extra-- {
+				finalStep = append(finalStep, migrate.Command{Op: migrate.Create, Service: s, Machine: m})
+			}
+		})
+		if len(finalStep) > 0 {
+			plan.Steps = append(plan.Steps, finalStep)
+		}
+		return plan, completed, true, nil
+	default:
+		return nil, nil, false, fmt.Errorf("incr: migration planning: %w", err)
+	}
+}
+
+// diffPlacements lists every (service, machine) cell where old and next
+// differ.
+func diffPlacements(old, next *cluster.Assignment) []PlacementDelta {
+	var out []PlacementDelta
+	for s := 0; s < next.N; s++ {
+		seen := make(map[int]bool)
+		for _, m := range old.MachinesOf(s) {
+			seen[m] = true
+			if b, a := old.Get(s, m), next.Get(s, m); b != a {
+				out = append(out, PlacementDelta{Service: s, Machine: m, Before: b, After: a})
+			}
+		}
+		for _, m := range next.MachinesOf(s) {
+			if !seen[m] {
+				out = append(out, PlacementDelta{Service: s, Machine: m, Before: 0, After: next.Get(s, m)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package incr
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/sched"
+)
+
+// State is the live cluster state the incremental engine owns: the
+// mutable problem, the current assignment, the partition of the last
+// full solve, and the dirty-tracking bookkeeping that maps applied
+// events to affected subproblems.
+//
+// State methods lock internally, so Apply can race an HTTP handler; but
+// the Problem/Assignment accessors hand out live pointers, so callers
+// that inspect them must not do so concurrently with Apply or
+// Reoptimize.
+type State struct {
+	mu     sync.Mutex
+	p      *cluster.Problem
+	assign *cluster.Assignment
+
+	// Partition bookkeeping from the last full solve. groups[g] lists
+	// the service indices of subproblem g; subOf[s] is the group of
+	// service s, or -1 when s is trivial (left in place by the
+	// partitioner). havePartition is false until the first full solve —
+	// before that every event escalates, since there is nothing to
+	// scope a delta against.
+	groups        [][]int
+	subOf         []int
+	havePartition bool
+
+	// dirty marks groups whose subproblem must be re-solved;
+	// dirtyTrivial marks that some trivial service changed (it only
+	// needs a default-scheduler completion pass, not a solver).
+	dirty        map[int]bool
+	dirtyTrivial bool
+
+	// baseGain is the normalized gained affinity achieved by the last
+	// full solve — the drift baseline.
+	baseGain float64
+
+	// warm caches per-group MIP root bases, keyed by group index. The
+	// bases are starting hints only (validated and possibly discarded
+	// downstream), so staleness can never corrupt a solve.
+	warm map[int]*pool.WarmStart
+
+	eventsApplied int
+}
+
+// NewState takes ownership of p and assign: the engine mutates both in
+// place as events apply. Callers that need the originals intact must
+// clone before constructing the state.
+func NewState(p *cluster.Problem, assign *cluster.Assignment) (*State, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if assign == nil {
+		return nil, fmt.Errorf("incr: nil assignment")
+	}
+	if assign.N != p.N() || assign.M != p.M() {
+		return nil, fmt.Errorf("incr: assignment shape %dx%d does not match problem %dx%d",
+			assign.N, assign.M, p.N(), p.M())
+	}
+	return &State{
+		p:      p,
+		assign: assign,
+		dirty:  make(map[int]bool),
+		warm:   make(map[int]*pool.WarmStart),
+	}, nil
+}
+
+// Apply applies the events in order, stopping at the first invalid one.
+// It returns how many were applied; on error the returned count is the
+// index of the offending event and every earlier event remains applied
+// (events are not transactional — they model an external feed that has
+// already happened).
+func (st *State) Apply(events ...Event) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, ev := range events {
+		if err := ev.apply(st); err != nil {
+			return i, fmt.Errorf("incr: event %d (%s): %w", i, ev.Kind(), err)
+		}
+		st.eventsApplied++
+	}
+	return len(events), nil
+}
+
+// Problem returns the live problem. See the State doc for aliasing
+// rules.
+func (st *State) Problem() *cluster.Problem {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.p
+}
+
+// Assignment returns the live assignment. See the State doc for
+// aliasing rules.
+func (st *State) Assignment() *cluster.Assignment {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.assign
+}
+
+// SetAssignment replaces the current assignment (e.g. after an external
+// rollback or a gated deployment that applied only part of a plan). The
+// partition bookkeeping is kept; all groups are conservatively marked
+// dirty, since the externally imposed placements may differ anywhere.
+func (st *State) SetAssignment(a *cluster.Assignment) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if a == nil || a.N != st.p.N() || a.M != st.p.M() {
+		return fmt.Errorf("incr: assignment shape mismatch")
+	}
+	st.assign = a
+	for g := range st.groups {
+		st.dirty[g] = true
+	}
+	st.dirtyTrivial = true
+	return nil
+}
+
+// Settle fills SLA deficits with the default scheduler without running
+// any solver, leaving the dirty set untouched: a cheap stop-gap between
+// an event batch and the next Reoptimize, mirroring how production
+// keeps the fleet serving while the optimizer is between runs.
+func (st *State) Settle() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.assign = sched.Complete(st.p, st.assign)
+}
+
+// Stats is a point-in-time summary of the state.
+type Stats struct {
+	Services         int     `json:"services"`
+	Machines         int     `json:"machines"`
+	EventsApplied    int     `json:"eventsApplied"`
+	TotalSubproblems int     `json:"totalSubproblems"`
+	DirtySubproblems int     `json:"dirtySubproblems"`
+	DirtyTrivial     bool    `json:"dirtyTrivial"`
+	HavePartition    bool    `json:"havePartition"`
+	NormalizedGain   float64 `json:"normalizedGain"`
+	BaselineGain     float64 `json:"baselineGain"`
+	GainedAffinity   float64 `json:"gainedAffinity"`
+	TotalAffinity    float64 `json:"totalAffinity"`
+}
+
+// Snapshot returns current state statistics.
+func (st *State) Snapshot() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	gain := st.assign.GainedAffinity(st.p)
+	total := st.p.Affinity.TotalWeight()
+	s := Stats{
+		Services:         st.p.N(),
+		Machines:         st.p.M(),
+		EventsApplied:    st.eventsApplied,
+		TotalSubproblems: len(st.groups),
+		DirtySubproblems: len(st.dirty),
+		DirtyTrivial:     st.dirtyTrivial,
+		HavePartition:    st.havePartition,
+		BaselineGain:     st.baseGain,
+		GainedAffinity:   gain,
+		TotalAffinity:    total,
+	}
+	if total > 0 {
+		s.NormalizedGain = gain / total
+	}
+	return s
+}
+
+// markDirty flags the subproblem owning service s. Before the first
+// full solve there is no partition to scope against, so nothing is
+// tracked — Reoptimize escalates unconditionally.
+func (st *State) markDirty(s int) {
+	if !st.havePartition {
+		return
+	}
+	if g := st.subOf[s]; g >= 0 {
+		st.dirty[g] = true
+	} else {
+		st.dirtyTrivial = true
+	}
+}
+
+// setPartition installs a fresh partition (after a full solve): all
+// dirty tracking resets and the warm-start caches are dropped, since
+// group indices no longer mean what they meant.
+func (st *State) setPartition(groups [][]int) {
+	st.groups = groups
+	st.subOf = make([]int, st.p.N())
+	for s := range st.subOf {
+		st.subOf[s] = -1
+	}
+	for g, svcs := range groups {
+		for _, s := range svcs {
+			st.subOf[s] = g
+		}
+	}
+	st.dirty = make(map[int]bool)
+	st.dirtyTrivial = false
+	st.havePartition = true
+	st.warm = make(map[int]*pool.WarmStart)
+}
+
+// warmFor returns the (possibly fresh) warm-start cache of group g.
+func (st *State) warmFor(g int) *pool.WarmStart {
+	w, ok := st.warm[g]
+	if !ok {
+		w = &pool.WarmStart{}
+		st.warm[g] = w
+	}
+	return w
+}
+
+// removeService rebuilds problem, assignment, and partition
+// bookkeeping with service s removed and every higher index shifted
+// down by one.
+func (st *State) removeService(s int) {
+	p := st.p
+	n := p.N()
+
+	// Problem: services, affinity graph, anti-affinity rules,
+	// schedulability rows.
+	remap := make([]int, n) // old -> new; -1 for s
+	for i := 0; i < n; i++ {
+		switch {
+		case i < s:
+			remap[i] = i
+		case i == s:
+			remap[i] = -1
+		default:
+			remap[i] = i - 1
+		}
+	}
+	p.Services = append(p.Services[:s:s], p.Services[s+1:]...)
+	g := graph.New(n - 1)
+	for _, e := range p.Affinity.Edges() {
+		if e.U != s && e.V != s {
+			g.AddEdge(remap[e.U], remap[e.V], e.Weight)
+		}
+	}
+	p.Affinity = g
+	var rules []cluster.AntiAffinityRule
+	for _, rule := range p.AntiAffinity {
+		var svcs []int
+		for _, v := range rule.Services {
+			if v != s {
+				svcs = append(svcs, remap[v])
+			}
+		}
+		if len(svcs) > 0 {
+			rules = append(rules, cluster.AntiAffinityRule{Services: svcs, MaxPerHost: rule.MaxPerHost})
+		}
+	}
+	p.AntiAffinity = rules
+	if p.Schedulable != nil {
+		p.Schedulable = append(p.Schedulable[:s:s], p.Schedulable[s+1:]...)
+	}
+
+	st.assign = st.assign.DropService(s)
+
+	if !st.havePartition {
+		return
+	}
+	// Partition bookkeeping: remap groups, drop emptied ones, carry the
+	// dirty set across the group renumbering, and mark the departed
+	// service's group dirty — its subproblem's affinity structure and
+	// freed capacity both changed.
+	oldGroup := st.subOf[s]
+	var groups [][]int
+	groupRemap := make(map[int]int, len(st.groups))
+	for gi, svcs := range st.groups {
+		var ns []int
+		for _, v := range svcs {
+			if v != s {
+				ns = append(ns, remap[v])
+			}
+		}
+		if len(ns) > 0 {
+			groupRemap[gi] = len(groups)
+			groups = append(groups, ns)
+		}
+	}
+	dirty := make(map[int]bool, len(st.dirty))
+	for gi := range st.dirty {
+		if ni, ok := groupRemap[gi]; ok {
+			dirty[ni] = true
+		}
+	}
+	if oldGroup >= 0 {
+		if ni, ok := groupRemap[oldGroup]; ok {
+			dirty[ni] = true
+		}
+	}
+	st.groups = groups
+	st.subOf = make([]int, p.N())
+	for i := range st.subOf {
+		st.subOf[i] = -1
+	}
+	for gi, svcs := range groups {
+		for _, v := range svcs {
+			st.subOf[v] = gi
+		}
+	}
+	st.dirty = dirty
+	// Warm bases are keyed by group index and shaped by the old service
+	// set; drop them all rather than chase the renumbering.
+	st.warm = make(map[int]*pool.WarmStart)
+}

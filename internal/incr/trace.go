@@ -1,0 +1,137 @@
+package incr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+)
+
+// TraceVersion identifies the churn-trace JSON schema.
+const TraceVersion = "rasa-churn-trace/1"
+
+// EventJSON is the wire form of an Event: a type discriminator plus the
+// union of all event fields. Zero values round-trip (service 0 is a
+// valid index, weight 0 zeroes an edge), so omitted fields decode to
+// the same event they encoded from.
+type EventJSON struct {
+	Type     string    `json:"type"`
+	Service  int       `json:"service,omitempty"`
+	Replicas int       `json:"replicas,omitempty"`
+	Machine  int       `json:"machine,omitempty"`
+	Name     string    `json:"name,omitempty"`
+	Capacity []float64 `json:"capacity,omitempty"`
+	Spec     int       `json:"spec,omitempty"`
+	A        int       `json:"a,omitempty"`
+	B        int       `json:"b,omitempty"`
+	Weight   float64   `json:"weight,omitempty"`
+}
+
+// Event decodes the wire form into a typed event.
+func (e EventJSON) Event() (Event, error) {
+	switch e.Type {
+	case "scaleService":
+		return ScaleService{Service: e.Service, Replicas: e.Replicas}, nil
+	case "addMachine":
+		return AddMachine{Name: e.Name, Capacity: cluster.Resources(e.Capacity), Spec: e.Spec}, nil
+	case "drainMachine":
+		return DrainMachine{Machine: e.Machine}, nil
+	case "updateAffinity":
+		return UpdateAffinity{A: e.A, B: e.B, Weight: e.Weight}, nil
+	case "removeService":
+		return RemoveService{Service: e.Service}, nil
+	}
+	return nil, fmt.Errorf("incr: unknown event type %q", e.Type)
+}
+
+// ToJSON encodes a typed event into its wire form.
+func ToJSON(ev Event) EventJSON {
+	switch e := ev.(type) {
+	case ScaleService:
+		return EventJSON{Type: e.Kind(), Service: e.Service, Replicas: e.Replicas}
+	case AddMachine:
+		return EventJSON{Type: e.Kind(), Name: e.Name, Capacity: e.Capacity, Spec: e.Spec}
+	case DrainMachine:
+		return EventJSON{Type: e.Kind(), Machine: e.Machine}
+	case UpdateAffinity:
+		return EventJSON{Type: e.Kind(), A: e.A, B: e.B, Weight: e.Weight}
+	case RemoveService:
+		return EventJSON{Type: e.Kind(), Service: e.Service}
+	}
+	panic(fmt.Sprintf("incr: unknown event %T", ev))
+}
+
+// DecodeEvents decodes a batch of wire events, failing on the first
+// unknown type.
+func DecodeEvents(batch []EventJSON) ([]Event, error) {
+	out := make([]Event, len(batch))
+	for i, ej := range batch {
+		ev, err := ej.Event()
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		out[i] = ev
+	}
+	return out, nil
+}
+
+// TraceEvent is one trace entry: an event stamped with the tick it
+// fires on. Ticks are non-decreasing; all events of one tick form one
+// Apply batch. Indices refer to the state after every earlier trace
+// event has been applied (a removeService shifts later indices).
+type TraceEvent struct {
+	Tick int `json:"tick"`
+	EventJSON
+}
+
+// Trace is a replayable churn trace against a specific snapshot: the
+// workload generator emits one alongside the cluster it churns.
+type Trace struct {
+	Version string       `json:"version"`
+	Seed    int64        `json:"seed,omitempty"`
+	Events  []TraceEvent `json:"events"`
+}
+
+// Ticks returns the trace's events grouped and decoded per tick, as a
+// sorted list of (tick, batch) pairs in file order.
+func (t *Trace) Ticks() ([]TickBatch, error) {
+	var out []TickBatch
+	for i, te := range t.Events {
+		ev, err := te.Event()
+		if err != nil {
+			return nil, fmt.Errorf("incr: trace event %d: %w", i, err)
+		}
+		if len(out) == 0 || out[len(out)-1].Tick != te.Tick {
+			out = append(out, TickBatch{Tick: te.Tick})
+		}
+		out[len(out)-1].Events = append(out[len(out)-1].Events, ev)
+	}
+	return out, nil
+}
+
+// TickBatch is one tick's decoded event batch.
+type TickBatch struct {
+	Tick   int
+	Events []Event
+}
+
+// WriteTrace writes the trace as indented JSON.
+func WriteTrace(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace parses a churn trace and checks its schema version.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("incr: parse trace: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("incr: unsupported trace version %q (want %q)", t.Version, TraceVersion)
+	}
+	return &t, nil
+}

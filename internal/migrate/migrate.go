@@ -139,6 +139,13 @@ func Compute(ctx context.Context, p *cluster.Problem, from, to *cluster.Assignme
 		if t := to.Placed(s); minAlive[s] > t {
 			minAlive[s] = t
 		}
+		// Nor more than exist at entry: a service scaled up between
+		// solves starts below its nominal floor (the deficit is what the
+		// migration will create), and the plan must not be blocked by a
+		// shortfall it did not cause.
+		if minAlive[s] > alive[s] {
+			minAlive[s] = alive[s]
+		}
 	}
 	used := cur.UsedResources(p)
 
@@ -345,6 +352,11 @@ func Simulate(p *cluster.Problem, from *cluster.Assignment, plan *Plan, minAlive
 	for s := 0; s < p.N(); s++ {
 		alive[s] = cur.Placed(s)
 		floor[s] = int(minAlive * float64(p.Services[s].Replicas))
+		// Mirror Compute: the availability floor is relative to what the
+		// plan started with — an entry-state deficit is not a violation.
+		if floor[s] > alive[s] {
+			floor[s] = alive[s]
+		}
 	}
 	for si, step := range plan.Steps {
 		for _, c := range step {

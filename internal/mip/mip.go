@@ -106,6 +106,13 @@ type Options struct {
 	// basis. Ablation/benchmark knob (BENCH_pr3.json compares node
 	// throughput with and without it); production solves leave it false.
 	DisableWarmStart bool
+	// RootBasis, when non-nil, seeds the root relaxation's simplex from a
+	// basis captured in an earlier solve of a same-shaped problem (the
+	// incremental engine re-solving a subproblem whose formulation shape
+	// survived a delta). The workspace validates the basis and falls back
+	// to a cold solve when it is stale or mismatched, so a wrong guess
+	// costs nothing but the check. Ignored under DisableWarmStart.
+	RootBasis *lp.Basis
 }
 
 // Solution is the result of a solve.
@@ -115,6 +122,11 @@ type Solution struct {
 	Objective float64   // objective at X
 	Bound     float64   // proven upper bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
+	// RootBasis is the optimal basis of the root relaxation (nil when the
+	// root LP did not reach optimality). Callers re-solving the same
+	// formulation shape after a data-only change can feed it back through
+	// Options.RootBasis to skip most of the root's simplex work.
+	RootBasis *lp.Basis
 	// Stats aggregates B&B nodes, incumbents, simplex pivots across all
 	// node LPs, and why the solve stopped.
 	Stats solve.Stats
@@ -188,6 +200,9 @@ type solver struct {
 	haveInc      bool
 	nodes        int
 	stats        solve.Stats
+	// rootBasis is the root relaxation's optimal basis, surfaced on the
+	// Solution for cross-solve warm starting.
+	rootBasis *lp.Basis
 }
 
 // Solve runs branch and bound. The zero Options value gives exact solves
@@ -247,12 +262,19 @@ func (s *solver) solveLP(n *node) (lp.Solution, error) {
 	prob.Rows = append(prob.Rows, extra...)
 	opts := lp.Options{Deadline: s.opts.Deadline}
 	var from *lp.Basis
-	if !s.opts.DisableWarmStart && n.parent != nil {
-		from = n.parent.basis // nil when the parent's LP didn't reach optimality
+	if !s.opts.DisableWarmStart {
+		if n.parent != nil {
+			from = n.parent.basis // nil when the parent's LP didn't reach optimality
+		} else {
+			from = s.opts.RootBasis // cross-solve seed for the root relaxation
+		}
 	}
 	sol, err := s.ws.SolveFrom(s.ctx, &prob, opts, from)
 	if err == nil && sol.Status == lp.Optimal {
 		n.basis = s.ws.CaptureBasis(nil)
+		if n.parent == nil {
+			s.rootBasis = n.basis
+		}
 	}
 	s.stats.Merge(sol.Stats)
 	return sol, err
@@ -398,6 +420,7 @@ func (s *solver) run() (Solution, error) {
 	finish := func(sol Solution) (Solution, error) {
 		s.stats.Nodes = s.nodes
 		sol.Stats = s.stats
+		sol.RootBasis = s.rootBasis
 		return sol, nil
 	}
 	root := &node{}

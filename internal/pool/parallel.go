@@ -20,6 +20,15 @@ import "github.com/cloudsched/rasa/internal/cluster"
 // yields an empty OutOfTime result rather than failing the batch,
 // mirroring the paper's tolerance of failed deployments.
 func SolveAll(ctx context.Context, subs []*cluster.Subproblem, algFor func(i int) Algorithm, budget time.Duration, parallelism int) []Result {
+	return SolveAllWarm(ctx, subs, algFor, nil, budget, parallelism)
+}
+
+// SolveAllWarm is SolveAll with per-subproblem warm-start caches: when
+// warmFor is non-nil and algFor(i) is MIP, subproblem i's solve is
+// seeded from (and refreshes) warmFor(i). Each cache entry is touched
+// only by its own subproblem's goroutine, so callers may hand out
+// entries from a plain map built before the call.
+func SolveAllWarm(ctx context.Context, subs []*cluster.Subproblem, algFor func(i int) Algorithm, warmFor func(i int) *WarmStart, budget time.Duration, parallelism int) []Result {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -36,7 +45,15 @@ func SolveAll(ctx context.Context, subs []*cluster.Subproblem, algFor func(i int
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			alg := algFor(i)
-			res, err := Solve(ctx, subs[i], alg, deadline)
+			var (
+				res Result
+				err error
+			)
+			if alg == MIP && warmFor != nil {
+				res, err = SolveMIPWarm(ctx, subs[i], deadline, warmFor(i))
+			} else {
+				res, err = Solve(ctx, subs[i], alg, deadline)
+			}
 			if err != nil {
 				results[i] = Result{Algorithm: alg, OutOfTime: true}
 				return

@@ -11,6 +11,7 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cg"
 	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/lp"
 	"github.com/cloudsched/rasa/internal/mip"
 	"github.com/cloudsched/rasa/internal/model"
 	"github.com/cloudsched/rasa/internal/solve"
@@ -70,6 +71,52 @@ func Solve(ctx context.Context, sp *cluster.Subproblem, alg Algorithm, deadline 
 // SolveMIP solves the subproblem with the direct MIP formulation.
 func SolveMIP(ctx context.Context, sp *cluster.Subproblem, deadline time.Time) (Result, error) {
 	return SolveMIPCutoff(ctx, sp, deadline, nil)
+}
+
+// WarmStart caches the root-relaxation basis of a subproblem's last MIP
+// solve, keyed by formulation shape. The incremental engine keeps one
+// per partition subproblem: when a delta leaves the formulation shape
+// intact (e.g. an affinity-weight update, or a replica change that
+// keeps the same machine set), the next solve of that subproblem seeds
+// its root simplex from here instead of starting cold. The basis is
+// validated downstream, so a cache that turns out stale merely falls
+// back to the cold path.
+type WarmStart struct {
+	Vars, Rows int
+	Basis      *lp.Basis
+}
+
+// SolveMIPWarm is SolveMIP seeded from (and refreshing) a WarmStart
+// cache. A nil warm behaves exactly like SolveMIP. The basis is used
+// only when the cached shape matches the freshly built formulation.
+func SolveMIPWarm(ctx context.Context, sp *cluster.Subproblem, deadline time.Time, warm *WarmStart) (Result, error) {
+	m, err := model.BuildMIP(sp)
+	if err != nil {
+		return Result{}, err
+	}
+	if cells := int64(m.NumVars()) * int64(m.NumRows()); cells > maxMIPCells {
+		return Result{Algorithm: MIP, OutOfTime: true}, nil
+	}
+	opts := mip.Options{Deadline: deadline, Rounder: m.Rounder()}
+	if warm != nil && warm.Basis != nil && warm.Vars == m.NumVars() && warm.Rows == m.NumRows() {
+		opts.RootBasis = warm.Basis
+	}
+	sol, err := mip.Solve(ctx, &m.Prob, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if warm != nil && sol.RootBasis != nil {
+		warm.Vars, warm.Rows, warm.Basis = m.NumVars(), m.NumRows(), sol.RootBasis
+	}
+	if sol.X == nil {
+		return Result{Algorithm: MIP, OutOfTime: true, Stats: sol.Stats}, nil
+	}
+	return Result{
+		Placements: m.Extract(sol.X),
+		Objective:  m.AffinityValue(sol.X),
+		Algorithm:  MIP,
+		Stats:      sol.Stats,
+	}, nil
 }
 
 // SolveMIPCutoff is SolveMIP with an objective cutoff: when cutoff

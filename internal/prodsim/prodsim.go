@@ -25,6 +25,7 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/incr"
 	"github.com/cloudsched/rasa/internal/partition"
 	"github.com/cloudsched/rasa/internal/sched"
 	"github.com/cloudsched/rasa/internal/workload"
@@ -233,6 +234,13 @@ func RunAll(ctx context.Context, cfg Config) (*Comparison, error) {
 func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster) (*Report, error) {
 	p := w.Problem
 	assign := w.Original.Clone()
+	// The live cluster state: churn flows through the incremental event
+	// log (the same vocabulary the serving layer speaks), and the gated
+	// RASA reallocations are pushed back into it.
+	st, err := incr.NewState(p, assign)
+	if err != nil {
+		return nil, fmt.Errorf("prodsim: %w", err)
+	}
 	rep := &Report{Scenario: scenario, TrackedPairs: topPairs(p, cfg.TrackedPairs)}
 	// Churn schedule must be identical across scenarios: derive from the
 	// config seed only.
@@ -249,7 +257,10 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 		// 1. Cluster churn: some services get redeployed by their owners
 		// (updates, scaling); their containers land wherever the default
 		// scheduler puts them, eroding collocation.
-		applyChurn(p, assign, churnRng, cfg.ChurnServices)
+		if err := applyChurn(st, churnRng, cfg.ChurnServices); err != nil {
+			return nil, fmt.Errorf("prodsim: tick %d: %w", tick, err)
+		}
+		assign = st.Assignment()
 
 		// 2. CronJob: trigger the RASA workflow on schedule.
 		if scenario == WithRASA && tick%cfg.OptimizeEvery == 0 {
@@ -292,6 +303,9 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 					}
 				} else {
 					assign = candidate
+					if err := st.SetAssignment(candidate); err != nil {
+						return nil, fmt.Errorf("prodsim: tick %d: %w", tick, err)
+					}
 					tm.Applied = true
 					tm.Moves = moves
 				}
@@ -336,17 +350,36 @@ func topPairs(p *cluster.Problem, k int) [][2]int {
 	return out
 }
 
-// applyChurn redeploys churn services: their containers are removed and
-// re-placed by the default scheduler.
-func applyChurn(p *cluster.Problem, a *cluster.Assignment, rng *rand.Rand, churn int) {
+// applyChurn redeploys churn services through the incremental event
+// log: each churned service is scale-bounced (halved, then restored to
+// its SLA target), which strips half its containers and leaves a
+// deficit the default scheduler refills wherever it likes — eroding
+// collocation exactly like an owner-driven rolling redeploy. Routing
+// churn through incr events keeps the simulator and the serving layer
+// on one vocabulary of cluster mutations.
+//
+// The churn schedule is part of the like-for-like contract between
+// scenarios: exactly one rng draw is consumed per churned service,
+// including single-replica services that cannot bounce.
+func applyChurn(st *incr.State, rng *rand.Rand, churn int) error {
+	p := st.Problem()
 	for c := 0; c < churn; c++ {
 		s := rng.Intn(p.N())
-		for _, m := range a.MachinesOf(s) {
-			a.Set(s, m, 0)
+		d := p.Services[s].Replicas
+		bounce := d / 2
+		if bounce < 1 {
+			continue
+		}
+		if _, err := st.Apply(
+			incr.ScaleService{Service: s, Replicas: bounce},
+			incr.ScaleService{Service: s, Replicas: d},
+		); err != nil {
+			return err
 		}
 	}
-	// Default scheduler re-places the removed containers.
-	*a = *sched.Complete(p, a)
+	// Default scheduler re-places the stripped containers.
+	st.Settle()
+	return nil
 }
 
 func restoreService(dst, src *cluster.Assignment, s int) {

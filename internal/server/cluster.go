@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/sched"
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/solve"
+)
+
+// clusterSession is the server's single live cluster: the incremental
+// engine plus the budgets needed to derive request deadlines. One
+// session exists at a time; POST /v1/cluster replaces it.
+//
+// The session mutex serializes Reoptimize calls (the engine's own state
+// lock would too, but queueing callers at this level keeps request
+// deadlines honest: each caller's clock starts when its solve starts).
+type clusterSession struct {
+	mu     sync.Mutex
+	eng    *incr.Engine
+	budget time.Duration // full-pipeline budget (per-solve deadline input)
+}
+
+// installRequest is the POST /v1/cluster body: a snapshot (wrapped or
+// bare, like POST /v1/jobs) plus incremental-engine options.
+type installRequest struct {
+	Snapshot       *snapshot.Snapshot `json:"snapshot"`
+	Budget         duration           `json:"budget,omitempty"`
+	DeltaBudget    duration           `json:"deltaBudget,omitempty"`
+	DriftThreshold float64            `json:"driftThreshold,omitempty"`
+	MaxDirtyRatio  float64            `json:"maxDirtyRatio,omitempty"`
+	Strategy       string             `json:"strategy,omitempty"`
+	Policy         string             `json:"policy,omitempty"`
+	MinAlive       float64            `json:"minAlive,omitempty"`
+	SkipMigration  bool               `json:"skipMigration,omitempty"`
+	Parallelism    int                `json:"parallelism,omitempty"`
+	Seed           int64              `json:"seed,omitempty"`
+	ForceFull      bool               `json:"forceFull,omitempty"`
+}
+
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return nil, false
+		}
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return nil, false
+	}
+	return raw, true
+}
+
+func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req installRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Snapshot == nil {
+		var snap snapshot.Snapshot
+		if err := json.Unmarshal(raw, &snap); err == nil && (snap.Version != 0 || len(snap.Services) > 0) {
+			req.Snapshot = &snap
+		}
+	}
+	if req.Snapshot == nil {
+		writeErr(w, http.StatusBadRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
+		return
+	}
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, current, err := req.Snapshot.ToCluster()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	bootstrap := current == nil
+	if bootstrap {
+		current, err = sched.Original(p, seed)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "cannot bootstrap initial assignment: "+err.Error())
+			return
+		}
+	}
+	st, err := incr.NewState(p, current)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	budget := time.Duration(req.Budget)
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	opts := incr.Options{
+		Budget:         budget,
+		DeltaBudget:    time.Duration(req.DeltaBudget),
+		DriftThreshold: req.DriftThreshold,
+		MaxDirtyRatio:  req.MaxDirtyRatio,
+		Strategy:       strategy,
+		Policy:         policy,
+		MinAlive:       req.MinAlive,
+		SkipMigration:  req.SkipMigration,
+		Parallelism:    req.Parallelism,
+		ForceFull:      req.ForceFull,
+	}
+	opts.Partition.Seed = seed
+	sess := &clusterSession{eng: incr.New(st, opts, s.cfg.Registry), budget: budget}
+
+	s.mu.Lock()
+	s.cluster = sess
+	s.mu.Unlock()
+
+	stats := st.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"services":  stats.Services,
+		"machines":  stats.Machines,
+		"bootstrap": bootstrap,
+		"stats":     stats,
+	})
+}
+
+func (s *Server) session() *clusterSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cluster
+}
+
+// eventsRequest is the POST /v1/cluster/events body.
+type eventsRequest struct {
+	Events []incr.EventJSON `json:"events"`
+}
+
+func (s *Server) handleClusterEvents(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess := s.session()
+	if sess == nil {
+		writeErr(w, http.StatusConflict, "no cluster installed (POST /v1/cluster first)")
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req eventsRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Events) == 0 {
+		writeErr(w, http.StatusBadRequest, `no events (send {"events": [{"type": ...}, ...]})`)
+		return
+	}
+	events, err := incr.DecodeEvents(req.Events)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	applied, err := sess.eng.Apply(events...)
+	if err != nil {
+		// Events before the invalid one are already part of the state —
+		// report how far the batch got alongside the error.
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":   err.Error(),
+			"applied": applied,
+			"stats":   sess.eng.State().Snapshot(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": applied,
+		"stats":   sess.eng.State().Snapshot(),
+	})
+}
+
+// reoptimizeResponse is the POST /v1/cluster/reoptimize body: the delta
+// outcome, the changed placements only, and the migration plan for
+// exactly the moved containers.
+type reoptimizeResponse struct {
+	Mode             string                `json:"mode"`
+	Escalated        bool                  `json:"escalated,omitempty"`
+	EscalationReason string                `json:"escalationReason,omitempty"`
+	DirtySubproblems int                   `json:"dirtySubproblems"`
+	TotalSubproblems int                   `json:"totalSubproblems"`
+	GainedAffinity   float64               `json:"gainedAffinity"`
+	NormalizedGain   float64               `json:"normalizedGain"`
+	BaselineGain     float64               `json:"baselineGain"`
+	Moves            int                   `json:"moves"`
+	Changed          []incr.PlacementDelta `json:"changed,omitempty"`
+	Plan             *PlanJSON             `json:"plan,omitempty"`
+	PartialMigration bool                  `json:"partialMigration,omitempty"`
+	OutOfTime        bool                  `json:"outOfTime,omitempty"`
+	Stats            solve.Stats           `json:"stats"`
+	Elapsed          string                `json:"elapsed"`
+}
+
+func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess := s.session()
+	if sess == nil {
+		writeErr(w, http.StatusConflict, "no cluster installed (POST /v1/cluster first)")
+		return
+	}
+	// Serialize solves; a delta pass may legitimately run the full
+	// pipeline after its scoped solve (drift escalation), so the
+	// deadline covers both plus grace.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	ctx, cancel := context.WithTimeout(s.baseCtx, 2*sess.budget+budgetGrace)
+	defer cancel()
+	res, err := sess.eng.Reoptimize(ctx)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, reoptimizeResponse{
+		Mode:             res.Mode.String(),
+		Escalated:        res.Escalated,
+		EscalationReason: res.EscalationReason,
+		DirtySubproblems: res.DirtySubproblems,
+		TotalSubproblems: res.TotalSubproblems,
+		GainedAffinity:   res.GainedAffinity,
+		NormalizedGain:   res.NormalizedGain,
+		BaselineGain:     res.BaselineGain,
+		Moves:            res.Moves,
+		Changed:          res.Changed,
+		Plan:             planJSON(res.Plan),
+		PartialMigration: res.PartialMigration,
+		OutOfTime:        res.OutOfTime,
+		Stats:            res.Stats,
+		Elapsed:          res.Elapsed.Round(time.Microsecond).String(),
+	})
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no cluster installed")
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.eng.State().Snapshot())
+}

@@ -18,19 +18,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs          submit a snapshot (bare, or wrapped with options)
-//	GET  /v1/jobs          list jobs
-//	GET  /v1/jobs/{id}     job status/result; ?wait=5s long-polls completion
-//	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          liveness + drain state
+//	POST /v1/jobs                submit a snapshot (bare, or wrapped with options)
+//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs/{id}           job status/result; ?wait=5s long-polls completion
+//	POST /v1/cluster             install a live cluster for incremental serving
+//	GET  /v1/cluster             live cluster state summary
+//	POST /v1/cluster/events      apply a typed event batch to the live cluster
+//	POST /v1/cluster/reoptimize  delta re-solve; returns moved containers + plan
+//	GET  /metrics                Prometheus text exposition
+//	GET  /healthz                liveness + drain state
 package server
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -59,8 +61,8 @@ type Config struct {
 	// MaxBudget clamps requested budgets (default 60s, the paper's
 	// production time-out).
 	MaxBudget time.Duration
-	// MaxBodyBytes caps request bodies (default 64 MiB — an M2-scale
-	// snapshot is ~3 MiB).
+	// MaxBodyBytes caps request bodies (default snapshot.DefaultMaxBytes,
+	// 64 MiB — an M2-scale snapshot is ~3 MiB).
 	MaxBodyBytes int64
 	// Registry receives the service metrics; nil creates a fresh one.
 	Registry *obs.Registry
@@ -80,7 +82,7 @@ func (c Config) withDefaults() Config {
 		c.MaxBudget = 60 * time.Second
 	}
 	if c.MaxBodyBytes <= 0 {
-		c.MaxBodyBytes = 64 << 20
+		c.MaxBodyBytes = snapshot.DefaultMaxBytes
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -106,6 +108,9 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string
 	seq      int
+	// cluster is the live incremental session (POST /v1/cluster); nil
+	// until one is installed.
+	cluster *clusterSession
 
 	queue   chan *Job
 	drainCh chan struct{}
@@ -151,6 +156,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/cluster", s.handleClusterInstall)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
+	s.mux.HandleFunc("POST /v1/cluster/events", s.handleClusterEvents)
+	s.mux.HandleFunc("POST /v1/cluster/reoptimize", s.handleClusterReoptimize)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 
@@ -292,14 +301,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
 		return
 	}
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
-			return
-		}
-		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+	raw, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	var req submitRequest

@@ -264,11 +264,36 @@ func (s *Snapshot) ToCluster() (*cluster.Problem, *cluster.Assignment, error) {
 	return p, a, nil
 }
 
+// DefaultMaxBytes is the input-size guard Load applies: far above any
+// legitimate snapshot (an M2-scale snapshot is ~3 MiB) but low enough
+// that a malformed or hostile input cannot balloon the decoder.
+const DefaultMaxBytes = 64 << 20
+
 // Load reads, validates, and reconstructs a cluster from r in one
 // step — the entry point for anything consuming collector output
-// (rasad, the optimization service).
+// (rasad, the optimization service). Inputs beyond DefaultMaxBytes are
+// rejected; use LoadLimited to choose a different bound.
 func Load(r io.Reader) (*cluster.Problem, *cluster.Assignment, error) {
-	s, err := Read(r)
+	return LoadLimited(r, DefaultMaxBytes)
+}
+
+// LoadLimited is Load with a configurable input-size cap: reading stops
+// at maxBytes and anything larger fails with an explicit error instead
+// of feeding the JSON decoder without bound. maxBytes <= 0 means
+// DefaultMaxBytes.
+func LoadLimited(r io.Reader, maxBytes int64) (*cluster.Problem, *cluster.Assignment, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	// One byte of slack distinguishes "exactly at the limit" from
+	// "truncated by it": if the decoder consumed past the cap, the
+	// input was too large regardless of whether the prefix happened to
+	// parse.
+	lr := &io.LimitedReader{R: r, N: maxBytes + 1}
+	s, err := Read(lr)
+	if lr.N <= 0 {
+		return nil, nil, fmt.Errorf("snapshot: input exceeds %d bytes", maxBytes)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

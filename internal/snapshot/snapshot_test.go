@@ -163,6 +163,33 @@ func TestLoad(t *testing.T) {
 	}
 }
 
+func TestLoadLimited(t *testing.T) {
+	s := minimal()
+	var buf bytes.Buffer
+	if err := Write(&buf, &s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// A limit above the payload admits it.
+	if _, _, err := LoadLimited(bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatalf("at-limit input rejected: %v", err)
+	}
+	// A limit below the payload rejects it with the size error, not a
+	// bare JSON truncation error.
+	_, _, err := LoadLimited(bytes.NewReader(data), int64(len(data))-1)
+	if err == nil {
+		t.Fatal("over-limit input accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("over-limit error = %v, want size-limit error", err)
+	}
+	// maxBytes <= 0 falls back to the default cap.
+	if _, _, err := LoadLimited(bytes.NewReader(data), 0); err != nil {
+		t.Fatalf("default-cap input rejected: %v", err)
+	}
+}
+
 func TestReadRejectsGarbage(t *testing.T) {
 	if _, err := Read(strings.NewReader("{")); err == nil {
 		t.Fatal("garbage accepted")

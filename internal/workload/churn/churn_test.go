@@ -1,0 +1,101 @@
+package churn
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// TestGenerateChurnReplays is the generator's validity contract: every
+// event of the trace applies cleanly in order against the cluster it
+// was generated for, and the churned state remains structurally valid
+// and schedulable.
+func TestGenerateChurnReplays(t *testing.T) {
+	preset := workload.TrainingPresets()[2] // T3
+	c, err := workload.Generate(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(c, Config{Events: 120, PerTick: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 120 {
+		t.Fatalf("events = %d, want 120", len(tr.Events))
+	}
+	kinds := map[string]int{}
+	for _, te := range tr.Events {
+		kinds[te.Type]++
+	}
+	if kinds["scaleService"] == 0 || kinds["updateAffinity"] == 0 {
+		t.Fatalf("degenerate event mix: %v", kinds)
+	}
+
+	// Round-trip through the wire format, then replay tick by tick.
+	var buf bytes.Buffer
+	if err := incr.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := incr.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks, err := tr2.Ticks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 30 {
+		t.Fatalf("ticks = %d, want 30", len(ticks))
+	}
+
+	st, err := incr.NewState(c.Problem, c.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range ticks {
+		if _, err := st.Apply(tb.Events...); err != nil {
+			t.Fatalf("tick %d: %v", tb.Tick, err)
+		}
+		if err := st.Problem().Validate(); err != nil {
+			t.Fatalf("tick %d: problem invalid: %v", tb.Tick, err)
+		}
+	}
+	// After settling deficits the churned cluster must still satisfy
+	// every SLA: the generator's capacity headroom guarantee.
+	st.Settle()
+	if viol := st.Assignment().Check(st.Problem(), true); len(viol) > 0 {
+		t.Fatalf("churned cluster unschedulable: %v", viol[0])
+	}
+}
+
+// TestGenerateChurnDeterministic: same seed, same trace.
+func TestGenerateChurnDeterministic(t *testing.T) {
+	c, err := workload.Generate(workload.TrainingPresets()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(c, Config{Events: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c, Config{Events: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Events {
+		aj, bj := a.Events[i], b.Events[i]
+		if aj.Tick != bj.Tick || aj.Type != bj.Type || aj.Service != bj.Service ||
+			aj.Replicas != bj.Replicas || aj.Machine != bj.Machine ||
+			aj.A != bj.A || aj.B != bj.B || aj.Weight != bj.Weight {
+			t.Fatalf("event %d differs: %+v vs %+v", i, aj, bj)
+		}
+	}
+	if _, err := Generate(c, Config{Events: 0}); err == nil {
+		t.Fatal("zero events accepted")
+	}
+}
