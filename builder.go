@@ -35,14 +35,14 @@ func NewClusterBuilder(resourceNames ...string) *ClusterBuilder {
 		restrictions:  make(map[int][]int),
 	}
 	if len(resourceNames) == 0 {
-		b.err = fmt.Errorf("rasa: at least one resource type is required")
+		b.err = fmt.Errorf("%w: at least one resource type is required", ErrInvalidProblem)
 	}
 	return b
 }
 
 func (b *ClusterBuilder) fail(format string, args ...any) {
 	if b.err == nil {
-		b.err = fmt.Errorf("rasa: "+format, args...)
+		b.err = fmt.Errorf("%w: "+format, append([]any{ErrInvalidProblem}, args...)...)
 	}
 }
 
@@ -119,14 +119,14 @@ func (b *ClusterBuilder) Build() (*Problem, error) {
 	g := graph.New(n)
 	for _, e := range b.edges {
 		if e.a < 0 || e.a >= n || e.b < 0 || e.b >= n {
-			return nil, fmt.Errorf("rasa: affinity edge (%d,%d) references unknown service", e.a, e.b)
+			return nil, fmt.Errorf("%w: affinity edge (%d,%d) references unknown service", ErrInvalidProblem, e.a, e.b)
 		}
 		g.AddEdge(e.a, e.b, e.weight)
 	}
 	if len(b.priorities) > 0 {
 		scaled, err := cluster.ApplyPriorities(g, b.priorities)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", ErrInvalidProblem, err)
 		}
 		g = scaled
 	}
@@ -141,12 +141,12 @@ func (b *ClusterBuilder) Build() (*Problem, error) {
 		p.Schedulable = make([]cluster.Bitmap, n)
 		for s, machines := range b.restrictions {
 			if s < 0 || s >= n {
-				return nil, fmt.Errorf("rasa: restriction references unknown service %d", s)
+				return nil, fmt.Errorf("%w: restriction references unknown service %d", ErrInvalidProblem, s)
 			}
 			bm := cluster.NewBitmap(m)
 			for _, mach := range machines {
 				if mach < 0 || mach >= m {
-					return nil, fmt.Errorf("rasa: restriction for service %d references unknown machine %d", s, mach)
+					return nil, fmt.Errorf("%w: restriction for service %d references unknown machine %d", ErrInvalidProblem, s, mach)
 				}
 				bm.Set(mach)
 			}
@@ -154,7 +154,7 @@ func (b *ClusterBuilder) Build() (*Problem, error) {
 		}
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	return p, nil
 }

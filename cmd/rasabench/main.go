@@ -18,6 +18,8 @@
 //	                   artifact (BENCH_pr3.json schema) to FILE
 //	-incrbench FILE    run the incremental re-optimization benchmark and
 //	                   write its JSON artifact (BENCH_pr4.json schema) to FILE
+//	-execbench FILE    run the migration-execution benchmark and write its
+//	                   JSON artifact (BENCH_pr5.json schema) to FILE
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV data series into")
 	solverBench := flag.String("solverbench", "", "run the solver benchmark and write its JSON artifact to this file")
 	incrBench := flag.String("incrbench", "", "run the incremental re-optimization benchmark and write its JSON artifact to this file")
+	execBench := flag.String("execbench", "", "run the migration-execution benchmark and write its JSON artifact to this file")
 	flag.Parse()
 
 	cfg := experiments.FromEnv()
@@ -76,6 +79,12 @@ func main() {
 	if *incrBench != "" {
 		if err := runIncrBench(cfg, *incrBench); err != nil {
 			fail(fmt.Errorf("incrbench: %w", err))
+		}
+		benchOnly = true
+	}
+	if *execBench != "" {
+		if err := runExecBench(cfg, *execBench); err != nil {
+			fail(fmt.Errorf("execbench: %w", err))
 		}
 		benchOnly = true
 	}
@@ -133,6 +142,26 @@ func runIncrBench(cfg experiments.Config, path string) error {
 	}
 	defer f.Close()
 	if err := experiments.WriteIncrBenchJSON(f, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// runExecBench runs the PR-5 migration-execution benchmark and writes
+// its JSON artifact (completion rate, wasted moves, achieved vs planned
+// affinity at 0/5/15% fault rates).
+func runExecBench(cfg experiments.Config, path string) error {
+	r, err := experiments.ExecBench(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteExecBenchJSON(f, r); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -25,6 +25,7 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/exec"
 	"github.com/cloudsched/rasa/internal/obs"
 	"github.com/cloudsched/rasa/internal/partition"
 	"github.com/cloudsched/rasa/internal/prodsim"
@@ -41,6 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print every migration command and per-subproblem solver stats")
 	serveAddr := flag.String("serve", "", "serve the optimization HTTP API on this address (e.g. :8080); with -loop, serves live /metrics instead")
+	execute := flag.Bool("execute", false, "with -loop, drive each reallocation through the migration executor instead of adopting it atomically")
+	faultRate := flag.Float64("fault-rate", 0, "with -loop -execute, per-command failure probability of the simulated fabric")
 	workers := flag.Int("workers", 2, "concurrent optimization jobs with -serve")
 	queueDepth := flag.Int("queue", 64, "bounded job queue depth with -serve (overload returns 429)")
 	maxBudget := flag.Duration("max-budget", 60*time.Second, "upper clamp on per-job budgets with -serve")
@@ -52,7 +55,7 @@ func main() {
 	defer stop()
 
 	if *loop {
-		runLoop(ctx, *budget, *ticks, *seed, *serveAddr)
+		runLoop(ctx, *budget, *ticks, *seed, *serveAddr, *execute, *faultRate)
 		return
 	}
 	if *serveAddr != "" {
@@ -109,7 +112,7 @@ func runOnce(ctx context.Context, snapPath string, budget time.Duration, seed in
 	}
 }
 
-func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64, addr string) {
+func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64, addr string, execute bool, faultRate float64) {
 	// The loop publishes every optimization pass's solver stats through
 	// the same registry shape the -serve daemon exposes; with -serve the
 	// series are scrapeable live at /metrics while the simulation runs.
@@ -136,6 +139,18 @@ func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64, a
 			collector.Observe(res.Stats)
 		},
 	}
+	var execRuns, execCommands, execRetries, execReplans, execFloor int
+	if execute {
+		cfg.Execute = true
+		cfg.ExecFaultRate = faultRate
+		cfg.OnExecute = func(tick int, rep *exec.Report) {
+			execRuns++
+			execCommands += rep.Executed
+			execRetries += rep.Retries
+			execReplans += rep.Replans
+			execFloor += rep.FloorViolations
+		}
+	}
 	cmp, err := prodsim.RunAll(ctx, cfg)
 	if err != nil {
 		fail(err)
@@ -149,6 +164,10 @@ func runLoop(ctx context.Context, budget time.Duration, ticks int, seed int64, a
 		100*(wo.Latency-wi.Latency)/wo.Latency,
 		100*(wo.ErrorRate-wi.ErrorRate)/wo.ErrorRate)
 	fmt.Printf("published %d optimization passes to the metrics registry\n", int(passes.Value()))
+	if execute {
+		fmt.Printf("executor: %d runs, %d commands, %d retries, %d re-plans, %d SLA floor violations (fault rate %.0f%%)\n",
+			execRuns, execCommands, execRetries, execReplans, execFloor, 100*faultRate)
+	}
 }
 
 type snapshotCluster struct {

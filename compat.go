@@ -1,0 +1,71 @@
+package rasa
+
+// This file is the compatibility block: every pre-context entry point,
+// kept as a thin wrapper over its context-first replacement. New code
+// should use the *Context forms — these exist so callers written
+// against the original API keep compiling, and they will be removed in
+// a future major version.
+
+import (
+	"context"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/prodsim"
+	"github.com/cloudsched/rasa/internal/selector"
+)
+
+// Optimize runs the full RASA pipeline without cancellation.
+//
+// Deprecated: use OptimizeContext, which observes ctx in every phase
+// and still returns a best-effort Result when cancelled.
+func Optimize(p *Problem, current *Assignment, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), p, current, opts)
+}
+
+// PlanMigration computes a migration path without cancellation.
+//
+// Deprecated: use PlanMigrationContext, which returns the partial plan
+// built so far when cancelled (every plan prefix is safe to execute).
+func PlanMigration(p *Problem, from, to *Assignment, minAlive float64) (*MigrationPlan, error) {
+	return PlanMigrationContext(context.Background(), p, from, to, minAlive)
+}
+
+// TrainSelector trains the GCN selection policy without cancellation.
+//
+// Deprecated: use TrainSelectorContext; the labelling races it runs
+// dominate training time and observe ctx.
+func TrainSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	return TrainSelectorContext(context.Background(), clusters, labelBudget, seed)
+}
+
+// TrainMLPSelector trains the MLP baseline policy without cancellation.
+//
+// Deprecated: use TrainMLPSelectorContext.
+func TrainMLPSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	return TrainMLPSelectorContext(context.Background(), clusters, labelBudget, seed)
+}
+
+// LabelSubproblems generates the labelled training set without
+// cancellation.
+//
+// Deprecated: use LabelSubproblemsContext.
+func LabelSubproblems(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
+	return LabelSubproblemsContext(context.Background(), clusters, labelBudget, seed)
+}
+
+// Simulate runs one production-simulation scenario without
+// cancellation.
+//
+// Deprecated: use SimulateContext, which can stop between simulated
+// ticks.
+func Simulate(cfg Simulation, scenario prodsim.Scenario) (*SimulationReport, error) {
+	return SimulateContext(context.Background(), cfg, scenario)
+}
+
+// SimulateAll runs all three production-simulation scenarios without
+// cancellation.
+//
+// Deprecated: use SimulateAllContext.
+func SimulateAll(cfg Simulation) (*SimulationComparison, error) {
+	return SimulateAllContext(context.Background(), cfg)
+}

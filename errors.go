@@ -1,0 +1,67 @@
+package rasa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/lp"
+	"github.com/cloudsched/rasa/internal/migrate"
+)
+
+// Public sentinel errors. Every error returned by this package's entry
+// points wraps one of these when it belongs to the family, so callers
+// classify failures with errors.Is instead of string-matching:
+//
+//	res, err := rasa.OptimizeContext(ctx, p, cur, opts)
+//	switch {
+//	case errors.Is(err, rasa.ErrInvalidProblem): // fix the input
+//	case errors.Is(err, rasa.ErrInfeasible):     // relax SLA/capacity
+//	case errors.Is(err, rasa.ErrBudgetExceeded): // raise the budget
+//	}
+//
+// The detail message of the wrapped internal error is preserved.
+var (
+	// ErrInvalidProblem reports structurally broken input: a Problem
+	// that fails validation, an Options value the pipeline refuses
+	// (negative budget, MinAlive outside [0,1]), or a malformed solver
+	// model derived from them.
+	ErrInvalidProblem = errors.New("rasa: invalid problem")
+	// ErrInfeasible reports that no feasible result exists under the
+	// SLA and capacity constraints — most commonly a migration path
+	// that stalls because no step can keep every service at its
+	// MinAlive floor within the machines' capacities. A partial plan
+	// may accompany it (every plan prefix is safe to execute).
+	ErrInfeasible = errors.New("rasa: infeasible")
+	// ErrBudgetExceeded reports that the optimization deadline expired
+	// before any result could be produced. (A budget that expires
+	// mid-pass does not error: the pipeline is anytime and returns its
+	// incumbent with Result.Stats.Stop explaining why it stopped.)
+	ErrBudgetExceeded = errors.New("rasa: budget exceeded")
+)
+
+// wrapErr maps internal error values onto the public sentinels at the
+// API boundary. Errors outside the three families pass through
+// unchanged.
+func wrapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrInvalidProblem),
+		errors.Is(err, ErrInfeasible),
+		errors.Is(err, ErrBudgetExceeded):
+		return err
+	case errors.Is(err, cluster.ErrInvalidProblem),
+		errors.Is(err, core.ErrInvalidOptions),
+		errors.Is(err, lp.ErrBadProblem):
+		return fmt.Errorf("%w: %w", ErrInvalidProblem, err)
+	case errors.Is(err, migrate.ErrStalled):
+		return fmt.Errorf("%w: %w", ErrInfeasible, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrBudgetExceeded, err)
+	default:
+		return err
+	}
+}

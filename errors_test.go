@@ -1,0 +1,104 @@
+package rasa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/migrate"
+)
+
+func TestWrapErrMapping(t *testing.T) {
+	cases := []struct {
+		in   error
+		want error
+	}{
+		{nil, nil},
+		{fmt.Errorf("wrapped: %w", cluster.ErrInvalidProblem), ErrInvalidProblem},
+		{fmt.Errorf("wrapped: %w", core.ErrInvalidOptions), ErrInvalidProblem},
+		{fmt.Errorf("wrapped: %w", migrate.ErrStalled), ErrInfeasible},
+		{context.DeadlineExceeded, ErrBudgetExceeded},
+	}
+	for _, c := range cases {
+		got := wrapErr(c.in)
+		if c.want == nil {
+			if got != nil {
+				t.Fatalf("wrapErr(%v) = %v, want nil", c.in, got)
+			}
+			continue
+		}
+		if !errors.Is(got, c.want) {
+			t.Fatalf("wrapErr(%v) = %v, does not wrap %v", c.in, got, c.want)
+		}
+		if c.in != nil && !errors.Is(got, errors.Unwrap(c.in)) && !errors.Is(got, c.in) {
+			t.Fatalf("wrapErr(%v) lost the original error chain", c.in)
+		}
+	}
+
+	// Already-public errors and unrelated errors pass through unchanged.
+	pub := fmt.Errorf("ctx: %w", ErrInfeasible)
+	if got := wrapErr(pub); got != pub {
+		t.Fatalf("public error rewrapped: %v", got)
+	}
+	other := errors.New("unrelated")
+	if got := wrapErr(other); got != other {
+		t.Fatalf("unrelated error rewritten: %v", got)
+	}
+	if !errors.Is(wrapErr(context.Canceled), context.Canceled) {
+		t.Fatal("cancellation must stay a plain context error")
+	}
+}
+
+func TestPublicEntrySentinels(t *testing.T) {
+	b := NewClusterBuilder("cpu")
+	b.AddService("web", 0, Resources{1}) // invalid: zero replicas
+	b.AddMachine("m0", Resources{4})
+	p, err := b.Build()
+	if err == nil {
+		// Build may defer validation to Optimize; either way the
+		// sentinel must surface.
+		_, err = OptimizeContext(context.Background(), p, NewAssignment(1, 1), Options{Budget: 50 * time.Millisecond})
+	}
+	if !errors.Is(err, ErrInvalidProblem) {
+		t.Fatalf("zero-replica service: err=%v, want ErrInvalidProblem", err)
+	}
+
+	// A negative budget is rejected through the same sentinel.
+	b2 := NewClusterBuilder("cpu")
+	b2.AddService("web", 1, Resources{1})
+	b2.AddMachine("m0", Resources{4})
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	cur, err := Schedule(p2, 1)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if _, err := OptimizeContext(context.Background(), p2, cur, Options{Budget: -time.Second}); !errors.Is(err, ErrInvalidProblem) {
+		t.Fatalf("negative budget: err=%v, want ErrInvalidProblem", err)
+	}
+}
+
+func TestOptionsNormalizeClamps(t *testing.T) {
+	o, err := core.Options{Parallelism: 100000}.Normalize()
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if o.Parallelism != 256 {
+		t.Fatalf("parallelism clamped to %d, want 256", o.Parallelism)
+	}
+	if o.Budget != 2*time.Second || o.Policy == nil {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if _, err := (core.Options{MinAlive: 1.5}).Normalize(); !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("MinAlive 1.5 accepted: %v", err)
+	}
+	if _, err := (core.Options{Budget: -1}).Normalize(); !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("negative budget accepted: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package rasa_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,7 +27,7 @@ func ExampleOptimize() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := rasa.Optimize(p, current, rasa.Options{Budget: 2 * time.Second})
+	res, err := rasa.OptimizeContext(context.Background(), p, current, rasa.Options{Budget: 2 * time.Second})
 	if err != nil {
 		panic(err)
 	}

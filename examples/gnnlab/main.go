@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("generating T1-T4 training clusters...")
 	var clusters []*rasa.GeneratedCluster
 	for _, ps := range rasa.TrainingPresets() {
@@ -27,7 +29,7 @@ func main() {
 
 	fmt.Println("labelling subproblems by racing CG vs MIP...")
 	start := time.Now()
-	labeled, err := rasa.LabelSubproblems(clusters, 200*time.Millisecond, 1)
+	labeled, err := rasa.LabelSubproblemsContext(ctx, clusters, 200*time.Millisecond, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,11 +44,11 @@ func main() {
 	fmt.Printf("labelled %d subproblems in %s (CG wins %d, MIP wins %d)\n",
 		len(labeled), time.Since(start).Round(time.Millisecond), cgWins, mipWins)
 
-	gcnPolicy, err := rasa.TrainSelector(clusters, 200*time.Millisecond, 1)
+	gcnPolicy, err := rasa.TrainSelectorContext(ctx, clusters, 200*time.Millisecond, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mlpPolicy, err := rasa.TrainMLPSelector(clusters, 200*time.Millisecond, 1)
+	mlpPolicy, err := rasa.TrainMLPSelectorContext(ctx, clusters, 200*time.Millisecond, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func main() {
 	total := eval.Problem.Affinity.TotalWeight()
 	fmt.Printf("\nend-to-end gained affinity on a held-out cluster (budget 1.5s):\n")
 	for _, pol := range []rasa.Policy{rasa.AlwaysCG(), rasa.AlwaysMIP(), rasa.HeuristicPolicy(), mlpPolicy, gcnPolicy} {
-		res, err := rasa.Optimize(eval.Problem, eval.Original, rasa.Options{
+		res, err := rasa.OptimizeContext(ctx, eval.Problem, eval.Original, rasa.Options{
 			Budget:        1500 * time.Millisecond,
 			Policy:        pol,
 			SkipMigration: true,

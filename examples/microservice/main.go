@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -94,7 +95,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := rasa.Optimize(p, current, rasa.Options{Budget: 3 * time.Second})
+	res, err := rasa.OptimizeContext(context.Background(), p, current, rasa.Options{Budget: 3 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

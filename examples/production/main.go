@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,7 +29,7 @@ func main() {
 		TrackedPairs:  4,
 		Seed:          11,
 	}
-	cmp, err := rasa.SimulateAll(cfg)
+	cmp, err := rasa.SimulateAllContext(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,7 +46,7 @@ func main() {
 	total := p.Affinity.TotalWeight()
 	fmt.Printf("before: %.1f%% of traffic localized\n", 100*current.GainedAffinity(p)/total)
 
-	res, err := rasa.Optimize(p, current, rasa.Options{Budget: 2 * time.Second})
+	res, err := rasa.OptimizeContext(context.Background(), p, current, rasa.Options{Budget: 2 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -166,53 +167,59 @@ func (p *Problem) CanHost(s, m int) bool {
 	return p.Schedulable[s].Get(m)
 }
 
-// Validate checks structural consistency of the problem instance.
+// ErrInvalidProblem is the sentinel every Validate failure wraps:
+// errors.Is(err, ErrInvalidProblem) identifies a structurally broken
+// problem instance without string-matching the detail message.
+var ErrInvalidProblem = errors.New("cluster: invalid problem")
+
+// Validate checks structural consistency of the problem instance. All
+// returned errors wrap ErrInvalidProblem.
 func (p *Problem) Validate() error {
 	nr := len(p.ResourceNames)
 	if nr == 0 {
-		return fmt.Errorf("cluster: no resource types defined")
+		return fmt.Errorf("%w: no resource types defined", ErrInvalidProblem)
 	}
 	for i, s := range p.Services {
 		if s.Replicas <= 0 {
-			return fmt.Errorf("cluster: service %d (%s) has non-positive replicas %d", i, s.Name, s.Replicas)
+			return fmt.Errorf("%w: service %d (%s) has non-positive replicas %d", ErrInvalidProblem, i, s.Name, s.Replicas)
 		}
 		if len(s.Request) != nr {
-			return fmt.Errorf("cluster: service %d (%s) request has %d resources, want %d", i, s.Name, len(s.Request), nr)
+			return fmt.Errorf("%w: service %d (%s) request has %d resources, want %d", ErrInvalidProblem, i, s.Name, len(s.Request), nr)
 		}
 		for r, v := range s.Request {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("cluster: service %d (%s) has invalid %s request %v", i, s.Name, p.ResourceNames[r], v)
+				return fmt.Errorf("%w: service %d (%s) has invalid %s request %v", ErrInvalidProblem, i, s.Name, p.ResourceNames[r], v)
 			}
 		}
 	}
 	for i, m := range p.Machines {
 		if len(m.Capacity) != nr {
-			return fmt.Errorf("cluster: machine %d (%s) capacity has %d resources, want %d", i, m.Name, len(m.Capacity), nr)
+			return fmt.Errorf("%w: machine %d (%s) capacity has %d resources, want %d", ErrInvalidProblem, i, m.Name, len(m.Capacity), nr)
 		}
 		for r, v := range m.Capacity {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("cluster: machine %d (%s) has invalid %s capacity %v", i, m.Name, p.ResourceNames[r], v)
+				return fmt.Errorf("%w: machine %d (%s) has invalid %s capacity %v", ErrInvalidProblem, i, m.Name, p.ResourceNames[r], v)
 			}
 		}
 	}
 	if p.Affinity == nil {
-		return fmt.Errorf("cluster: nil affinity graph")
+		return fmt.Errorf("%w: nil affinity graph", ErrInvalidProblem)
 	}
 	if p.Affinity.N() != len(p.Services) {
-		return fmt.Errorf("cluster: affinity graph has %d vertices, want %d services", p.Affinity.N(), len(p.Services))
+		return fmt.Errorf("%w: affinity graph has %d vertices, want %d services", ErrInvalidProblem, p.Affinity.N(), len(p.Services))
 	}
 	for k, rule := range p.AntiAffinity {
 		if rule.MaxPerHost < 0 {
-			return fmt.Errorf("cluster: anti-affinity rule %d has negative cap", k)
+			return fmt.Errorf("%w: anti-affinity rule %d has negative cap", ErrInvalidProblem, k)
 		}
 		for _, s := range rule.Services {
 			if s < 0 || s >= len(p.Services) {
-				return fmt.Errorf("cluster: anti-affinity rule %d references service %d out of range", k, s)
+				return fmt.Errorf("%w: anti-affinity rule %d references service %d out of range", ErrInvalidProblem, k, s)
 			}
 		}
 	}
 	if p.Schedulable != nil && len(p.Schedulable) != len(p.Services) {
-		return fmt.Errorf("cluster: schedulable matrix has %d rows, want %d", len(p.Schedulable), len(p.Services))
+		return fmt.Errorf("%w: schedulable matrix has %d rows, want %d", ErrInvalidProblem, len(p.Schedulable), len(p.Services))
 	}
 	return nil
 }

@@ -77,6 +77,44 @@ type Options struct {
 	SkipMigration bool
 }
 
+// ErrInvalidOptions is the sentinel every Normalize rejection wraps:
+// errors.Is(err, ErrInvalidOptions) identifies an Options value the
+// pipeline refuses to run with.
+var ErrInvalidOptions = errors.New("core: invalid options")
+
+// maxParallelism caps caller-requested solver concurrency: beyond this
+// the goroutine and deadline bookkeeping costs dominate any speedup.
+const maxParallelism = 256
+
+// Normalize validates o and fills defaults, returning the normalized
+// copy. It is the single options gate: every public entry point —
+// Optimize, the incr engine's full and delta passes, the server's job
+// and cluster-session handlers — runs its Options through here instead
+// of scattering ad-hoc checks. Negative budgets are rejected (a zero
+// budget means "default", a negative one is a caller bug), MinAlive
+// must stay within [0, 1] (zero means the migration default), and
+// worker counts are clamped to [0, 256] (zero means GOMAXPROCS).
+func (o Options) Normalize() (Options, error) {
+	if o.Budget < 0 {
+		return o, fmt.Errorf("%w: negative budget %v", ErrInvalidOptions, o.Budget)
+	}
+	if o.Budget == 0 {
+		o.Budget = 2 * time.Second
+	}
+	if o.MinAlive < 0 || o.MinAlive > 1 {
+		return o, fmt.Errorf("%w: MinAlive %v outside [0, 1]", ErrInvalidOptions, o.MinAlive)
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = 0
+	} else if o.Parallelism > maxParallelism {
+		o.Parallelism = maxParallelism
+	}
+	if o.Policy == nil {
+		o.Policy = selector.Heuristic{}
+	}
+	return o, nil
+}
+
 // Result is the outcome of one optimization pass.
 type Result struct {
 	// Assignment is the optimized container-to-machine mapping.
@@ -266,18 +304,13 @@ func Optimize(ctx context.Context, p *cluster.Problem, current *cluster.Assignme
 	if current == nil {
 		return nil, fmt.Errorf("core: nil current assignment")
 	}
-	if opts.Budget <= 0 {
-		opts.Budget = 2 * time.Second
-	}
-	if opts.Policy == nil {
-		opts.Policy = selector.Heuristic{}
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 1: service partitioning.
-	var (
-		pres *partition.Result
-		err  error
-	)
+	var pres *partition.Result
 	switch opts.Strategy {
 	case Multistage:
 		pres, err = partition.Multistage(ctx, p, current, opts.Partition)

@@ -1,0 +1,219 @@
+// Migration-execution benchmark (BENCH_pr5.json): the PR-5 fault-
+// tolerant executor driving identical migration plans against fabrics
+// of increasing hostility. Each arm runs several independent trials of
+// the same shape — bootstrap a cluster, plan the first re-optimization,
+// execute it — at a given per-command failure rate; the hardest arm
+// additionally kills the most-loaded machine halfway through the plan,
+// forcing the checkpoint → drain → re-plan → resume escalation. The
+// artifact records plan completion rate, wasted moves, retry/re-plan
+// effort, and achieved vs planned normalized affinity. The SLA floor
+// invariant (zero executor-issued violations) must hold in every arm.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/exec"
+	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// ExecBenchResult is the schema of BENCH_pr5.json.
+type ExecBenchResult struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	Preset string `json:"preset"`
+	Budget string `json:"budget"`
+	// Trials is the number of independent runs per arm.
+	Trials int            `json:"trials"`
+	Arms   []ExecBenchArm `json:"arms"`
+}
+
+// ExecBenchArm aggregates the trials at one fault rate.
+type ExecBenchArm struct {
+	FaultRate float64 `json:"faultRate"`
+	// MachineDeath marks the arm that kills the most-loaded machine
+	// after half the plan's commands.
+	MachineDeath bool `json:"machineDeath"`
+	Trials       int  `json:"trials"`
+	// Completed counts trials whose outcome was "completed" (directly
+	// or after re-plan escalation); CompletionRate = Completed/Trials.
+	Completed      int     `json:"completed"`
+	CompletionRate float64 `json:"completionRate"`
+	// Replanned counts trials that needed at least one re-plan.
+	Replanned int `json:"replanned"`
+
+	PlannedMoves     int `json:"plannedMoves"`
+	ExecutedCommands int `json:"executedCommands"`
+	WastedMoves      int `json:"wastedMoves"`
+	Retries          int `json:"retries"`
+	Replans          int `json:"replans"`
+	// SLAFloorViolations counts executor-issued floor breaches; the
+	// runtime invariant demands this stays zero at every fault rate.
+	SLAFloorViolations int `json:"slaFloorViolations"`
+	// EnvFloorDips counts environment-caused dips (machine death
+	// pushing a service below its floor) — expected only in death arms.
+	EnvFloorDips int `json:"envFloorDips"`
+
+	// Mean normalized gained affinity of the plan's target vs what the
+	// executor actually achieved, over the arm's trials.
+	NormPlanned  float64 `json:"normPlanned"`
+	NormAchieved float64 `json:"normAchieved"`
+}
+
+// execBenchTrials per arm: enough to average fault noise without
+// turning the benchmark into a soak test.
+const execBenchTrials = 3
+
+// ExecBench measures the executor across 0%, 5%, and 15% per-command
+// fault rates, the last with a mid-plan machine death. All trials run
+// with Parallelism 1 and derived seeds, so the artifact is
+// deterministic for a given -seed.
+func ExecBench(cfg Config) (*ExecBenchResult, error) {
+	cfg = cfg.withDefaults()
+	ps := workload.TrainingPresets()[0]
+	ps.Seed = cfg.Seed + ps.Seed
+	c, err := getCluster(ps)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ExecBenchResult{
+		Schema: "rasa-exec-bench/1",
+		Seed:   cfg.Seed,
+		Preset: ps.Name,
+		Budget: cfg.Budget.String(),
+		Trials: execBenchTrials,
+	}
+	arms := []struct {
+		rate  float64
+		death bool
+	}{
+		{0, false},
+		{0.05, false},
+		{0.15, true},
+	}
+
+	header(cfg.Out, "EXEC-BENCH", "fault-tolerant plan execution at increasing fault rates (BENCH_pr5.json)")
+	row(cfg.Out, "fault", "death", "done", "replan", "planned", "executed", "wasted", "retries", "norm plan", "norm got")
+	for _, arm := range arms {
+		a := ExecBenchArm{FaultRate: arm.rate, MachineDeath: arm.death, Trials: execBenchTrials}
+		var normPlannedSum, normAchievedSum float64
+		for trial := 0; trial < execBenchTrials; trial++ {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, err
+			}
+			rep, err := execBenchTrial(cfg, c, arm.rate, arm.death, cfg.Seed+int64(trial)*997)
+			if err != nil {
+				return nil, fmt.Errorf("execbench: fault %v trial %d: %w", arm.rate, trial, err)
+			}
+			if rep.Outcome == exec.OutcomeCompleted {
+				a.Completed++
+			}
+			if rep.Replans > 0 {
+				a.Replanned++
+			}
+			a.PlannedMoves += rep.PlannedMoves
+			a.ExecutedCommands += rep.Executed
+			a.WastedMoves += rep.WastedMoves
+			a.Retries += rep.Retries
+			a.Replans += rep.Replans
+			a.SLAFloorViolations += rep.FloorViolations
+			a.EnvFloorDips += rep.EnvFloorDips
+			normPlannedSum += rep.NormPlanned
+			normAchievedSum += rep.NormAchieved
+		}
+		a.CompletionRate = float64(a.Completed) / float64(a.Trials)
+		a.NormPlanned = normPlannedSum / float64(a.Trials)
+		a.NormAchieved = normAchievedSum / float64(a.Trials)
+		res.Arms = append(res.Arms, a)
+		row(cfg.Out, a.FaultRate, a.MachineDeath, a.CompletionRate, a.Replanned,
+			a.PlannedMoves, a.ExecutedCommands, a.WastedMoves, a.Retries,
+			a.NormPlanned, a.NormAchieved)
+		if a.SLAFloorViolations != 0 {
+			return nil, fmt.Errorf("execbench: %d SLA floor violations at fault rate %v", a.SLAFloorViolations, a.FaultRate)
+		}
+	}
+	return res, nil
+}
+
+// execBenchTrial bootstraps a fresh engine over the shared cluster,
+// plans the first re-optimization, and executes it against a fabric at
+// the given fault rate.
+func execBenchTrial(cfg Config, c *workload.Cluster, rate float64, death bool, seed int64) (*exec.Report, error) {
+	// Each trial owns its state: deep-copy through the snapshot
+	// round-trip so executions cannot contaminate each other.
+	p, a, err := snapshot.FromCluster(c.Problem, c.Original).ToCluster()
+	if err != nil {
+		return nil, err
+	}
+	st, err := incr.NewState(p, a)
+	if err != nil {
+		return nil, err
+	}
+	eng := incr.New(st, incr.Options{
+		Budget:      cfg.Budget,
+		MinAlive:    0.75,
+		Parallelism: 1,
+	}, nil)
+
+	from := st.Assignment().Clone()
+	rres, err := eng.Reoptimize(cfg.Ctx)
+	if err != nil {
+		return nil, err
+	}
+	if rres.Plan == nil || len(rres.Plan.Steps) == 0 {
+		return nil, fmt.Errorf("bootstrap produced no plan (moves=%d)", rres.Moves)
+	}
+
+	var fab exec.Fabric
+	if rate == 0 && !death {
+		fab = exec.NewInstantFabric(from.Clone())
+	} else {
+		fc := exec.FaultConfig{FailureProb: rate, Seed: seed}
+		if death {
+			commands := 0
+			for _, s := range rres.Plan.Steps {
+				commands += len(s)
+			}
+			fc.Deaths = []exec.MachineDeath{{
+				Machine:       mostLoadedMachine(from),
+				AfterCommands: commands / 2,
+			}}
+		}
+		fab = exec.NewFaultFabric(from.Clone(), fc)
+	}
+	ex := exec.New(eng, fab, exec.Options{
+		MinAlive:    0.75,
+		Parallelism: 1,
+		Seed:        seed,
+	}, nil)
+	return ex.Execute(cfg.Ctx, from, rres.Plan)
+}
+
+// mostLoadedMachine picks the machine hosting the most containers —
+// the death target that maximizes divergence.
+func mostLoadedMachine(a *cluster.Assignment) int {
+	best, bestC := 0, -1
+	for m, scs := range a.PerMachine() {
+		total := 0
+		for _, sc := range scs {
+			total += sc.Count
+		}
+		if total > bestC {
+			best, bestC = m, total
+		}
+	}
+	return best
+}
+
+// WriteExecBenchJSON writes the BENCH_pr5.json artifact.
+func WriteExecBenchJSON(w io.Writer, r *ExecBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -69,6 +69,12 @@ func (o Options) withDefaults() Options {
 	if o.MinAlive == 0 {
 		o.MinAlive = 0.75
 	}
+	// The same worker-count clamp core.Options.Normalize applies: the
+	// delta path hands Parallelism straight to pool.SolveAll without
+	// passing through core.Optimize.
+	if no, err := (core.Options{Budget: o.Budget, Parallelism: o.Parallelism, Policy: o.Policy}).Normalize(); err == nil {
+		o.Parallelism = no.Parallelism
+	}
 	return o
 }
 

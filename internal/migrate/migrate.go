@@ -113,6 +113,8 @@ func Compute(ctx context.Context, p *cluster.Problem, from, to *cluster.Assignme
 		toDelete[mi] = make(map[int]int)
 		toCreate[mi] = make(map[int]int)
 	}
+	createTotal := make([]int, n)
+	deleteTotal := make([]int, n)
 	for s := 0; s < n; s++ {
 		for mi := 0; mi < m; mi++ {
 			f, t := from.Get(s, mi), to.Get(s, mi)
@@ -120,8 +122,10 @@ func Compute(ctx context.Context, p *cluster.Problem, from, to *cluster.Assignme
 			case f > t:
 				toDelete[mi][s] = f - t
 				totalMoves += f - t
+				deleteTotal[s] += f - t
 			case t > f:
 				toCreate[mi][s] = t - f
+				createTotal[s] += t - f
 			}
 		}
 	}
@@ -149,13 +153,29 @@ func Compute(ctx context.Context, p *cluster.Problem, from, to *cluster.Assignme
 	}
 	used := cur.UsedResources(p)
 
+	// When `to` places more containers of a service than `from` does, the
+	// surplus creations have no matching delete inside this plan: the
+	// containers are already offline at entry (a machine death destroyed
+	// them, or an interrupted earlier migration deleted them and never
+	// recreated). Seed the offline budget with that deficit so
+	// SelectCreate treats restoring them as the most urgent work —
+	// without it the planner would stall with the creations forever
+	// ineligible.
+	netCreates := 0
+	for s := 0; s < n; s++ {
+		if d := createTotal[s] - deleteTotal[s]; d > 0 {
+			deletedNotCreated[s] = d
+			netCreates += d
+		}
+	}
+
 	offline := func(s int) float64 {
 		return float64(deletedNotCreated[s]) / float64(p.Services[s].Replicas)
 	}
 
 	maxIters := opts.MaxIters
 	if maxIters <= 0 {
-		maxIters = 2*totalMoves + 16
+		maxIters = 2*(totalMoves+netCreates) + 16
 	}
 	bounces := 0
 	maxBounces := totalMoves/2 + 4

@@ -25,7 +25,9 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/exec"
 	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/migrate"
 	"github.com/cloudsched/rasa/internal/partition"
 	"github.com/cloudsched/rasa/internal/sched"
 	"github.com/cloudsched/rasa/internal/workload"
@@ -86,6 +88,21 @@ type Config struct {
 	// completes. rasad -loop uses it to publish per-tick solver stats
 	// through its metrics registry; the hook must not retain res.
 	OnOptimize func(tick int, res *core.Result)
+	// Execute drives each gated WithRASA reallocation through an
+	// exec.Executor against a simulated fabric instead of adopting the
+	// target atomically. The state the cluster actually ends up in is
+	// whatever the executor achieved — under faults that can differ from
+	// the plan's target.
+	Execute bool
+	// ExecFaultRate is the fabric's per-command failure probability when
+	// Execute is on; zero selects the instant, fault-free fabric.
+	ExecFaultRate float64
+	// MinAlive is the SLA floor fraction held during plan execution
+	// (default 0.75).
+	MinAlive float64
+	// OnExecute, when non-nil, receives every executor report of the
+	// WithRASA scenario; the hook must not retain rep.
+	OnExecute func(tick int, rep *exec.Report)
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Latency == (LatencyModel{}) {
 		c.Latency = DefaultLatencyModel()
+	}
+	if c.MinAlive == 0 {
+		c.MinAlive = 0.75
 	}
 	return c
 }
@@ -301,6 +321,19 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 							unschedulableUntil[s] = tick + cfg.UnschedulableTicks
 						}
 					}
+				} else if cfg.Execute {
+					rep, err := executeCandidate(ctx, cfg, st, assign, candidate, tick)
+					if err != nil {
+						return nil, fmt.Errorf("prodsim: tick %d: %w", tick, err)
+					}
+					// The cluster lands wherever execution landed, not
+					// necessarily on the plan's target.
+					assign = st.Assignment()
+					tm.Applied = true
+					tm.Moves = rep.Executed
+					if cfg.OnExecute != nil {
+						cfg.OnExecute(tick, rep)
+					}
 				} else {
 					assign = candidate
 					if err := st.SetAssignment(candidate); err != nil {
@@ -329,6 +362,31 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 func withSeed(o partition.Options, seed int64) partition.Options {
 	o.Seed = seed
 	return o
+}
+
+// executeCandidate runs the gated reallocation through the migration
+// executor: the plan from→candidate is computed under the SLA floor and
+// driven command by command against the (possibly faulty) fabric. On
+// return the state's assignment is the executor's believed final state.
+func executeCandidate(ctx context.Context, cfg Config, st *incr.State, from, candidate *cluster.Assignment, tick int) (*exec.Report, error) {
+	p := st.Problem()
+	plan, err := migrate.Compute(ctx, p, from, candidate, migrate.Options{MinAlive: cfg.MinAlive})
+	if err != nil {
+		return nil, fmt.Errorf("planning migration: %w", err)
+	}
+	seed := cfg.Seed*6151 + int64(tick)*13 + 7
+	var fab exec.Fabric
+	if cfg.ExecFaultRate > 0 {
+		fab = exec.NewFaultFabric(from.Clone(), exec.FaultConfig{FailureProb: cfg.ExecFaultRate, Seed: seed})
+	} else {
+		fab = exec.NewInstantFabric(from.Clone())
+	}
+	// The executor escalates re-plans through an engine over the live
+	// state, so a faulty execution converges on a fresh target instead
+	// of retrying a stale plan forever.
+	eng := incr.New(st, incr.Options{Budget: cfg.Budget, MinAlive: cfg.MinAlive, Parallelism: 1}, nil)
+	ex := exec.New(eng, fab, exec.Options{MinAlive: cfg.MinAlive, Parallelism: 1, Seed: seed}, nil)
+	return ex.Execute(ctx, from, plan)
 }
 
 // topPairs returns the k heaviest affinity edges (the critical business

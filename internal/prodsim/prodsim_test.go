@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/cloudsched/rasa/internal/exec"
 	"github.com/cloudsched/rasa/internal/partition"
 	"github.com/cloudsched/rasa/internal/workload"
 )
@@ -235,6 +236,48 @@ func TestOptimizeEveryRespected(t *testing.T) {
 	for i, tm := range rep.Ticks {
 		if i%3 != 0 && (tm.Applied || tm.RolledBack) {
 			t.Fatalf("tick %d acted outside the CronJob schedule", i)
+		}
+	}
+}
+
+func TestExecuteHookDrivesMigrations(t *testing.T) {
+	cfg := testConfig(10)
+	cfg.Ticks = 6
+	cfg.Execute = true
+	cfg.ExecFaultRate = 0.1
+	var reports []struct {
+		tick            int
+		executed        int
+		floorViolations int
+		outcome         string
+	}
+	cfg.OnExecute = func(tick int, rep *exec.Report) {
+		reports = append(reports, struct {
+			tick            int
+			executed        int
+			floorViolations int
+			outcome         string
+		}{tick, rep.Executed, rep.FloorViolations, string(rep.Outcome)})
+	}
+	rep, err := Run(context.Background(), cfg, WithRASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied int
+	for _, tm := range rep.Ticks {
+		if tm.Applied {
+			applied++
+		}
+	}
+	if applied == 0 || len(reports) != applied {
+		t.Fatalf("applied=%d but %d executor reports", applied, len(reports))
+	}
+	for _, r := range reports {
+		if r.floorViolations != 0 {
+			t.Fatalf("tick %d: executor violated the SLA floor", r.tick)
+		}
+		if r.executed == 0 {
+			t.Fatalf("tick %d: applied tick executed nothing", r.tick)
 		}
 	}
 }

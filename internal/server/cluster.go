@@ -51,10 +51,10 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			writeErr(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
 			return nil, false
 		}
-		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "reading body: "+err.Error())
 		return nil, false
 	}
 	return raw, true
@@ -62,7 +62,7 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 
 func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining")
 		return
 	}
 	raw, ok := s.readBody(w, r)
@@ -71,7 +71,7 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 	}
 	var req installRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "malformed JSON: "+err.Error())
 		return
 	}
 	if req.Snapshot == nil {
@@ -81,22 +81,22 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Snapshot == nil {
-		writeErr(w, http.StatusBadRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
 		return
 	}
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	policy, err := parsePolicy(req.Policy)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	p, current, err := req.Snapshot.ToCluster()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
 		return
 	}
 	seed := req.Seed
@@ -107,13 +107,13 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 	if bootstrap {
 		current, err = sched.Original(p, seed)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "cannot bootstrap initial assignment: "+err.Error())
+			writeErr(w, http.StatusBadRequest, codeInvalidProblem, "cannot bootstrap initial assignment: "+err.Error())
 			return
 		}
 	}
 	st, err := incr.NewState(p, current)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
 		return
 	}
 	budget := time.Duration(req.Budget)
@@ -164,12 +164,12 @@ type eventsRequest struct {
 
 func (s *Server) handleClusterEvents(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining")
 		return
 	}
 	sess := s.session()
 	if sess == nil {
-		writeErr(w, http.StatusConflict, "no cluster installed (POST /v1/cluster first)")
+		writeErr(w, http.StatusConflict, codeNoCluster, "no cluster installed (POST /v1/cluster first)")
 		return
 	}
 	raw, ok := s.readBody(w, r)
@@ -178,16 +178,16 @@ func (s *Server) handleClusterEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	var req eventsRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "malformed JSON: "+err.Error())
 		return
 	}
 	if len(req.Events) == 0 {
-		writeErr(w, http.StatusBadRequest, `no events (send {"events": [{"type": ...}, ...]})`)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, `no events (send {"events": [{"type": ...}, ...]})`)
 		return
 	}
 	events, err := incr.DecodeEvents(req.Events)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	applied, err := sess.eng.Apply(events...)
@@ -195,7 +195,7 @@ func (s *Server) handleClusterEvents(w http.ResponseWriter, r *http.Request) {
 		// Events before the invalid one are already part of the state —
 		// report how far the batch got alongside the error.
 		writeJSON(w, http.StatusBadRequest, map[string]any{
-			"error":   err.Error(),
+			"error":   errorBody{Code: codeInvalidRequest, Message: err.Error()},
 			"applied": applied,
 			"stats":   sess.eng.State().Snapshot(),
 		})
@@ -230,12 +230,12 @@ type reoptimizeResponse struct {
 
 func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining")
 		return
 	}
 	sess := s.session()
 	if sess == nil {
-		writeErr(w, http.StatusConflict, "no cluster installed (POST /v1/cluster first)")
+		writeErr(w, http.StatusConflict, codeNoCluster, "no cluster installed (POST /v1/cluster first)")
 		return
 	}
 	// Serialize solves; a delta pass may legitimately run the full
@@ -247,7 +247,7 @@ func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request)
 	defer cancel()
 	res, err := sess.eng.Reoptimize(ctx)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		writeErr(w, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, reoptimizeResponse{
@@ -272,7 +272,7 @@ func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request)
 func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 	sess := s.session()
 	if sess == nil {
-		writeErr(w, http.StatusNotFound, "no cluster installed")
+		writeErr(w, http.StatusNotFound, codeNotFound, "no cluster installed")
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.eng.State().Snapshot())

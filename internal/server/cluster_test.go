@@ -182,13 +182,16 @@ func TestClusterEventErrors(t *testing.T) {
 		t.Fatalf("invalid event: %d %s", rec.Code, rec.Body)
 	}
 	var resp struct {
-		Applied int    `json:"applied"`
-		Error   string `json:"error"`
+		Applied int `json:"applied"`
+		Error   struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Applied != 1 || resp.Error == "" {
+	if resp.Applied != 1 || resp.Error.Code != "invalid_request" || resp.Error.Message == "" {
 		t.Fatalf("partial batch response: %+v", resp)
 	}
 	// Empty batch.

@@ -1,0 +1,330 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/exec"
+)
+
+// The execute endpoints close the plan→execute gap over HTTP: POST
+// /v1/cluster/execute re-optimizes the installed cluster session and
+// drives the resulting migration plan through an exec.Executor against
+// a simulated fabric, with the same async job semantics as /v1/jobs
+// (202 + id, GET with ?wait= long-poll). The request's fault knobs
+// select the fabric: all zero means the instant in-memory fabric,
+// anything else the fault-injecting one.
+
+// executeRequest is the POST /v1/cluster/execute body.
+type executeRequest struct {
+	// Fault injection (exec.FaultConfig): per-command failure
+	// probability, mean latency ± jitter fraction, scheduled machine
+	// deaths, RNG seed.
+	FailureProb   float64     `json:"failureProb,omitempty"`
+	Latency       duration    `json:"latency,omitempty"`
+	LatencyJitter float64     `json:"latencyJitter,omitempty"`
+	Deaths        []deathJSON `json:"deaths,omitempty"`
+	Seed          int64       `json:"seed,omitempty"`
+	// Executor tuning (exec.Options); zero means default.
+	MinAlive       float64  `json:"minAlive,omitempty"`
+	MaxAttempts    int      `json:"maxAttempts,omitempty"`
+	CommandTimeout duration `json:"commandTimeout,omitempty"`
+	MaxReplans     int      `json:"maxReplans,omitempty"`
+	Parallelism    int      `json:"parallelism,omitempty"`
+}
+
+// deathJSON schedules one machine death after n applied commands.
+type deathJSON struct {
+	Machine       int `json:"machine"`
+	AfterCommands int `json:"afterCommands"`
+}
+
+// execJob is one asynchronous execution run.
+type execJob struct {
+	id        string
+	submitted time.Time
+
+	mu     sync.Mutex
+	status Status
+	report *exec.Report
+	errMsg string
+	done   chan struct{}
+}
+
+// execReportJSON is the wire form of exec.Report.
+type execReportJSON struct {
+	Outcome         string            `json:"outcome"`
+	Error           string            `json:"error,omitempty"`
+	PlannedMoves    int               `json:"plannedMoves"`
+	Steps           int               `json:"steps"`
+	Commands        int               `json:"commands"`
+	Executed        int               `json:"executed"`
+	Failed          int               `json:"failed"`
+	Skipped         int               `json:"skipped"`
+	Retries         int               `json:"retries"`
+	BackoffTotal    string            `json:"backoffTotal"`
+	Replans         int               `json:"replans"`
+	ReplanReasons   []string          `json:"replanReasons,omitempty"`
+	Checkpoints     []exec.Checkpoint `json:"checkpoints,omitempty"`
+	DeadMachines    []int             `json:"deadMachines,omitempty"`
+	FloorViolations int               `json:"floorViolations"`
+	EnvFloorDips    int               `json:"envFloorDips"`
+	MinHeadroom     int               `json:"minHeadroom"`
+	WastedMoves     int               `json:"wastedMoves"`
+	PlannedGain     float64           `json:"plannedGain"`
+	AchievedGain    float64           `json:"achievedGain"`
+	NormPlanned     float64           `json:"normPlanned"`
+	NormAchieved    float64           `json:"normAchieved"`
+	Elapsed         string            `json:"elapsed"`
+}
+
+func execReportView(rep *exec.Report) *execReportJSON {
+	return &execReportJSON{
+		Outcome:         string(rep.Outcome),
+		Error:           rep.Err,
+		PlannedMoves:    rep.PlannedMoves,
+		Steps:           rep.Steps,
+		Commands:        rep.Commands,
+		Executed:        rep.Executed,
+		Failed:          rep.Failed,
+		Skipped:         rep.Skipped,
+		Retries:         rep.Retries,
+		BackoffTotal:    rep.BackoffTotal.String(),
+		Replans:         rep.Replans,
+		ReplanReasons:   rep.ReplanReasons,
+		Checkpoints:     rep.Checkpoints,
+		DeadMachines:    rep.DeadMachines,
+		FloorViolations: rep.FloorViolations,
+		EnvFloorDips:    rep.EnvFloorDips,
+		MinHeadroom:     rep.MinHeadroom,
+		WastedMoves:     rep.WastedMoves,
+		PlannedGain:     rep.PlannedGain,
+		AchievedGain:    rep.AchievedGain,
+		NormPlanned:     rep.NormPlanned,
+		NormAchieved:    rep.NormAchieved,
+		Elapsed:         rep.Elapsed.String(),
+	}
+}
+
+// execView is the GET /v1/cluster/execute/{id} body.
+type execView struct {
+	ID        string          `json:"id"`
+	Status    Status          `json:"status"`
+	Submitted time.Time       `json:"submitted"`
+	Error     string          `json:"error,omitempty"`
+	Report    *execReportJSON `json:"report,omitempty"`
+}
+
+func (j *execJob) view() execView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := execView{ID: j.id, Status: j.status, Submitted: j.submitted, Error: j.errMsg}
+	if j.report != nil {
+		v.Report = execReportView(j.report)
+	}
+	return v
+}
+
+func (j *execJob) finish(rep *exec.Report, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err != nil:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	case rep.Outcome == exec.OutcomeCompleted:
+		j.status = StatusCompleted
+	default:
+		// Aborted / cancelled runs completed their lifecycle; the
+		// outcome distinction lives in the report.
+		j.status = StatusCompleted
+	}
+	j.report = rep
+	close(j.done)
+}
+
+func (req *executeRequest) validate() error {
+	if req.FailureProb < 0 || req.FailureProb >= 1 {
+		return fmt.Errorf("failureProb %v outside [0, 1)", req.FailureProb)
+	}
+	if req.Latency < 0 {
+		return fmt.Errorf("negative latency %v", time.Duration(req.Latency))
+	}
+	if req.LatencyJitter < 0 || req.LatencyJitter > 1 {
+		return fmt.Errorf("latencyJitter %v outside [0, 1]", req.LatencyJitter)
+	}
+	if req.MinAlive < 0 || req.MinAlive > 1 {
+		return fmt.Errorf("minAlive %v outside [0, 1]", req.MinAlive)
+	}
+	for _, d := range req.Deaths {
+		if d.Machine < 0 || d.AfterCommands < 0 {
+			return fmt.Errorf("invalid death schedule %+v", d)
+		}
+	}
+	if req.CommandTimeout < 0 {
+		return fmt.Errorf("negative commandTimeout")
+	}
+	return nil
+}
+
+func (s *Server) handleExecuteSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining; not accepting new executions")
+		return
+	}
+	sess := s.session()
+	if sess == nil {
+		writeErr(w, http.StatusConflict, codeNoCluster, "no cluster installed (POST /v1/cluster first)")
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req executeRequest
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "malformed JSON: "+err.Error())
+			return
+		}
+	}
+	if err := req.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining; not accepting new executions")
+		return
+	}
+	s.execSeq++
+	job := &execJob{
+		id:        fmt.Sprintf("exec-%d", s.execSeq),
+		submitted: time.Now(),
+		status:    StatusQueued,
+		done:      make(chan struct{}),
+	}
+	if s.execJobs == nil {
+		s.execJobs = make(map[string]*execJob)
+	}
+	s.execJobs[job.id] = job
+	s.execOrder = append(s.execOrder, job.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runExecute(job, sess, req)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": job.id, "status": StatusQueued})
+}
+
+// runExecute performs one execution run. Runs serialize on sess.mu with
+// each other and with /v1/cluster/reoptimize — the engine's state is
+// one cluster, and only one actor may drive it at a time.
+func (s *Server) runExecute(job *execJob, sess *clusterSession, req executeRequest) {
+	defer s.wg.Done()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	job.mu.Lock()
+	job.status = StatusRunning
+	job.mu.Unlock()
+
+	st := sess.eng.State()
+	p := st.Problem()
+	for _, d := range req.Deaths {
+		if d.Machine >= p.M() {
+			job.finish(nil, fmt.Errorf("death schedule references machine %d of %d", d.Machine, p.M()))
+			return
+		}
+	}
+
+	var fab exec.Fabric
+	start := st.Assignment().Clone()
+	if req.FailureProb == 0 && req.Latency == 0 && len(req.Deaths) == 0 {
+		fab = exec.NewInstantFabric(start)
+	} else {
+		deaths := make([]exec.MachineDeath, 0, len(req.Deaths))
+		for _, d := range req.Deaths {
+			deaths = append(deaths, exec.MachineDeath{Machine: d.Machine, AfterCommands: d.AfterCommands})
+		}
+		fab = exec.NewFaultFabric(start, exec.FaultConfig{
+			FailureProb:   req.FailureProb,
+			Latency:       time.Duration(req.Latency),
+			LatencyJitter: req.LatencyJitter,
+			Deaths:        deaths,
+			Seed:          req.Seed,
+		})
+	}
+	ex := exec.New(sess.eng, fab, exec.Options{
+		MinAlive:       req.MinAlive,
+		MaxAttempts:    req.MaxAttempts,
+		CommandTimeout: time.Duration(req.CommandTimeout),
+		MaxReplans:     req.MaxReplans,
+		Parallelism:    req.Parallelism,
+		Seed:           req.Seed,
+	}, s.cfg.Registry)
+
+	// Deadline: each plan or re-plan gets the session's reoptimize
+	// allowance (2×budget + grace), and retried/latent command work is
+	// bounded by the executor's own per-command timeouts.
+	replans := req.MaxReplans
+	if replans <= 0 {
+		replans = 3
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, time.Duration(replans+1)*(2*sess.budget+budgetGrace))
+	defer cancel()
+	job.finish(ex.Run(ctx))
+}
+
+func (s *Server) handleExecuteGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.execJobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no such execution %q", id))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid wait duration: "+err.Error())
+			return
+		}
+		// Same stopped-timer discipline as the jobs long-poll: a
+		// disconnected client must not pin a live timer.
+		timer := time.NewTimer(d)
+		select {
+		case <-job.done:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleExecuteList(w http.ResponseWriter, r *http.Request) {
+	type summary struct {
+		ID        string    `json:"id"`
+		Status    Status    `json:"status"`
+		Submitted time.Time `json:"submitted"`
+	}
+	s.mu.Lock()
+	out := make([]summary, 0, len(s.execOrder))
+	for _, id := range s.execOrder {
+		j := s.execJobs[id]
+		j.mu.Lock()
+		out = append(out, summary{ID: j.id, Status: j.status, Submitted: j.submitted})
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"executions": out})
+}

@@ -111,6 +111,10 @@ type Server struct {
 	// cluster is the live incremental session (POST /v1/cluster); nil
 	// until one is installed.
 	cluster *clusterSession
+	// execution runs against the cluster session (POST /v1/cluster/execute).
+	execJobs  map[string]*execJob
+	execOrder []string
+	execSeq   int
 
 	queue   chan *Job
 	drainCh chan struct{}
@@ -160,6 +164,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
 	s.mux.HandleFunc("POST /v1/cluster/events", s.handleClusterEvents)
 	s.mux.HandleFunc("POST /v1/cluster/reoptimize", s.handleClusterReoptimize)
+	s.mux.HandleFunc("POST /v1/cluster/execute", s.handleExecuteSubmit)
+	s.mux.HandleFunc("GET /v1/cluster/execute", s.handleExecuteList)
+	s.mux.HandleFunc("GET /v1/cluster/execute/{id}", s.handleExecuteGet)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 
@@ -298,7 +305,7 @@ func parsePolicy(s string) (selector.Policy, error) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining; not accepting new jobs")
 		return
 	}
 	raw, ok := s.readBody(w, r)
@@ -307,7 +314,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var req submitRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "malformed JSON: "+err.Error())
 		return
 	}
 	if req.Snapshot == nil {
@@ -319,7 +326,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Snapshot == nil {
-		writeErr(w, http.StatusBadRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
 		return
 	}
 	budget := time.Duration(req.Budget)
@@ -331,17 +338,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	policy, err := parsePolicy(req.Policy)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	p, current, err := req.Snapshot.ToCluster()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
 		return
 	}
 	seed := req.Seed
@@ -353,7 +360,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// ORIGINAL scheduler, like the one-shot CLI path.
 		current, err = sched.Original(p, seed)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "cannot bootstrap initial assignment: "+err.Error())
+			writeErr(w, http.StatusBadRequest, codeInvalidProblem, "cannot bootstrap initial assignment: "+err.Error())
 			return
 		}
 	}
@@ -379,7 +386,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "server is draining; not accepting new jobs")
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining; not accepting new jobs")
 		return
 	}
 	s.seq++
@@ -392,7 +399,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.jobsTotal.With("rejected").Inc()
-		writeErr(w, http.StatusTooManyRequests,
+		writeErr(w, http.StatusTooManyRequests, codeQueueFull,
 			fmt.Sprintf("job queue full (%d queued); retry later", s.cfg.QueueDepth))
 		return
 	}
@@ -412,13 +419,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id))
+		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no such job %q", id))
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		d, err := time.ParseDuration(waitStr)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid wait duration: "+err.Error())
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid wait duration: "+err.Error())
 			return
 		}
 		// A stopped timer releases its runtime resources immediately;
@@ -477,6 +484,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// Stable error codes of the unified /v1 error envelope. Every error
+// response from every /v1 endpoint has the shape
+//
+//	{"error": {"code": "<one of these>", "message": "<detail>"}}
+//
+// so clients dispatch on code and show message; the set is part of the
+// API (documented in the README endpoint table) and only ever grows.
+const (
+	codeInvalidRequest = "invalid_request" // malformed JSON / bad field values
+	codeInvalidProblem = "invalid_problem" // snapshot or cluster fails validation
+	codeBodyTooLarge   = "body_too_large"  // request exceeded MaxBodyBytes
+	codeDraining       = "draining"        // server is shutting down
+	codeQueueFull      = "queue_full"      // job queue at capacity, retry later
+	codeNotFound       = "not_found"       // unknown job / execution / no cluster yet
+	codeNoCluster      = "no_cluster"      // cluster endpoint used before install
+	codeConflict       = "conflict"        // resource state rejects the operation
+	codeInternal       = "internal"        // unexpected server-side failure
+)
+
+// errorBody is the payload of the unified error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: msg}})
 }

@@ -68,6 +68,11 @@ func getJob(t *testing.T, base, id, query string) (int, jobView) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		// Error responses carry the unified envelope, not a job view.
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, jobView{}
+	}
 	var v jobView
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatalf("decoding job view: %v", err)
@@ -160,6 +165,14 @@ func TestSubmitWrappedOptions(t *testing.T) {
 	}
 }
 
+// errEnvelope unpacks the unified {"error":{"code","message"}} envelope.
+func errEnvelope(body map[string]any) (code, msg string) {
+	env, _ := body["error"].(map[string]any)
+	code, _ = env["code"].(string)
+	msg, _ = env["message"].(string)
+	return code, msg
+}
+
 func TestSubmitErrors(t *testing.T) {
 	_, ts := startServer(t, Config{Workers: 1})
 
@@ -181,7 +194,7 @@ func TestSubmitErrors(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("invalid snapshot: status %d", code)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, `service 0 ("web") has non-positive replicas`) {
+	if code, msg := errEnvelope(body); code != "invalid_problem" || !strings.Contains(msg, `service 0 ("web") has non-positive replicas`) {
 		t.Fatalf("validation error not descriptive: %v", body)
 	}
 
@@ -189,7 +202,7 @@ func TestSubmitErrors(t *testing.T) {
 	var wrapped bytes.Buffer
 	fmt.Fprintf(&wrapped, `{"snapshot": %s, "strategy": "quantum"}`, testSnapshot(t, 3))
 	code, body = postJSON(t, ts.URL+"/v1/jobs", wrapped.Bytes())
-	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), "unknown strategy") {
+	if ec, msg := errEnvelope(body); code != http.StatusBadRequest || ec != "invalid_request" || !strings.Contains(msg, "unknown strategy") {
 		t.Fatalf("unknown strategy: status %d %v", code, body)
 	}
 

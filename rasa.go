@@ -11,7 +11,8 @@
 // path computation — implemented entirely in Go on a from-scratch
 // simplex/branch-and-bound substrate.
 //
-// Quick start:
+// Quick start (the API is context-first; the non-context forms in
+// compat.go are deprecated wrappers):
 //
 //	b := rasa.NewClusterBuilder("cpu", "memory")
 //	web := b.AddService("web", 4, rasa.Resources{2, 4})
@@ -21,9 +22,14 @@
 //	}
 //	b.SetAffinity(web, cache, 1.0) // traffic volume between the services
 //	p, _ := b.Build()
-//	current := rasa.Schedule(p, 42) // or your cluster's real state
-//	res, _ := rasa.Optimize(p, current, rasa.Options{Budget: time.Second})
+//	current, _ := rasa.Schedule(p, 42) // or your cluster's real state
+//	ctx := context.Background()
+//	res, _ := rasa.OptimizeContext(ctx, p, current, rasa.Options{Budget: time.Second})
 //	fmt.Println(res.GainedAffinity, len(res.Plan.Steps))
+//
+// Failures are classified by the sentinel errors ErrInvalidProblem,
+// ErrInfeasible, and ErrBudgetExceeded (see errors.go) — test with
+// errors.Is rather than matching message strings.
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the system inventory.
@@ -157,47 +163,45 @@ func NewAssignment(n, m int) *Assignment { return cluster.NewAssignment(n, m) }
 // NewAffinityGraph returns an empty affinity graph over n services.
 func NewAffinityGraph(n int) *AffinityGraph { return graph.New(n) }
 
-// Optimize runs the full RASA algorithm: partition the cluster, select a
-// solver per subproblem, solve in parallel under Options.Budget, merge,
-// and compute the migration plan from current to the optimized mapping.
-func Optimize(p *Problem, current *Assignment, opts Options) (*Result, error) {
-	return core.Optimize(context.Background(), p, current, opts)
-}
-
-// OptimizeContext is Optimize with cancellation: every phase of the
-// pipeline observes ctx, and a cancelled pass still returns the best
-// mapping assembled so far (solvers hand back their incumbents, greedy
-// fallbacks cover the rest) rather than an error. Result.Stats reports
-// how far the pass got and why it stopped.
+// OptimizeContext runs the full RASA algorithm: partition the cluster,
+// select a solver per subproblem, solve in parallel under
+// Options.Budget, merge, and compute the migration plan from current to
+// the optimized mapping.
+//
+// Every phase of the pipeline observes ctx, and a cancelled pass still
+// returns the best mapping assembled so far (solvers hand back their
+// incumbents, greedy fallbacks cover the rest) rather than an error.
+// Result.Stats reports how far the pass got and why it stopped.
 func OptimizeContext(ctx context.Context, p *Problem, current *Assignment, opts Options) (*Result, error) {
-	return core.Optimize(ctx, p, current, opts)
+	res, err := core.Optimize(ctx, p, current, opts)
+	return res, wrapErr(err)
 }
 
 // Schedule computes an affinity-oblivious initial placement with the
 // ORIGINAL production scheduler (online first-fit with filter/score) —
 // useful to bootstrap experiments when no real cluster state exists.
 func Schedule(p *Problem, seed int64) (*Assignment, error) {
-	return sched.Original(p, seed)
+	a, err := sched.Original(p, seed)
+	return a, wrapErr(err)
 }
 
-// PlanMigration computes an executable migration path from one feasible
-// assignment to another, keeping at least minAlive (default 0.75) of
-// every service's containers running and never exceeding capacities.
-func PlanMigration(p *Problem, from, to *Assignment, minAlive float64) (*MigrationPlan, error) {
-	return migrate.Compute(context.Background(), p, from, to, migrate.Options{MinAlive: minAlive})
-}
-
-// PlanMigrationContext is PlanMigration with cancellation: a cancelled
-// planning run returns the partial plan built so far together with the
-// context's error (every plan prefix is safe to execute).
+// PlanMigrationContext computes an executable migration path from one
+// feasible assignment to another, keeping at least minAlive (default
+// 0.75) of every service's containers running and never exceeding
+// capacities. A cancelled planning run returns the partial plan built
+// so far together with the context's error; a stalled one returns the
+// reachable prefix with an error wrapping ErrInfeasible (every plan
+// prefix is safe to execute).
 func PlanMigrationContext(ctx context.Context, p *Problem, from, to *Assignment, minAlive float64) (*MigrationPlan, error) {
-	return migrate.Compute(ctx, p, from, to, migrate.Options{MinAlive: minAlive})
+	plan, err := migrate.Compute(ctx, p, from, to, migrate.Options{MinAlive: minAlive})
+	return plan, wrapErr(err)
 }
 
 // SimulateMigration replays a plan, validating every step, and returns
 // the final assignment.
 func SimulateMigration(p *Problem, from *Assignment, plan *MigrationPlan, minAlive float64) (*Assignment, error) {
-	return migrate.Simulate(p, from, plan, minAlive)
+	a, err := migrate.Simulate(p, from, plan, minAlive)
+	return a, wrapErr(err)
 }
 
 // HeuristicPolicy returns the empirical CG/MIP selection rule of
@@ -223,16 +227,12 @@ func EvaluationPresets() []Preset { return workload.EvaluationPresets() }
 // selector.
 func TrainingPresets() []Preset { return workload.TrainingPresets() }
 
-// TrainSelector builds the GCN-based algorithm-selection policy of
-// Section IV-D: it partitions each training cluster several times with
-// varying subproblem sizes, labels every subproblem by racing CG against
-// MIP under labelBudget, and trains the graph classifier on the result.
-func TrainSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
-	return TrainSelectorContext(context.Background(), clusters, labelBudget, seed)
-}
-
-// TrainSelectorContext is TrainSelector with cancellation of the
-// labelling races (training itself is fast and uninterruptible).
+// TrainSelectorContext builds the GCN-based algorithm-selection policy
+// of Section IV-D: it partitions each training cluster several times
+// with varying subproblem sizes, labels every subproblem by racing CG
+// against MIP under labelBudget, and trains the graph classifier on the
+// result. ctx cancels the labelling races (training itself is fast and
+// uninterruptible).
 func TrainSelectorContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
 	labeled, err := LabelSubproblemsContext(ctx, clusters, labelBudget, seed)
 	if err != nil {
@@ -241,27 +241,21 @@ func TrainSelectorContext(ctx context.Context, clusters []*GeneratedCluster, lab
 	return selector.GCNPolicy{Model: selector.TrainGCN(labeled, seed)}, nil
 }
 
-// TrainMLPSelector trains the topology-blind MLP baseline on the same
-// labelling procedure (the MLP-BASED row of Fig. 8).
-func TrainMLPSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
-	labeled, err := LabelSubproblems(clusters, labelBudget, seed)
+// TrainMLPSelectorContext trains the topology-blind MLP baseline on the
+// same labelling procedure (the MLP-BASED row of Fig. 8).
+func TrainMLPSelectorContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	labeled, err := LabelSubproblemsContext(ctx, clusters, labelBudget, seed)
 	if err != nil {
 		return nil, err
 	}
 	return selector.MLPPolicy{Model: selector.TrainMLP(labeled, seed)}, nil
 }
 
-// LabelSubproblems generates the labelled training set used by
-// TrainSelector; exposed for experiment harnesses that train both
-// models on identical data.
-func LabelSubproblems(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
-	return LabelSubproblemsContext(context.Background(), clusters, labelBudget, seed)
-}
-
-// LabelSubproblemsContext is LabelSubproblems with cancellation: each
-// CG-vs-MIP race observes ctx, and the races themselves run the two
-// algorithms concurrently, cancelling the MIP arm early once the CG
-// result is provably unbeatable.
+// LabelSubproblemsContext generates the labelled training set used by
+// TrainSelectorContext; exposed for experiment harnesses that train
+// both models on identical data. Each CG-vs-MIP race observes ctx, and
+// the races themselves run the two algorithms concurrently, cancelling
+// the MIP arm early once the CG result is provably unbeatable.
 func LabelSubproblemsContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
 	var labeled []selector.Labeled
 	for ci, c := range clusters {
@@ -285,23 +279,15 @@ func LabelSubproblemsContext(ctx context.Context, clusters []*GeneratedCluster, 
 	return labeled, nil
 }
 
-// Simulate runs the production simulator for one scenario.
-func Simulate(cfg Simulation, scenario prodsim.Scenario) (*SimulationReport, error) {
-	return prodsim.Run(context.Background(), cfg, scenario)
-}
-
-// SimulateContext is Simulate with cancellation between simulated ticks.
+// SimulateContext runs the production simulator for one scenario; ctx
+// cancels between simulated ticks.
 func SimulateContext(ctx context.Context, cfg Simulation, scenario prodsim.Scenario) (*SimulationReport, error) {
 	return prodsim.Run(ctx, cfg, scenario)
 }
 
-// SimulateAll runs the WITH RASA / WITHOUT RASA / ONLY COLLOCATED
-// scenarios of Section V-F over identical churn.
-func SimulateAll(cfg Simulation) (*SimulationComparison, error) {
-	return prodsim.RunAll(context.Background(), cfg)
-}
-
-// SimulateAllContext is SimulateAll with cancellation between ticks.
+// SimulateAllContext runs the WITH RASA / WITHOUT RASA / ONLY
+// COLLOCATED scenarios of Section V-F over identical churn; ctx cancels
+// between ticks.
 func SimulateAllContext(ctx context.Context, cfg Simulation) (*SimulationComparison, error) {
 	return prodsim.RunAll(ctx, cfg)
 }

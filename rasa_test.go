@@ -1,6 +1,7 @@
 package rasa_test
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -72,7 +73,7 @@ func TestPublicEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rasa.Optimize(p, current, rasa.Options{Budget: 2 * time.Second})
+	res, err := rasa.OptimizeContext(context.Background(), p, current, rasa.Options{Budget: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestPriorityContention(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := rasa.Optimize(p, cur, rasa.Options{Budget: time.Second, SkipMigration: true})
+		res, err := rasa.OptimizeContext(context.Background(), p, cur, rasa.Options{Budget: time.Second, SkipMigration: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestPublicWorkload(t *testing.T) {
 }
 
 func TestPublicSimulation(t *testing.T) {
-	rep, err := rasa.Simulate(rasa.Simulation{
+	rep, err := rasa.SimulateContext(context.Background(), rasa.Simulation{
 		Workload: rasa.Preset{
 			Name: "sim", Services: 30, Containers: 150, Machines: 8,
 			Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.5, Seed: 4,
@@ -214,7 +215,7 @@ func TestRestrictionsRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rasa.Optimize(p, current, rasa.Options{Budget: time.Second})
+	res, err := rasa.OptimizeContext(context.Background(), p, current, rasa.Options{Budget: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
