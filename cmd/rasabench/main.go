@@ -20,10 +20,16 @@
 //	                   write its JSON artifact (BENCH_pr4.json schema) to FILE
 //	-execbench FILE    run the migration-execution benchmark and write its
 //	                   JSON artifact (BENCH_pr5.json schema) to FILE
+//	-lifetimebench FILE  run the event-sourced lifetime benchmark and write
+//	                   its JSON artifact (BENCH_pr6.json schema) to FILE
+//	-replay FILE       replay a recorded lifetime trace (rasagen -record)
+//	                   and print a JSON verdict: whether the pure fold
+//	                   reproduces the recorded end-state fingerprint
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"github.com/cloudsched/rasa/internal/experiments"
+	"github.com/cloudsched/rasa/internal/lifetime"
 )
 
 func main() {
@@ -44,6 +51,8 @@ func main() {
 	solverBench := flag.String("solverbench", "", "run the solver benchmark and write its JSON artifact to this file")
 	incrBench := flag.String("incrbench", "", "run the incremental re-optimization benchmark and write its JSON artifact to this file")
 	execBench := flag.String("execbench", "", "run the migration-execution benchmark and write its JSON artifact to this file")
+	lifetimeBench := flag.String("lifetimebench", "", "run the event-sourced lifetime benchmark and write its JSON artifact to this file")
+	replay := flag.String("replay", "", "replay a recorded lifetime trace and print a JSON verdict")
 	flag.Parse()
 
 	cfg := experiments.FromEnv()
@@ -85,6 +94,18 @@ func main() {
 	if *execBench != "" {
 		if err := runExecBench(cfg, *execBench); err != nil {
 			fail(fmt.Errorf("execbench: %w", err))
+		}
+		benchOnly = true
+	}
+	if *lifetimeBench != "" {
+		if err := runLifetimeBench(cfg, *lifetimeBench); err != nil {
+			fail(fmt.Errorf("lifetimebench: %w", err))
+		}
+		benchOnly = true
+	}
+	if *replay != "" {
+		if err := runReplay(*replay); err != nil {
+			fail(fmt.Errorf("replay: %w", err))
 		}
 		benchOnly = true
 	}
@@ -166,6 +187,77 @@ func runExecBench(cfg experiments.Config, path string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return f.Close()
+}
+
+// runLifetimeBench runs the PR-6 event-sourced lifetime benchmark and
+// writes its JSON artifact (record/replay determinism plus the embedded
+// incremental and executor benchmarks).
+func runLifetimeBench(cfg experiments.Config, path string) error {
+	r, err := experiments.LifetimeBench(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteLifetimeBenchJSON(f, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// runReplay folds a recorded lifetime trace back into a cluster state —
+// no solves, no fabric — and prints a JSON verdict to stdout: `match`
+// is whether the fold landed on the trace's recorded fingerprint,
+// `deterministic` whether two independent folds agree with each other.
+func runReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	tr, err := lifetime.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	first, err := lifetime.Replay(tr)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	second, err := lifetime.Replay(tr)
+	if err != nil {
+		return err
+	}
+	verdict := map[string]any{
+		"schema":              "rasa-replay/1",
+		"trace":               path,
+		"preset":              tr.Preset,
+		"seed":                tr.Seed,
+		"entries":             len(tr.Events),
+		"ticks":               first.Tick(),
+		"recordedFingerprint": tr.Fingerprint,
+		"replayedFingerprint": first.Fingerprint(),
+		"match":               first.Fingerprint() == tr.Fingerprint,
+		"deterministic":       first.Fingerprint() == second.Fingerprint(),
+		"deadMachines":        first.DeadMachines(),
+		"fullRuns":            first.FullRuns(),
+		"replaySeconds":       elapsed.Seconds(),
+		"summary":             tr.Summary,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(verdict); err != nil {
+		return err
+	}
+	if !verdict["match"].(bool) {
+		return fmt.Errorf("replayed fingerprint %s does not match recorded %s", first.Fingerprint(), tr.Fingerprint)
+	}
+	return nil
 }
 
 func fail(err error) {

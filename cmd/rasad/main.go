@@ -4,7 +4,9 @@
 // prints the migration plan; with -loop it drives the full production
 // simulator and reports the latency/error improvements of Section V-F;
 // with -serve it exposes the HTTP job API (POST /v1/jobs, GET
-// /v1/jobs/{id}, /metrics, /healthz) until SIGTERM drains it.
+// /v1/jobs/{id}, the /v1/cluster session including its lifetime event
+// log at GET /v1/cluster/log, /metrics, /healthz) until SIGTERM
+// drains it.
 //
 // Usage:
 //

@@ -8,15 +8,27 @@
 //	rasagen -preset M1 -out m1.json
 //	rasagen -services 500 -containers 2500 -machines 100 -out custom.json
 //	rasagen -preset T3 -out t3.json -churn 200
+//	rasagen -preset T1 -record trace.json -record-fault 0.1 -record-death-tick 1
+//
+// -record runs a full cluster lifetime — synthetic churn, incremental
+// re-optimization, fault-laden plan execution — and captures its event
+// log as a rasa-lifetime-trace/1 artifact that rasabench -replay can
+// fold back into the identical end state without re-running anything.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/lifetime"
+	"github.com/cloudsched/rasa/internal/lifetime/record"
 	"github.com/cloudsched/rasa/internal/snapshot"
 	"github.com/cloudsched/rasa/internal/workload"
 	"github.com/cloudsched/rasa/internal/workload/churn"
@@ -34,11 +46,31 @@ func main() {
 	churnN := flag.Int("churn", 0, "also emit a churn trace with this many events")
 	churnOut := flag.String("churn-out", "", "churn trace output (default '<out>.churn.json')")
 	churnPerTick := flag.Int("churn-per-tick", 5, "events per re-optimization tick in the churn trace")
+	recordOut := flag.String("record", "", "record a full cluster lifetime (churn + re-optimization + execution) to this trace file")
+	recordTicks := flag.Int("record-ticks", 6, "lifetime ticks to record")
+	recordPerTick := flag.Int("record-per-tick", 4, "churn events per recorded tick")
+	recordFault := flag.Float64("record-fault", 0, "per-command fabric failure probability during recording")
+	recordDeathTick := flag.Int("record-death-tick", -1, "tick at which the most-loaded machine dies mid-plan (-1: none)")
+	recordBudget := flag.Duration("record-budget", 2*time.Second, "per-solve budget during recording")
 	flag.Parse()
 
 	ps, err := resolvePreset(*preset, *services, *containers, *machines, *beta, *zones, *seed)
 	if err != nil {
 		fail(err)
+	}
+	if *recordOut != "" {
+		if err := runRecord(ps, *recordOut, record.Config{
+			Preset:    ps,
+			Ticks:     *recordTicks,
+			PerTick:   *recordPerTick,
+			Budget:    *recordBudget,
+			FaultRate: *recordFault,
+			DeathTick: *recordDeathTick,
+			Seed:      *seed,
+		}); err != nil {
+			fail(err)
+		}
+		return
 	}
 	c, err := workload.Generate(ps)
 	if err != nil {
@@ -89,6 +121,34 @@ func main() {
 		last := tr.Events[len(tr.Events)-1]
 		fmt.Fprintf(os.Stderr, "churn trace %s: %d events over %d ticks\n", path, len(tr.Events), last.Tick+1)
 	}
+}
+
+// runRecord captures one lifetime and writes its trace. SIGINT stops
+// the recording cleanly (the run so far is discarded — a partial trace
+// would replay to a state nothing else ever saw).
+func runRecord(ps workload.Preset, path string, cfg record.Config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tr, err := record.Record(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lifetime.WriteTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"recorded %s lifetime %s: %d events over %d ticks, %d executed, %d replans, %d deaths, fingerprint %s\n",
+		ps.Name, path, len(tr.Events), tr.Summary.Ticks, tr.Summary.Executed,
+		tr.Summary.Replans, tr.Summary.Deaths, tr.Fingerprint)
+	return nil
 }
 
 func resolvePreset(name string, services, containers, machines int, beta float64, zones int, seed int64) (workload.Preset, error) {

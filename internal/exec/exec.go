@@ -30,6 +30,17 @@
 //	         escalate (re-plan via incr.Engine), up to MaxReplans,
 //	         then resume with the fresh plan. Context cancellation
 //	         terminates between commands with the report so far.
+//
+// Execution writes through the lifetime event log: the engine commits
+// its plan as a proposal (incr.Engine.Propose), and the executor
+// appends MoveStarted at admission, MoveApplied at settle, MoveFailed
+// on skips and reverts, and MachineDied on write-offs. The log's folded
+// state therefore tracks the executor's APPLIED view move by move, and
+// reserved-vs-applied reduces to two cursors into the log
+// (Report.ReservedSeq / Report.AppliedSeq). Checkpoint/resume in a
+// fresh process is "replay the log to the checkpoint's Offset"
+// (lifetime.Replay + incr.FromLog); the Checkpoint JSON remains as a
+// compact self-contained alternative.
 package exec
 
 import (
@@ -42,6 +53,7 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/lifetime"
 	"github.com/cloudsched/rasa/internal/migrate"
 	"github.com/cloudsched/rasa/internal/obs"
 	"github.com/cloudsched/rasa/internal/snapshot"
@@ -129,6 +141,9 @@ type Checkpoint struct {
 	Step     int    `json:"step"`
 	Executed int    `json:"executed"`
 	Reason   string `json:"reason"`
+	// Offset is the event-log head at the checkpoint: replaying the log
+	// to this sequence number reconstructs the believed state below.
+	Offset uint64 `json:"offset,omitempty"`
 	// Services/Machines are the believed state's shape, Placements its
 	// non-zero cells; DeadMachines lists every machine written off so
 	// far.
@@ -189,6 +204,14 @@ type Report struct {
 	AchievedGain float64
 	NormPlanned  float64
 	NormAchieved float64
+	// ReservedSeq and AppliedSeq are the executor's two cursors into the
+	// lifetime event log: the newest MoveStarted it appended (the
+	// reservation frontier) and the newest state-bearing actuation
+	// (MoveApplied or MachineDied — the applied frontier). At every
+	// settle boundary the log's folded assignment equals the believed
+	// state.
+	ReservedSeq uint64
+	AppliedSeq  uint64
 	// Final is the believed final assignment (matches the fabric's
 	// state up to machine deaths the fabric has not yet reported).
 	Final   *cluster.Assignment
@@ -221,19 +244,22 @@ func New(eng *incr.Engine, fab Fabric, opts Options, reg *obs.Registry) *Executo
 	}
 }
 
-// Run is the complete plan→execute loop: it re-optimizes the engine's
-// current state, then executes the resulting plan. A noop re-optimize
-// (nothing dirty, nothing to move) completes immediately.
+// Run is the complete plan→execute loop: it asks the engine for a
+// proposal over its current state (the state stays put; the plan is
+// committed to the log as Applied=false), then executes the resulting
+// plan, converging the log on the target exactly as far as the fabric
+// actually gets. A noop proposal (nothing dirty, nothing to move)
+// completes immediately.
 func (e *Executor) Run(ctx context.Context) (*Report, error) {
 	st := e.eng.State()
 	from := st.Assignment().Clone()
-	res, err := e.eng.Reoptimize(ctx)
+	res, err := e.eng.Propose(ctx)
 	if err != nil {
 		return nil, err
 	}
 	if res.Plan == nil {
 		if res.Moves > 0 {
-			return nil, fmt.Errorf("exec: engine adopted %d moves without a plan (SkipMigration engine, or planning was cut off)", res.Moves)
+			return nil, fmt.Errorf("exec: engine proposed %d moves without a plan (SkipMigration engine, or planning was cut off)", res.Moves)
 		}
 		rep := &Report{Outcome: OutcomeCompleted, Final: from, MinHeadroom: -1}
 		e.finishGains(rep, from)
@@ -244,10 +270,11 @@ func (e *Executor) Run(ctx context.Context) (*Report, error) {
 }
 
 // Execute runs plan from the given entry assignment. The engine's
-// state must correspond: the plan transitions `from` to the engine's
-// adopted target (the contract Engine.Reoptimize establishes). On
-// return the engine's assignment is synced to the believed final state
-// whenever execution did not land exactly on the adopted target.
+// state must equal `from`: the plan transitions `from` to a proposed
+// target (the contract Engine.Propose establishes). The executor
+// appends every actuation to the engine's event log as it settles, so
+// on return the log's folded state IS the believed final state — no
+// separate sync step.
 func (e *Executor) Execute(ctx context.Context, from *cluster.Assignment, plan *migrate.Plan) (*Report, error) {
 	start := time.Now()
 	st := e.eng.State()
@@ -255,6 +282,7 @@ func (e *Executor) Execute(ctx context.Context, from *cluster.Assignment, plan *
 
 	ex := &execState{
 		p:    p,
+		log:  st.Log(),
 		cur:  from.Clone(),
 		dead: make(map[int]bool),
 		rep: &Report{
@@ -288,7 +316,7 @@ func (e *Executor) Execute(ctx context.Context, from *cluster.Assignment, plan *
 			ex.rep.Err = fmt.Sprintf("exec: re-plan limit (%d) exhausted; last divergence: %s", e.opts.MaxReplans, reason)
 			break
 		}
-		newPlan, rerr := e.replan(ctx, ex)
+		newPlan, rerr := e.replan(ctx, ex, reason)
 		if rerr != nil {
 			ex.rep.Outcome = OutcomeAborted
 			ex.rep.Err = "exec: re-plan failed: " + rerr.Error()
@@ -305,7 +333,7 @@ func (e *Executor) Execute(ctx context.Context, from *cluster.Assignment, plan *
 		curPlan = newPlan
 	}
 
-	e.syncState(ex)
+	e.finalizeLog(ex)
 	rep := ex.rep
 	rep.Final = ex.cur
 	rep.WastedMoves = rep.Executed - minimalCommands(entry, ex.cur)
@@ -350,49 +378,37 @@ func (e *Executor) Resume(ctx context.Context, cp *Checkpoint) (*Report, error) 
 	return e.Run(ctx)
 }
 
-// replan feeds the divergence into the engine — the believed
-// assignment plus a DrainMachine event per newly dead machine — and
-// asks it to re-optimize. The returned plan transitions the believed
-// state to the engine's new adopted target.
-func (e *Executor) replan(ctx context.Context, ex *execState) (*migrate.Plan, error) {
-	st := e.eng.State()
-	if err := st.SetAssignment(ex.cur.Clone()); err != nil {
-		return nil, err
-	}
-	for _, m := range ex.newDeaths {
-		if _, err := st.Apply(incr.DrainMachine{Machine: m}); err != nil {
-			return nil, fmt.Errorf("draining dead machine %d: %w", m, err)
-		}
-	}
-	ex.newDeaths = ex.newDeaths[:0]
-	res, err := e.eng.Reoptimize(ctx)
+// replan asks the engine for a fresh proposal from the believed state.
+// No state hand-off is needed: every death and settled move is already
+// in the event log, so the engine's folded state equals ex.cur at this
+// step boundary — the appended ReplanRequested both records the
+// divergence and tells the engine's fold to re-validate everything.
+// The returned plan transitions the believed state to the new proposed
+// target.
+func (e *Executor) replan(ctx context.Context, ex *execState, reason string) (*migrate.Plan, error) {
+	ex.logEv(lifetime.ReplanRequested{Reason: reason})
+	res, err := e.eng.Propose(ctx)
 	if err != nil {
 		return nil, err
 	}
 	if res.Plan == nil && res.Moves > 0 {
-		return nil, fmt.Errorf("engine adopted %d moves without a plan (SkipMigration engine, or planning was cut off)", res.Moves)
+		return nil, fmt.Errorf("engine proposed %d moves without a plan (SkipMigration engine, or planning was cut off)", res.Moves)
 	}
 	return res.Plan, nil
 }
 
-// syncState reconciles the engine's state with the believed final
-// assignment: pending machine deaths are drained, and the assignment
-// is replaced whenever execution did not land exactly on the engine's
-// adopted target (abort, cancellation, or admission skips).
-func (e *Executor) syncState(ex *execState) {
-	st := e.eng.State()
-	for _, m := range ex.newDeaths {
-		if _, err := st.Apply(incr.DrainMachine{Machine: m}); err != nil {
-			ex.rep.appendErr(fmt.Sprintf("exec: draining dead machine %d: %v", m, err))
-		}
+// finalizeLog closes out the run's event-log bookkeeping. A run that
+// did not complete leaves the proposed plan partially actuated; the
+// appended ReplanRequested makes the next planner pass re-validate
+// everything. The log's folded assignment must equal the believed
+// final state — the executor logged every state-bearing actuation —
+// so any mismatch is surfaced as a run error rather than papered over.
+func (e *Executor) finalizeLog(ex *execState) {
+	if ex.rep.Outcome != OutcomeCompleted {
+		ex.logEv(lifetime.ReplanRequested{Reason: "terminal: " + string(ex.rep.Outcome)})
 	}
-	ex.newDeaths = ex.newDeaths[:0]
-	if !migrate.Equal(st.Assignment(), ex.cur) {
-		if err := st.SetAssignment(ex.cur.Clone()); err != nil {
-			// Shape changed under us (concurrent events); the engine's
-			// own state remains authoritative.
-			ex.rep.appendErr("exec: state sync: " + err.Error())
-		}
+	if !migrate.Equal(e.eng.State().Assignment(), ex.cur) {
+		ex.rep.appendErr("exec: event log diverged from believed state")
 	}
 }
 
@@ -501,7 +517,7 @@ func (e *Executor) runStep(ctx context.Context, ex *execState, step migrate.Step
 	kept := deletes[:0]
 	for _, c := range deletes {
 		if ex.alive[c.Service] < ex.floor[c.Service] {
-			ex.revert(c)
+			ex.revert(c, "floor-slack-lost")
 			ex.rep.Commands++
 			ex.rep.Skipped++
 			e.m.command(c.Op, "skipped")
@@ -560,13 +576,13 @@ func (e *Executor) runWave(ctx context.Context, ex *execState, cmds []migrate.Co
 			e.m.command(r.cmd.Op, "ok")
 		case errors.As(r.err, &down):
 			ex.markDead(down.Machine)
-			ex.revert(r.cmd)
+			ex.revert(r.cmd, "machine-down")
 			ex.rep.Failed++
 			e.m.command(r.cmd.Op, "machine-down")
 			note(fmt.Sprintf("%v: machine %d died", r.cmd, down.Machine))
 			halted = true
 		case errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded):
-			ex.revert(r.cmd)
+			ex.revert(r.cmd, "cancelled")
 			ex.rep.Failed++
 			e.m.command(r.cmd.Op, "cancelled")
 			if ctx.Err() != nil {
@@ -575,7 +591,7 @@ func (e *Executor) runWave(ctx context.Context, ex *execState, cmds []migrate.Co
 				note(fmt.Sprintf("%v: %v", r.cmd, r.err))
 			}
 		default:
-			ex.revert(r.cmd)
+			ex.revert(r.cmd, "failed")
 			ex.rep.Failed++
 			e.m.command(r.cmd.Op, "failed")
 			note(fmt.Sprintf("%v failed after %d attempts: %v", r.cmd, e.opts.MaxAttempts, r.err))
@@ -603,7 +619,7 @@ func (e *Executor) runWave(ctx context.Context, ex *execState, cmds []migrate.Co
 // them as skipped.
 func (e *Executor) skipPending(ex *execState, cmds []migrate.Command) {
 	for _, c := range cmds {
-		ex.revert(c)
+		ex.revert(c, "skipped")
 		ex.rep.Commands++
 		ex.rep.Skipped++
 		e.m.command(c.Op, "skipped")
@@ -693,7 +709,12 @@ func (e *Executor) backoffDelay(attempt int) time.Duration {
 // let the executor's own pending deletes masquerade as environmental
 // damage and erode the floor below what the environment caused.
 type execState struct {
-	p     *cluster.Problem
+	p *cluster.Problem
+	// log is the lifetime event log shared with the engine. The executor
+	// appends its actuation events here; the log's folded state tracks
+	// the applied view, making the engine's next fold see every death
+	// and settled move without a separate hand-off.
+	log   *lifetime.Log
 	cur   *cluster.Assignment
 	used  []cluster.Resources
 	alive []int
@@ -706,11 +727,36 @@ type execState struct {
 	// the death's collateral, not executor-issued violations.
 	graceDips []int
 
-	// dead holds every machine written off; newDeaths the subset not
-	// yet fed to the engine as DrainMachine events.
-	dead      map[int]bool
-	newDeaths []int
-	rep       *Report
+	// dead holds every machine written off (mirrored in the log as
+	// MachineDied events).
+	dead map[int]bool
+	rep  *Report
+}
+
+// logEv appends one actuation event to the lifetime log and advances
+// the report's log cursors. Append failures are surfaced on the report
+// (they indicate the log and the believed state have diverged) but do
+// not stop execution — the fabric action already happened.
+func (ex *execState) logEv(ev lifetime.Event) {
+	if _, err := ex.log.Append(ev); err != nil {
+		ex.rep.appendErr("exec: log: " + err.Error())
+		return
+	}
+	seq := ex.log.Head()
+	switch ev.(type) {
+	case lifetime.MoveStarted:
+		ex.rep.ReservedSeq = seq
+	case lifetime.MoveApplied, lifetime.MachineDied:
+		ex.rep.AppliedSeq = seq
+	}
+}
+
+// opString maps a migrate op onto the event log's wire vocabulary.
+func opString(op migrate.Op) string {
+	if op == migrate.Create {
+		return lifetime.OpCreate
+	}
+	return lifetime.OpDelete
 }
 
 // setFloors recomputes the per-service SLA floors at a plan's entry,
@@ -796,6 +842,7 @@ func (ex *execState) admit(c migrate.Command) (string, bool) {
 	default:
 		return "unknown op", false
 	}
+	ex.logEv(lifetime.MoveStarted{Op: opString(c.Op), Service: s, Machine: m})
 	return "", true
 }
 
@@ -807,8 +854,11 @@ func (ex *execState) admit(c migrate.Command) (string, bool) {
 func (ex *execState) settle(c migrate.Command) {
 	s, m := c.Service, c.Machine
 	if ex.dead[m] {
+		// No MoveApplied: the death destroyed the command's effect, and
+		// the log already zeroed the machine via its MachineDied event.
 		return
 	}
+	ex.logEv(lifetime.MoveApplied{Op: opString(c.Op), Service: s, Machine: m})
 	switch c.Op {
 	case migrate.Delete:
 		ex.applied.Add(s, m, -1)
@@ -833,11 +883,14 @@ func (ex *execState) settle(c migrate.Command) {
 	}
 }
 
-// revert rolls back a reservation whose command did not take effect.
-// Reservations on machines that died in the meantime are not rolled
-// back: markDead already wrote the whole machine off, and the fabric's
-// copy of the container is gone either way.
-func (ex *execState) revert(c migrate.Command) {
+// revert rolls back a reservation whose command did not take effect,
+// logging a MoveFailed with the reason (which marks the command's
+// service dirty in the engine's fold — it will not reach its planned
+// placement). Reservations on machines that died in the meantime are
+// not rolled back: markDead already wrote the whole machine off, and
+// the fabric's copy of the container is gone either way.
+func (ex *execState) revert(c migrate.Command, reason string) {
+	ex.logEv(lifetime.MoveFailed{Op: opString(c.Op), Service: c.Service, Machine: c.Machine, Reason: reason})
 	if ex.dead[c.Machine] {
 		return
 	}
@@ -866,8 +919,11 @@ func (ex *execState) markDead(m int) {
 	if ex.dead[m] {
 		return
 	}
+	// Log first: MachineDied zeroes the machine's row in the log's
+	// folded state exactly as the local bookkeeping below zeroes the
+	// believed views, keeping the two in lockstep.
+	ex.logEv(lifetime.MachineDied{Machine: m})
 	ex.dead[m] = true
-	ex.newDeaths = append(ex.newDeaths, m)
 	ex.rep.DeadMachines = append(ex.rep.DeadMachines, m)
 	for s := 0; s < ex.p.N(); s++ {
 		if c := ex.cur.Get(s, m); c > 0 {
@@ -901,6 +957,7 @@ func (ex *execState) checkpoint(step int, reason string) Checkpoint {
 		Step:         step,
 		Executed:     ex.rep.Executed,
 		Reason:       reason,
+		Offset:       ex.log.Head(),
 		Services:     ex.p.N(),
 		Machines:     ex.p.M(),
 		DeadMachines: append([]int(nil), ex.rep.DeadMachines...),

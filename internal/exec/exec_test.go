@@ -11,8 +11,10 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/lifetime"
 	"github.com/cloudsched/rasa/internal/migrate"
 	"github.com/cloudsched/rasa/internal/obs"
+	"github.com/cloudsched/rasa/internal/snapshot"
 	"github.com/cloudsched/rasa/internal/workload"
 )
 
@@ -51,15 +53,17 @@ func fastOptions() Options {
 	}
 }
 
-// planFor re-optimizes the engine once and returns the entry
+// planFor asks the engine for one proposal and returns the entry
 // assignment and the plan (skipping the test when the bootstrap solve
 // needs no moves, which does not happen with the training presets).
+// Propose leaves the engine's state at the entry assignment — the
+// contract Execute requires.
 func planFor(t *testing.T, eng *incr.Engine) (*cluster.Assignment, *migrate.Plan) {
 	t.Helper()
 	from := eng.State().Assignment().Clone()
-	res, err := eng.Reoptimize(context.Background())
+	res, err := eng.Propose(context.Background())
 	if err != nil {
-		t.Fatalf("reoptimize: %v", err)
+		t.Fatalf("propose: %v", err)
 	}
 	if res.Plan == nil || len(res.Plan.Steps) == 0 {
 		t.Fatalf("bootstrap produced no plan (mode=%v moves=%d)", res.Mode, res.Moves)
@@ -520,5 +524,97 @@ func TestFaultFabricDeathSchedule(t *testing.T) {
 	}
 	if d := fab.DeadMachines(); len(d) != 1 || d[0] != 0 {
 		t.Fatalf("dead machines = %v", d)
+	}
+}
+
+// TestResumeViaLogReplay is the event-sourced version of
+// TestCheckpointResume: instead of restoring the checkpoint's
+// placement dump into the engine, a fresh process replays the lifetime
+// log up to the checkpoint's offset and resumes from the folded state.
+// The death is part of the log, so no drain bookkeeping is needed —
+// "resume" is literally "replay to offset, then Run".
+func TestResumeViaLogReplay(t *testing.T) {
+	// Build the engine by hand so the pristine starting snapshot (what a
+	// recorded trace would carry) exists before any event mutates the
+	// live cluster in place.
+	c, err := workload.Generate(workload.TrainingPresets()[0])
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	snap := snapshot.FromCluster(c.Problem, c.Original)
+	p, a, err := snap.ToCluster()
+	if err != nil {
+		t.Fatalf("to cluster: %v", err)
+	}
+	st, err := incr.NewState(p, a)
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	engOpts := incr.Options{Budget: 3 * time.Second, MinAlive: testMinAlive, Parallelism: 1}
+	eng := incr.New(st, engOpts, nil)
+
+	from, plan := planFor(t, eng)
+	fab := NewFaultFabric(from, FaultConfig{
+		Seed:   11,
+		Deaths: []MachineDeath{{Machine: mostLoadedMachine(from), AfterCommands: planCommands(plan) / 2}},
+	})
+	opts := fastOptions()
+	opts.MaxReplans = -1 // abort at the first divergence, like a crash
+	ex := New(eng, fab, opts, nil)
+	rep, err := ex.Execute(context.Background(), from, plan)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if rep.Outcome != OutcomeAborted || len(rep.Checkpoints) == 0 {
+		t.Fatalf("outcome=%s checkpoints=%d, want aborted with a checkpoint", rep.Outcome, len(rep.Checkpoints))
+	}
+	cp := rep.Checkpoints[len(rep.Checkpoints)-1]
+	if cp.Offset == 0 {
+		t.Fatal("checkpoint carries no log offset")
+	}
+
+	// Replay the log prefix up to the committed offset. Everything the
+	// executor logged after the checkpoint (revert bookkeeping, the
+	// terminal replan request) is state-neutral, so the folded prefix
+	// must land on the aborted engine's exact fingerprint.
+	log := eng.State().Log()
+	var prefix []lifetime.Entry
+	for _, en := range log.Entries(1) {
+		if en.Seq <= cp.Offset {
+			prefix = append(prefix, en)
+		}
+	}
+	tr := &lifetime.Trace{
+		Version:  lifetime.TraceVersion,
+		Snapshot: snap,
+		Events:   lifetime.EntriesJSON(prefix),
+	}
+	replayed, err := lifetime.Replay(tr)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if replayed.Fingerprint() != log.Fingerprint() {
+		t.Fatalf("replayed fingerprint %s, want %s", replayed.Fingerprint(), log.Fingerprint())
+	}
+	if len(replayed.DeadMachines()) != 1 {
+		t.Fatalf("replayed dead machines = %v, want the mid-wave death", replayed.DeadMachines())
+	}
+
+	// Fresh process: state from the replayed log, fresh engine, fresh
+	// executor, same fabric (the cluster doesn't reset because we did).
+	eng2 := incr.New(incr.FromLog(replayed), engOpts, nil)
+	ex2 := New(eng2, fab, fastOptions(), nil)
+	rep2, err := ex2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if rep2.Outcome != OutcomeCompleted {
+		t.Fatalf("resume outcome=%s err=%q", rep2.Outcome, rep2.Err)
+	}
+	if rep2.FloorViolations != 0 {
+		t.Fatalf("resume floor violations: %d", rep2.FloorViolations)
+	}
+	if !equalIgnoringDead(fab.Assignment(), rep2.Final, fab.DeadMachines()) {
+		t.Fatal("resumed run diverged from fabric mirror")
 	}
 }

@@ -162,7 +162,10 @@ func execBenchTrial(cfg Config, c *workload.Cluster, rate float64, death bool, s
 	}, nil)
 
 	from := st.Assignment().Clone()
-	rres, err := eng.Reoptimize(cfg.Ctx)
+	// Propose, not Reoptimize: the engine's state stays at `from`, which
+	// is the contract Execute requires — the executor converges the
+	// event log on the proposed target move by move.
+	rres, err := eng.Propose(cfg.Ctx)
 	if err != nil {
 		return nil, err
 	}

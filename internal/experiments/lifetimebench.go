@@ -1,0 +1,156 @@
+// Lifetime benchmark (BENCH_pr6.json): the event-sourced substrate end
+// to end. One recorded lifetime — churn, delta proposals, faulty
+// execution, a machine death — is captured twice and replayed once,
+// proving the record → trace → replay loop is deterministic and
+// lossless (identical fingerprints at every corner). The artifact then
+// embeds the PR-4 incremental benchmark and the PR-5 executor
+// benchmark unchanged, so one file shows the refactor kept both the
+// delta-solve speedup and the executor's SLA-floor invariants intact.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/lifetime"
+	"github.com/cloudsched/rasa/internal/lifetime/record"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// LifetimeBenchResult is the schema of BENCH_pr6.json.
+type LifetimeBenchResult struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+
+	Lifetime LifetimeBenchRun `json:"lifetime"`
+
+	// The PR-4 and PR-5 benchmarks, re-run on the event-sourced
+	// substrate: their headline numbers (speedup, movesDelta vs
+	// movesFull, slaFloorViolations, completionRate) must match the
+	// committed BENCH_pr4.json / BENCH_pr5.json within noise.
+	Incr *IncrBenchResult `json:"incr"`
+	Exec *ExecBenchResult `json:"exec"`
+}
+
+// LifetimeBenchRun is the record/replay determinism section.
+type LifetimeBenchRun struct {
+	Preset  string `json:"preset"`
+	Ticks   int    `json:"ticks"`
+	PerTick int    `json:"perTick"`
+	// FaultRate and DeathTick describe the recorded hostility: faults
+	// on every tick, one mid-plan machine death.
+	FaultRate float64 `json:"faultRate"`
+	DeathTick int     `json:"deathTick"`
+
+	// Events is the recorded log length; Summary the recorded run's
+	// counters (floorViolations must be zero).
+	Events  int               `json:"events"`
+	Summary *lifetime.Summary `json:"summary"`
+
+	RecordedFingerprint string `json:"recordedFingerprint"`
+	SecondFingerprint   string `json:"secondFingerprint"`
+	ReplayedFingerprint string `json:"replayedFingerprint"`
+	// DeterministicRecord: two recordings of the same config produced
+	// the same fingerprint. ReplayMatch: the pure fold landed on it too.
+	DeterministicRecord bool `json:"deterministicRecord"`
+	ReplayMatch         bool `json:"replayMatch"`
+
+	RecordSeconds float64 `json:"recordSeconds"`
+	ReplaySeconds float64 `json:"replaySeconds"`
+}
+
+// LifetimeBench records one faulty lifetime twice, replays it, and
+// then runs the incremental and executor benchmarks on the shared
+// substrate.
+func LifetimeBench(cfg Config) (*LifetimeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	rcfg := record.Config{
+		Preset:    workload.TrainingPresets()[0],
+		Ticks:     4,
+		PerTick:   4,
+		Budget:    cfg.Budget,
+		FaultRate: 0.1,
+		DeathTick: 1,
+		Seed:      cfg.Seed,
+	}
+	rcfg.Preset.Seed = cfg.Seed + rcfg.Preset.Seed
+
+	header(cfg.Out, "LIFETIME-BENCH", "event-sourced record/replay determinism (BENCH_pr6.json)")
+	start := time.Now()
+	first, err := record.Record(cfg.Ctx, rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("lifetimebench: record: %w", err)
+	}
+	recordSecs := time.Since(start).Seconds()
+	second, err := record.Record(cfg.Ctx, rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("lifetimebench: second record: %w", err)
+	}
+	start = time.Now()
+	replayed, err := lifetime.Replay(first)
+	if err != nil {
+		return nil, fmt.Errorf("lifetimebench: replay: %w", err)
+	}
+	replaySecs := time.Since(start).Seconds()
+
+	run := LifetimeBenchRun{
+		Preset:              rcfg.Preset.Name,
+		Ticks:               rcfg.Ticks,
+		PerTick:             rcfg.PerTick,
+		FaultRate:           rcfg.FaultRate,
+		DeathTick:           rcfg.DeathTick,
+		Events:              len(first.Events),
+		Summary:             first.Summary,
+		RecordedFingerprint: first.Fingerprint,
+		SecondFingerprint:   second.Fingerprint,
+		ReplayedFingerprint: replayed.Fingerprint(),
+		DeterministicRecord: first.Fingerprint == second.Fingerprint,
+		ReplayMatch:         replayed.Fingerprint() == first.Fingerprint,
+		RecordSeconds:       recordSecs,
+		ReplaySeconds:       replaySecs,
+	}
+	row(cfg.Out, "events", "deaths", "replans", "deterministic", "replay match", "record s", "replay s")
+	row(cfg.Out, run.Events, run.Summary.Deaths, run.Summary.Replans,
+		run.DeterministicRecord, run.ReplayMatch, run.RecordSeconds, run.ReplaySeconds)
+	if !run.DeterministicRecord {
+		return nil, fmt.Errorf("lifetimebench: recording nondeterministic: %s vs %s",
+			run.RecordedFingerprint, run.SecondFingerprint)
+	}
+	if !run.ReplayMatch {
+		return nil, fmt.Errorf("lifetimebench: replay fingerprint %s, recorded %s",
+			run.ReplayedFingerprint, run.RecordedFingerprint)
+	}
+	if run.Summary.FloorViolations != 0 {
+		return nil, fmt.Errorf("lifetimebench: %d executor-issued SLA floor violations", run.Summary.FloorViolations)
+	}
+
+	incr, err := IncrBench(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("lifetimebench: incr: %w", err)
+	}
+	// The committed BENCH_pr5.json ran with a 3 s budget (vs the 1.5 s
+	// default the incremental artifact uses); pin it so the embedded
+	// section stays comparable to that reference.
+	ecfg := cfg
+	ecfg.Budget = 3 * time.Second
+	exec, err := ExecBench(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("lifetimebench: exec: %w", err)
+	}
+	return &LifetimeBenchResult{
+		Schema:   "rasa-lifetime-bench/1",
+		Seed:     cfg.Seed,
+		Lifetime: run,
+		Incr:     incr,
+		Exec:     exec,
+	}, nil
+}
+
+// WriteLifetimeBenchJSON writes the BENCH_pr6.json artifact.
+func WriteLifetimeBenchJSON(w io.Writer, r *LifetimeBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/lifetime"
 	"github.com/cloudsched/rasa/internal/migrate"
 	"github.com/cloudsched/rasa/internal/obs"
 	"github.com/cloudsched/rasa/internal/partition"
@@ -115,14 +116,9 @@ const (
 
 // PlacementDelta is one changed placement cell: service s went from
 // Before to After containers on machine m.
-type PlacementDelta struct {
-	Service int `json:"service"`
-	Machine int `json:"machine"`
-	Before  int `json:"before"`
-	After   int `json:"after"`
-}
+type PlacementDelta = lifetime.PlacementDelta
 
-// Result is the outcome of one Reoptimize call.
+// Result is the outcome of one Reoptimize or Propose call.
 type Result struct {
 	Mode Mode
 	// Escalated reports that a full pass ran for any reason;
@@ -134,9 +130,10 @@ type Result struct {
 	TotalSubproblems int
 	// EventsApplied is the state's cumulative event count.
 	EventsApplied int
-	// GainedAffinity is the absolute gain of the adopted assignment;
-	// NormalizedGain divides by the affinity graph's total weight;
-	// BaselineGain is the normalized gain of the last full solve.
+	// GainedAffinity is the absolute gain of the adopted (or, for
+	// Propose, the proposed) assignment; NormalizedGain divides by the
+	// affinity graph's total weight; BaselineGain is the normalized
+	// gain of the last full solve.
 	GainedAffinity float64
 	NormalizedGain float64
 	BaselineGain   float64
@@ -144,8 +141,9 @@ type Result struct {
 	// assignment at entry; Changed lists the differing cells.
 	Moves   int
 	Changed []PlacementDelta
-	// Plan transitions the entry assignment to the adopted one (nil for
-	// noop, or when SkipMigration).
+	// Plan transitions the entry assignment to the adopted (Reoptimize)
+	// or proposed (Propose) target (nil for noop, or when
+	// SkipMigration).
 	Plan             *migrate.Plan
 	PartialMigration bool
 	OutOfTime        bool
@@ -155,10 +153,9 @@ type Result struct {
 
 // Engine drives incremental re-optimization over a State.
 type Engine struct {
-	st       *State
-	opts     Options
-	m        *metrics
-	fullRuns int
+	st   *State
+	opts Options
+	m    *metrics
 }
 
 // New wraps st in an engine. reg may be nil (no metrics).
@@ -184,12 +181,31 @@ func (e *Engine) Apply(events ...Event) (int, error) {
 // (warm-started where the formulation shape survived) and merge with
 // the untouched remainder; otherwise, or when the delta result drifted
 // too far below the last full solve's gained affinity, the full
-// pipeline.
+// pipeline. The chosen target is adopted: committed to the event log
+// as an applied plan, mutating the live assignment.
 func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
+	return e.reoptimize(ctx, true)
+}
+
+// Propose runs the same decision pipeline as Reoptimize but does not
+// adopt the target: the live assignment stays at its entry value and
+// the pass is committed to the log as a proposal (Applied false). The
+// returned Plan transitions the entry assignment to the proposed
+// target; an executor actuates it move by move, each confirmed move
+// landing in the log as a MoveApplied event — so the state converges
+// on the target exactly as far as the fabric actually got.
+func (e *Engine) Propose(ctx context.Context) (*Result, error) {
+	return e.reoptimize(ctx, false)
+}
+
+func (e *Engine) reoptimize(ctx context.Context, adopt bool) (*Result, error) {
 	st := e.st
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.catchUpLocked()
 	start := time.Now()
+	p := st.log.Problem()
+	cur := st.log.Assignment()
 
 	dirtyCount := len(st.dirty)
 	totalGroups := len(st.groups)
@@ -208,8 +224,8 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 			BaselineGain:     st.baseGain,
 			Elapsed:          time.Since(start),
 		}
-		res.GainedAffinity = st.assign.GainedAffinity(st.p)
-		if total := st.p.Affinity.TotalWeight(); total > 0 {
+		res.GainedAffinity = cur.GainedAffinity(p)
+		if total := p.Affinity.TotalWeight(); total > 0 {
 			res.NormalizedGain = res.GainedAffinity / total
 		}
 		e.m.reoptimize(res.Mode)
@@ -218,7 +234,7 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 		reason = ReasonDirtyRatio
 	}
 	if reason != "" {
-		return e.full(ctx, start, reason, dirtyCount, totalGroups)
+		return e.full(ctx, start, reason, dirtyCount, totalGroups, adopt)
 	}
 
 	ratio := 0.0
@@ -230,10 +246,10 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 	// Delta pass. Collect dirty groups in index order (determinism),
 	// build their subproblems against the untouched remainder's
 	// residual capacities, and re-solve only those.
-	old := st.assign.Clone()
+	old := cur.Clone()
 	var dirtyIdx []int
 	var dirtyGroups [][]int
-	inDirty := make([]bool, st.p.N())
+	inDirty := make([]bool, p.N())
 	for g := 0; g < totalGroups; g++ {
 		if !st.dirty[g] {
 			continue
@@ -244,18 +260,18 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 			inDirty[s] = true
 		}
 	}
-	stay := make([]int, 0, st.p.N())
-	for s := 0; s < st.p.N(); s++ {
+	stay := make([]int, 0, p.N())
+	for s := 0; s < p.N(); s++ {
 		if !inDirty[s] {
 			stay = append(stay, s)
 		}
 	}
 
-	subs, err := partition.AssignMachines(st.p, st.assign, dirtyGroups, stay)
+	subs, err := partition.AssignMachines(p, cur, dirtyGroups, stay)
 	if err != nil {
 		// Delta subproblem construction failed (should not happen on a
 		// valid state); the full pipeline re-partitions from scratch.
-		return e.full(ctx, start, ReasonPartition, dirtyCount, totalGroups)
+		return e.full(ctx, start, ReasonPartition, dirtyCount, totalGroups, adopt)
 	}
 	selected := make([]pool.Algorithm, len(subs))
 	for i, sp := range subs {
@@ -266,15 +282,15 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 		func(i int) *pool.WarmStart { return st.warmFor(dirtyIdx[i]) },
 		e.opts.DeltaBudget, e.opts.Parallelism)
 
-	next := sched.Merge(st.p, st.assign, &partition.Result{Subproblems: subs}, results)
-	core.ReconcileSLA(st.p, st.assign, next)
-	if core.EvictForSLA(st.p, next) {
-		next = sched.Complete(st.p, next)
-		core.ReconcileSLA(st.p, st.assign, next)
+	next := sched.Merge(p, cur, &partition.Result{Subproblems: subs}, results)
+	core.ReconcileSLA(p, cur, next)
+	if core.EvictForSLA(p, next) {
+		next = sched.Complete(p, next)
+		core.ReconcileSLA(p, cur, next)
 	}
 
-	total := st.p.Affinity.TotalWeight()
-	gain := next.GainedAffinity(st.p)
+	total := p.Affinity.TotalWeight()
+	gain := next.GainedAffinity(p)
 	norm := 0.0
 	if total > 0 {
 		norm = gain / total
@@ -283,9 +299,9 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 		// The scoped solve cannot recover enough of the affinity the
 		// events destroyed (typically cross-subproblem edges the current
 		// partition cannot collocate): re-partition with the full
-		// pipeline. The delta result is discarded; st.assign is still
-		// the entry assignment.
-		return e.full(ctx, start, ReasonDrift, dirtyCount, totalGroups)
+		// pipeline. The delta result is discarded; the live assignment
+		// is still the entry assignment.
+		return e.full(ctx, start, ReasonDrift, dirtyCount, totalGroups, adopt)
 	}
 
 	res := &Result{
@@ -311,28 +327,41 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 		res.OutOfTime = false
 	}
 
-	adopted := next
+	target := next
 	if !e.opts.SkipMigration && ctx.Err() == nil {
-		plan, reached, partial, perr := planMigration(ctx, st.p, old, next, e.opts.MinAlive)
+		plan, reached, partial, perr := planMigration(ctx, p, old, next, e.opts.MinAlive)
 		if perr != nil {
 			return nil, perr
 		}
 		res.Plan = plan
 		res.PartialMigration = partial
 		if reached != nil {
-			adopted = reached
-			res.GainedAffinity = adopted.GainedAffinity(st.p)
+			target = reached
+			res.GainedAffinity = target.GainedAffinity(p)
 			if total > 0 {
 				res.NormalizedGain = res.GainedAffinity / total
 			}
 		}
 	}
-	st.assign = adopted
-	st.dirty = make(map[int]bool)
-	st.dirtyTrivial = false
+	// Moves/Changed diff against the entry assignment — computed before
+	// the commit, which (when adopting) mutates the live assignment in
+	// place to the target.
+	res.Moves = cluster.MoveCount(old, target)
+	res.Changed = diffPlacements(old, target)
+	pc := lifetime.PlanCommitted{Origin: "propose", Mode: "delta", Moves: res.Moves}
+	if adopt {
+		pc.Origin = "reoptimize"
+		pc.Applied = true
+		pc.Changed = res.Changed
+	}
+	if err := st.commitLocked(pc); err != nil {
+		return nil, err
+	}
+	if adopt {
+		st.dirty = make(map[int]bool)
+		st.dirtyTrivial = false
+	}
 
-	res.Moves = cluster.MoveCount(old, adopted)
-	res.Changed = diffPlacements(old, adopted)
 	res.Elapsed = time.Since(start)
 	e.m.reoptimize(res.Mode)
 	e.m.deltaSolve(res.Elapsed)
@@ -342,9 +371,10 @@ func (e *Engine) Reoptimize(ctx context.Context) (*Result, error) {
 
 // full runs the complete pipeline under the state lock and installs the
 // fresh partition as the new delta baseline.
-func (e *Engine) full(ctx context.Context, start time.Time, reason string, dirtyCount, totalGroups int) (*Result, error) {
+func (e *Engine) full(ctx context.Context, start time.Time, reason string, dirtyCount, totalGroups int, adopt bool) (*Result, error) {
 	st := e.st
-	e.fullRuns++
+	p := st.log.Problem()
+	cur := st.log.Assignment()
 	copts := core.Options{
 		Budget:        e.opts.Budget,
 		Strategy:      e.opts.Strategy,
@@ -355,14 +385,27 @@ func (e *Engine) full(ctx context.Context, start time.Time, reason string, dirty
 		SkipMigration: e.opts.SkipMigration,
 	}
 	// Vary the sampling seed across runs so repeated escalations explore
-	// different partitions instead of replaying one.
-	copts.Partition.Seed += int64(e.fullRuns)
-	old := st.assign
-	cres, err := core.Optimize(ctx, st.p, old, copts)
+	// different partitions instead of replaying one. The count comes
+	// from the log's fold (full-pipeline commits), so a state resumed
+	// from a replayed log re-solves with the same seed schedule an
+	// uninterrupted run would have used.
+	copts.Partition.Seed += int64(st.log.FullRuns() + 1)
+	cres, err := core.Optimize(ctx, p, cur, copts)
 	if err != nil {
 		return nil, fmt.Errorf("incr: full pipeline: %w", err)
 	}
-	st.assign = cres.Assignment
+
+	moves := cluster.MoveCount(cur, cres.Assignment)
+	changed := diffPlacements(cur, cres.Assignment)
+	pc := lifetime.PlanCommitted{Origin: "propose", Mode: "full", Reason: reason, Moves: moves}
+	if adopt {
+		pc.Origin = "reoptimize"
+		pc.Applied = true
+		pc.Changed = changed
+	}
+	if err := st.commitLocked(pc); err != nil {
+		return nil, err
+	}
 
 	groups := make([][]int, 0, len(cres.Partition.Subproblems))
 	for _, sp := range cres.Partition.Subproblems {
@@ -370,7 +413,7 @@ func (e *Engine) full(ctx context.Context, start time.Time, reason string, dirty
 	}
 	st.setPartition(groups)
 
-	total := st.p.Affinity.TotalWeight()
+	total := p.Affinity.TotalWeight()
 	norm := 0.0
 	if total > 0 {
 		norm = cres.GainedAffinity / total
@@ -387,8 +430,8 @@ func (e *Engine) full(ctx context.Context, start time.Time, reason string, dirty
 		GainedAffinity:   cres.GainedAffinity,
 		NormalizedGain:   norm,
 		BaselineGain:     norm,
-		Moves:            cluster.MoveCount(old, st.assign),
-		Changed:          diffPlacements(old, st.assign),
+		Moves:            moves,
+		Changed:          changed,
 		Plan:             cres.Plan,
 		PartialMigration: cres.PartialMigration,
 		OutOfTime:        cres.OutOfTime,

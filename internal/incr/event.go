@@ -1,14 +1,14 @@
 // Package incr is the incremental re-optimization engine: the subsystem
-// that turns the batch RASA pipeline into an online controller. It owns
-// a mutable cluster state (problem + current assignment + the partition
-// of the last full solve), ingests a typed event stream (replica
-// scale-ups, machine drains, affinity drift, inventory changes), tracks
-// which partition subproblems each event dirties, and answers
-// Reoptimize with a scoped delta solve — only the dirty subproblems go
-// back through the selector/pool machinery, warm-started from cached
-// root bases where the formulation shape survived — escalating to the
-// full pipeline when the dirty set or the gained-affinity drift crosses
-// a threshold.
+// that turns the batch RASA pipeline into an online controller. It sits
+// on the lifetime event log (package lifetime) as the one source of
+// cluster truth, ingests a typed event stream (replica scale-ups,
+// machine drains, affinity drift, inventory changes, executor
+// actuation), tracks which partition subproblems each logged event
+// dirties via a cursor into the log, and answers Reoptimize with a
+// scoped delta solve — only the dirty subproblems go back through the
+// selector/pool machinery, warm-started from cached root bases where
+// the formulation shape survived — escalating to the full pipeline when
+// the dirty set or the gained-affinity drift crosses a threshold.
 //
 // The paper runs RASA as a periodic CronJob that re-solves everything
 // (Section III); region-wide deployments answer continuous deltas with
@@ -17,177 +17,29 @@
 package incr
 
 import (
-	"fmt"
-	"math"
-
-	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/lifetime"
 )
 
-// Event is one mutation of the live cluster state. Events are applied
-// in order; indices (service, machine) always refer to the state at
-// apply time — a RemoveService shifts every higher index down by one
-// for all subsequent events.
-type Event interface {
-	// Kind names the event type (the wire discriminator and the metrics
-	// label).
-	Kind() string
-	// apply mutates the state; the interface is closed over this package.
-	apply(st *State) error
-}
+// Event is one mutation of the live cluster state — an alias for the
+// lifetime log's event type. Events are applied in order; indices
+// (service, machine) always refer to the state at apply time — a
+// RemoveService shifts every higher index down by one for all
+// subsequent events.
+type Event = lifetime.Event
 
-// ScaleService sets a service's SLA replica target. Scaling down strips
-// the surplus containers immediately (most-loaded machines first);
-// scaling up leaves a deficit for the next Reoptimize to place. Either
-// way the service's subproblem is marked dirty: its demand changed.
-type ScaleService struct {
-	Service  int
-	Replicas int
-}
-
-// Kind implements Event.
-func (ScaleService) Kind() string { return "scaleService" }
-
-func (e ScaleService) apply(st *State) error {
-	if e.Service < 0 || e.Service >= st.p.N() {
-		return fmt.Errorf("service %d out of range [0,%d)", e.Service, st.p.N())
-	}
-	if e.Replicas < 1 {
-		return fmt.Errorf("replicas %d < 1 (use removeService to retire a service)", e.Replicas)
-	}
-	st.p.Services[e.Service].Replicas = e.Replicas
-	// Strip surplus deterministically: repeatedly evict one container
-	// from the machine currently hosting the most (ties to the lowest
-	// machine index), preserving the service's spread.
-	for st.assign.Placed(e.Service) > e.Replicas {
-		best, bestCount := -1, 0
-		for _, m := range st.assign.MachinesOf(e.Service) {
-			if c := st.assign.Get(e.Service, m); c > bestCount {
-				best, bestCount = m, c
-			}
-		}
-		if best < 0 {
-			break
-		}
-		st.assign.Add(e.Service, best, -1)
-	}
-	st.markDirty(e.Service)
-	return nil
-}
-
-// AddMachine appends a machine to the inventory. Existing
-// compatibility-restricted services do not gain the new machine;
-// unrestricted services may use it. No subproblem is dirtied: the new
-// capacity is picked up by the next solve that re-distributes machines
-// (any delta or full pass).
-type AddMachine struct {
-	Name     string
-	Capacity cluster.Resources
-	Spec     int
-}
-
-// Kind implements Event.
-func (AddMachine) Kind() string { return "addMachine" }
-
-func (e AddMachine) apply(st *State) error {
-	if len(e.Capacity) != len(st.p.ResourceNames) {
-		return fmt.Errorf("capacity has %d resources, want %d", len(e.Capacity), len(st.p.ResourceNames))
-	}
-	for r, v := range e.Capacity {
-		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("invalid %s capacity %v", st.p.ResourceNames[r], v)
-		}
-	}
-	st.p.Machines = append(st.p.Machines, cluster.Machine{
-		Name: e.Name, Capacity: e.Capacity.Clone(), Spec: e.Spec,
-	})
-	newM := st.p.M()
-	for s := range st.p.Schedulable {
-		if st.p.Schedulable[s] != nil {
-			st.p.Schedulable[s] = st.p.Schedulable[s].Grow(newM)
-		}
-	}
-	st.assign.M = newM
-	return nil
-}
-
-// DrainMachine evicts every container from a machine and zeroes its
-// capacity, so no solver or scheduler path places anything back on it
-// (decommissioning, maintenance). Every service it hosted is marked
-// dirty; the evicted containers are re-placed by the next Reoptimize.
-type DrainMachine struct {
-	Machine int
-}
-
-// Kind implements Event.
-func (DrainMachine) Kind() string { return "drainMachine" }
-
-func (e DrainMachine) apply(st *State) error {
-	if e.Machine < 0 || e.Machine >= st.p.M() {
-		return fmt.Errorf("machine %d out of range [0,%d)", e.Machine, st.p.M())
-	}
-	for s := 0; s < st.p.N(); s++ {
-		if st.assign.Get(s, e.Machine) > 0 {
-			st.assign.Set(s, e.Machine, 0)
-			st.markDirty(s)
-		}
-	}
-	cap := st.p.Machines[e.Machine].Capacity
-	for r := range cap {
-		cap[r] = 0
-	}
-	return nil
-}
-
-// UpdateAffinity sets the affinity weight between two services to an
-// absolute value (traffic drift observed by the collector). Both
-// endpoints' subproblems are marked dirty. When the pair spans two
-// subproblems, the delta solves cannot collocate them — the
-// gained-affinity drift check catches the accumulated loss and
-// escalates to a full re-partition.
-type UpdateAffinity struct {
-	A, B   int
-	Weight float64
-}
-
-// Kind implements Event.
-func (UpdateAffinity) Kind() string { return "updateAffinity" }
-
-func (e UpdateAffinity) apply(st *State) error {
-	n := st.p.N()
-	if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
-		return fmt.Errorf("services (%d,%d) out of range [0,%d)", e.A, e.B, n)
-	}
-	if e.A == e.B {
-		return fmt.Errorf("self-affinity on service %d", e.A)
-	}
-	if e.Weight < 0 || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) {
-		return fmt.Errorf("invalid weight %v", e.Weight)
-	}
-	st.p.Affinity.SetEdge(e.A, e.B, e.Weight)
-	st.markDirty(e.A)
-	st.markDirty(e.B)
-	return nil
-}
-
-// RemoveService retires a service entirely: its containers are
-// deleted, its affinity edges and anti-affinity memberships disappear,
-// and every service above it shifts down one index. The heaviest event
-// — the problem, assignment, and partition bookkeeping are all
-// rebuilt with remapped indices.
-type RemoveService struct {
-	Service int
-}
-
-// Kind implements Event.
-func (RemoveService) Kind() string { return "removeService" }
-
-func (e RemoveService) apply(st *State) error {
-	if e.Service < 0 || e.Service >= st.p.N() {
-		return fmt.Errorf("service %d out of range [0,%d)", e.Service, st.p.N())
-	}
-	if st.p.N() < 2 {
-		return fmt.Errorf("cannot remove the last service")
-	}
-	st.removeService(e.Service)
-	return nil
-}
+// The churn event vocabulary, re-exported from the lifetime layer so
+// existing callers (workload generators, the server's event endpoint,
+// traces) keep compiling against incr. See the lifetime package for the
+// apply semantics of each.
+type (
+	// ScaleService sets a service's SLA replica target.
+	ScaleService = lifetime.ScaleService
+	// AddMachine appends a machine to the inventory.
+	AddMachine = lifetime.AddMachine
+	// DrainMachine evicts a machine and zeroes its capacity.
+	DrainMachine = lifetime.DrainMachine
+	// UpdateAffinity sets the affinity weight between two services.
+	UpdateAffinity = lifetime.UpdateAffinity
+	// RemoveService retires a service entirely, remapping indices.
+	RemoveService = lifetime.RemoveService
+)

@@ -5,24 +5,29 @@ import (
 	"sync"
 
 	"github.com/cloudsched/rasa/internal/cluster"
-	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/lifetime"
 	"github.com/cloudsched/rasa/internal/pool"
 	"github.com/cloudsched/rasa/internal/sched"
 )
 
-// State is the live cluster state the incremental engine owns: the
-// mutable problem, the current assignment, the partition of the last
-// full solve, and the dirty-tracking bookkeeping that maps applied
-// events to affected subproblems.
+// State is the incremental engine's view over the lifetime event log:
+// a cursor into the log plus the dirty-tracking bookkeeping that maps
+// folded entries to affected partition subproblems. The log's folded
+// state (problem + assignment) is the one source of truth — State owns
+// no cluster data of its own.
 //
-// State methods lock internally, so Apply can race an HTTP handler; but
-// the Problem/Assignment accessors hand out live pointers, so callers
-// that inspect them must not do so concurrently with Apply or
-// Reoptimize.
+// State methods lock internally, so Apply can race an HTTP handler;
+// but the Problem/Assignment accessors hand out the log's live
+// pointers, so callers that inspect them must not do so concurrently
+// with Apply or Reoptimize.
 type State struct {
-	mu     sync.Mutex
-	p      *cluster.Problem
-	assign *cluster.Assignment
+	mu  sync.Mutex
+	log *lifetime.Log
+	// cursor is the sequence number of the last log entry folded into
+	// the dirty tracking. Entries the engine appends itself (plan
+	// commits) advance the cursor without folding — the engine already
+	// knows what it did.
+	cursor uint64
 
 	// Partition bookkeeping from the last full solve. groups[g] lists
 	// the service indices of subproblem g; subOf[s] is the group of
@@ -52,87 +57,177 @@ type State struct {
 	eventsApplied int
 }
 
-// NewState takes ownership of p and assign: the engine mutates both in
-// place as events apply. Callers that need the originals intact must
-// clone before constructing the state.
+// NewState builds a fresh event log over p and assign and wraps it.
+// The log takes ownership: the fold mutates both in place as events
+// append. Callers that need the originals intact must clone first.
 func NewState(p *cluster.Problem, assign *cluster.Assignment) (*State, error) {
-	if err := p.Validate(); err != nil {
+	l, err := lifetime.NewLog(p, assign)
+	if err != nil {
 		return nil, err
 	}
-	if assign == nil {
-		return nil, fmt.Errorf("incr: nil assignment")
-	}
-	if assign.N != p.N() || assign.M != p.M() {
-		return nil, fmt.Errorf("incr: assignment shape %dx%d does not match problem %dx%d",
-			assign.N, assign.M, p.N(), p.M())
-	}
-	return &State{
-		p:      p,
-		assign: assign,
-		dirty:  make(map[int]bool),
-		warm:   make(map[int]*pool.WarmStart),
-	}, nil
+	return FromLog(l), nil
 }
 
-// Apply applies the events in order, stopping at the first invalid one.
-// It returns how many were applied; on error the returned count is the
-// index of the offending event and every earlier event remains applied
-// (events are not transactional — they model an external feed that has
-// already happened).
+// FromLog wraps an existing log — a replayed trace, a resumed
+// checkpoint — folding every entry already in it. The partition is
+// not reconstructible from the log (solver results are not events), so
+// a state built this way escalates its first Reoptimize to the full
+// pipeline, exactly like a bootstrap.
+func FromLog(l *lifetime.Log) *State {
+	st := &State{
+		log:   l,
+		dirty: make(map[int]bool),
+		warm:  make(map[int]*pool.WarmStart),
+	}
+	st.mu.Lock()
+	st.catchUpLocked()
+	st.mu.Unlock()
+	return st
+}
+
+// Log exposes the underlying event log (for executors appending
+// actuation events and for serving the log over the wire).
+func (st *State) Log() *lifetime.Log { return st.log }
+
+// Apply appends the events to the log in order, stopping at the first
+// invalid one, and folds them into the dirty tracking. It returns how
+// many were applied; on error the returned count is the index of the
+// offending event and every earlier event remains applied (events are
+// not transactional — they model an external feed that has already
+// happened).
 func (st *State) Apply(events ...Event) (int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	for i, ev := range events {
-		if err := ev.apply(st); err != nil {
-			return i, fmt.Errorf("incr: event %d (%s): %w", i, ev.Kind(), err)
-		}
-		st.eventsApplied++
+	applied, err := st.log.Append(events...)
+	st.eventsApplied += applied
+	st.catchUpLocked()
+	return applied, err
+}
+
+// catchUpLocked folds every log entry past the cursor — events the
+// engine did not append itself (executor actuation, external feeds) as
+// well as its own churn appends.
+func (st *State) catchUpLocked() {
+	ents := st.log.Entries(st.cursor + 1)
+	for _, en := range ents {
+		st.fold(en)
 	}
-	return len(events), nil
+	if n := len(ents); n > 0 {
+		st.cursor = ents[n-1].Seq
+	}
+}
+
+// fold maps one log entry onto the dirty tracking.
+func (st *State) fold(en lifetime.Entry) {
+	switch ev := en.Event.(type) {
+	case lifetime.ScaleService:
+		st.markDirty(ev.Service)
+	case lifetime.UpdateAffinity:
+		st.markDirty(ev.A)
+		st.markDirty(ev.B)
+	case lifetime.DrainMachine:
+		for _, s := range en.Touched {
+			st.markDirty(s)
+		}
+	case lifetime.MachineDied:
+		for _, s := range en.Touched {
+			st.markDirty(s)
+		}
+	case lifetime.MoveFailed:
+		// The committed plan expected this move: the service will not
+		// reach its target placement.
+		st.markDirty(ev.Service)
+	case lifetime.RemoveService:
+		st.remapAfterRemove(ev.Service)
+	case lifetime.ReplanRequested:
+		// A consumer observed divergence: re-validate everything.
+		st.markAllDirty()
+	case lifetime.PlanCommitted:
+		if ev.Applied {
+			// Someone else's applied commit (a restore, an external
+			// planner): the placements may differ anywhere.
+			st.markAllDirty()
+		}
+	}
+	// AddMachine, MoveStarted, MoveApplied: no dirty impact — new
+	// capacity is picked up by the next solve, reservations are
+	// executor-local, and applied moves converge on a committed target.
+}
+
+// commitLocked appends the engine's own plan commit and advances the
+// cursor past it: the engine manages its dirty set directly for its
+// own passes.
+func (st *State) commitLocked(pc lifetime.PlanCommitted) error {
+	if _, err := st.log.Append(pc); err != nil {
+		return fmt.Errorf("incr: commit: %w", err)
+	}
+	st.cursor = st.log.Head()
+	return nil
+}
+
+// adoptLocked commits target as an applied plan: the log's live
+// assignment mutates cell by cell to match. No-op when target equals
+// the live assignment.
+func (st *State) adoptLocked(target *cluster.Assignment, origin string) error {
+	cur := st.log.Assignment()
+	changed := diffPlacements(cur, target)
+	if len(changed) == 0 {
+		return nil
+	}
+	return st.commitLocked(lifetime.PlanCommitted{
+		Origin:  origin,
+		Applied: true,
+		Moves:   cluster.MoveCount(cur, target),
+		Changed: changed,
+	})
 }
 
 // Problem returns the live problem. See the State doc for aliasing
 // rules.
 func (st *State) Problem() *cluster.Problem {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.p
+	return st.log.Problem()
 }
 
 // Assignment returns the live assignment. See the State doc for
 // aliasing rules.
 func (st *State) Assignment() *cluster.Assignment {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.assign
+	return st.log.Assignment()
 }
 
 // SetAssignment replaces the current assignment (e.g. after an external
-// rollback or a gated deployment that applied only part of a plan). The
-// partition bookkeeping is kept; all groups are conservatively marked
-// dirty, since the externally imposed placements may differ anywhere.
+// rollback or a gated deployment that applied only part of a plan),
+// committed to the log as an applied "restore" plan. The partition
+// bookkeeping is kept; all groups are conservatively marked dirty,
+// since the externally imposed placements may differ anywhere.
 func (st *State) SetAssignment(a *cluster.Assignment) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if a == nil || a.N != st.p.N() || a.M != st.p.M() {
+	st.catchUpLocked()
+	p := st.log.Problem()
+	if a == nil || a.N != p.N() || a.M != p.M() {
 		return fmt.Errorf("incr: assignment shape mismatch")
 	}
-	st.assign = a
-	for g := range st.groups {
-		st.dirty[g] = true
+	if err := st.adoptLocked(a, "restore"); err != nil {
+		return err
 	}
-	st.dirtyTrivial = true
+	st.markAllDirty()
 	return nil
 }
 
 // Settle fills SLA deficits with the default scheduler without running
 // any solver, leaving the dirty set untouched: a cheap stop-gap between
 // an event batch and the next Reoptimize, mirroring how production
-// keeps the fleet serving while the optimizer is between runs.
+// keeps the fleet serving while the optimizer is between runs. The
+// re-placements are committed to the log as an applied "settle" plan.
 func (st *State) Settle() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.assign = sched.Complete(st.p, st.assign)
+	st.catchUpLocked()
+	p := st.log.Problem()
+	completed := sched.Complete(p, st.log.Assignment())
+	// The diff's Before cells come from the live assignment, so the
+	// commit cannot fail verification.
+	_ = st.adoptLocked(completed, "settle")
 }
 
 // Stats is a point-in-time summary of the state.
@@ -148,17 +243,24 @@ type Stats struct {
 	BaselineGain     float64 `json:"baselineGain"`
 	GainedAffinity   float64 `json:"gainedAffinity"`
 	TotalAffinity    float64 `json:"totalAffinity"`
+	// LogHead is the event log's newest sequence number; Fingerprint is
+	// the folded state's order-independent hash.
+	LogHead     uint64 `json:"logHead"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // Snapshot returns current state statistics.
 func (st *State) Snapshot() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	gain := st.assign.GainedAffinity(st.p)
-	total := st.p.Affinity.TotalWeight()
+	st.catchUpLocked()
+	p := st.log.Problem()
+	assign := st.log.Assignment()
+	gain := assign.GainedAffinity(p)
+	total := p.Affinity.TotalWeight()
 	s := Stats{
-		Services:         st.p.N(),
-		Machines:         st.p.M(),
+		Services:         p.N(),
+		Machines:         p.M(),
 		EventsApplied:    st.eventsApplied,
 		TotalSubproblems: len(st.groups),
 		DirtySubproblems: len(st.dirty),
@@ -167,6 +269,8 @@ func (st *State) Snapshot() Stats {
 		BaselineGain:     st.baseGain,
 		GainedAffinity:   gain,
 		TotalAffinity:    total,
+		LogHead:          st.log.Head(),
+		Fingerprint:      st.log.Fingerprint(),
 	}
 	if total > 0 {
 		s.NormalizedGain = gain / total
@@ -181,6 +285,11 @@ func (st *State) markDirty(s int) {
 	if !st.havePartition {
 		return
 	}
+	if s < 0 || s >= len(st.subOf) {
+		// Index drift across a removal fold; conservative.
+		st.dirtyTrivial = true
+		return
+	}
 	if g := st.subOf[s]; g >= 0 {
 		st.dirty[g] = true
 	} else {
@@ -188,12 +297,20 @@ func (st *State) markDirty(s int) {
 	}
 }
 
+// markAllDirty flags every subproblem and the trivial remainder.
+func (st *State) markAllDirty() {
+	for g := range st.groups {
+		st.dirty[g] = true
+	}
+	st.dirtyTrivial = true
+}
+
 // setPartition installs a fresh partition (after a full solve): all
 // dirty tracking resets and the warm-start caches are dropped, since
 // group indices no longer mean what they meant.
 func (st *State) setPartition(groups [][]int) {
 	st.groups = groups
-	st.subOf = make([]int, st.p.N())
+	st.subOf = make([]int, st.log.Problem().N())
 	for s := range st.subOf {
 		st.subOf[s] = -1
 	}
@@ -218,15 +335,20 @@ func (st *State) warmFor(g int) *pool.WarmStart {
 	return w
 }
 
-// removeService rebuilds problem, assignment, and partition
-// bookkeeping with service s removed and every higher index shifted
-// down by one.
-func (st *State) removeService(s int) {
-	p := st.p
-	n := p.N()
-
-	// Problem: services, affinity graph, anti-affinity rules,
-	// schedulability rows.
+// remapAfterRemove rebuilds the partition bookkeeping after the log
+// folded a RemoveService of s: groups remap, emptied ones drop, the
+// dirty set carries across the renumbering, and the departed service's
+// group is marked dirty — its subproblem's affinity structure and
+// freed capacity both changed.
+func (st *State) remapAfterRemove(s int) {
+	if !st.havePartition {
+		return
+	}
+	n := len(st.subOf) // pre-removal service count
+	if s < 0 || s >= n {
+		st.markAllDirty()
+		return
+	}
 	remap := make([]int, n) // old -> new; -1 for s
 	for i := 0; i < n; i++ {
 		switch {
@@ -238,40 +360,6 @@ func (st *State) removeService(s int) {
 			remap[i] = i - 1
 		}
 	}
-	p.Services = append(p.Services[:s:s], p.Services[s+1:]...)
-	g := graph.New(n - 1)
-	for _, e := range p.Affinity.Edges() {
-		if e.U != s && e.V != s {
-			g.AddEdge(remap[e.U], remap[e.V], e.Weight)
-		}
-	}
-	p.Affinity = g
-	var rules []cluster.AntiAffinityRule
-	for _, rule := range p.AntiAffinity {
-		var svcs []int
-		for _, v := range rule.Services {
-			if v != s {
-				svcs = append(svcs, remap[v])
-			}
-		}
-		if len(svcs) > 0 {
-			rules = append(rules, cluster.AntiAffinityRule{Services: svcs, MaxPerHost: rule.MaxPerHost})
-		}
-	}
-	p.AntiAffinity = rules
-	if p.Schedulable != nil {
-		p.Schedulable = append(p.Schedulable[:s:s], p.Schedulable[s+1:]...)
-	}
-
-	st.assign = st.assign.DropService(s)
-
-	if !st.havePartition {
-		return
-	}
-	// Partition bookkeeping: remap groups, drop emptied ones, carry the
-	// dirty set across the group renumbering, and mark the departed
-	// service's group dirty — its subproblem's affinity structure and
-	// freed capacity both changed.
 	oldGroup := st.subOf[s]
 	var groups [][]int
 	groupRemap := make(map[int]int, len(st.groups))
@@ -299,7 +387,7 @@ func (st *State) removeService(s int) {
 		}
 	}
 	st.groups = groups
-	st.subOf = make([]int, p.N())
+	st.subOf = make([]int, n-1)
 	for i := range st.subOf {
 		st.subOf[i] = -1
 	}

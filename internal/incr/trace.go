@@ -5,75 +5,24 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/lifetime"
 )
 
 // TraceVersion identifies the churn-trace JSON schema.
 const TraceVersion = "rasa-churn-trace/1"
 
-// EventJSON is the wire form of an Event: a type discriminator plus the
-// union of all event fields. Zero values round-trip (service 0 is a
-// valid index, weight 0 zeroes an edge), so omitted fields decode to
-// the same event they encoded from.
-type EventJSON struct {
-	Type     string    `json:"type"`
-	Service  int       `json:"service,omitempty"`
-	Replicas int       `json:"replicas,omitempty"`
-	Machine  int       `json:"machine,omitempty"`
-	Name     string    `json:"name,omitempty"`
-	Capacity []float64 `json:"capacity,omitempty"`
-	Spec     int       `json:"spec,omitempty"`
-	A        int       `json:"a,omitempty"`
-	B        int       `json:"b,omitempty"`
-	Weight   float64   `json:"weight,omitempty"`
-}
-
-// Event decodes the wire form into a typed event.
-func (e EventJSON) Event() (Event, error) {
-	switch e.Type {
-	case "scaleService":
-		return ScaleService{Service: e.Service, Replicas: e.Replicas}, nil
-	case "addMachine":
-		return AddMachine{Name: e.Name, Capacity: cluster.Resources(e.Capacity), Spec: e.Spec}, nil
-	case "drainMachine":
-		return DrainMachine{Machine: e.Machine}, nil
-	case "updateAffinity":
-		return UpdateAffinity{A: e.A, B: e.B, Weight: e.Weight}, nil
-	case "removeService":
-		return RemoveService{Service: e.Service}, nil
-	}
-	return nil, fmt.Errorf("incr: unknown event type %q", e.Type)
-}
+// EventJSON is the wire form of an Event — the lifetime layer's union
+// encoding. Churn traces use only the churn fields, so files written by
+// earlier versions of this schema parse unchanged.
+type EventJSON = lifetime.EventJSON
 
 // ToJSON encodes a typed event into its wire form.
-func ToJSON(ev Event) EventJSON {
-	switch e := ev.(type) {
-	case ScaleService:
-		return EventJSON{Type: e.Kind(), Service: e.Service, Replicas: e.Replicas}
-	case AddMachine:
-		return EventJSON{Type: e.Kind(), Name: e.Name, Capacity: e.Capacity, Spec: e.Spec}
-	case DrainMachine:
-		return EventJSON{Type: e.Kind(), Machine: e.Machine}
-	case UpdateAffinity:
-		return EventJSON{Type: e.Kind(), A: e.A, B: e.B, Weight: e.Weight}
-	case RemoveService:
-		return EventJSON{Type: e.Kind(), Service: e.Service}
-	}
-	panic(fmt.Sprintf("incr: unknown event %T", ev))
-}
+func ToJSON(ev Event) EventJSON { return lifetime.ToJSON(ev) }
 
 // DecodeEvents decodes a batch of wire events, failing on the first
 // unknown type.
 func DecodeEvents(batch []EventJSON) ([]Event, error) {
-	out := make([]Event, len(batch))
-	for i, ej := range batch {
-		ev, err := ej.Event()
-		if err != nil {
-			return nil, fmt.Errorf("event %d: %w", i, err)
-		}
-		out[i] = ev
-	}
-	return out, nil
+	return lifetime.DecodeEvents(batch)
 }
 
 // TraceEvent is one trace entry: an event stamped with the tick it

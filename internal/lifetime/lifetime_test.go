@@ -1,0 +1,290 @@
+package lifetime
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// newTestLog builds two independent logs over identical copies of a
+// generated cluster (snapshot round-trip per copy, so no aliasing).
+func newTestLogs(t *testing.T, n int) []*Log {
+	t.Helper()
+	c, err := workload.Generate(workload.TrainingPresets()[2])
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	snap := snapshot.FromCluster(c.Problem, c.Original)
+	out := make([]*Log, n)
+	for i := range out {
+		p, a, err := snap.ToCluster()
+		if err != nil {
+			t.Fatalf("to cluster: %v", err)
+		}
+		l, err := NewLog(p, a)
+		if err != nil {
+			t.Fatalf("new log: %v", err)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func mustAppend(t *testing.T, l *Log, events ...Event) {
+	t.Helper()
+	if _, err := l.Append(events...); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}
+
+// hostOf finds a machine hosting service s.
+func hostOf(l *Log, s int) int {
+	ms := l.Assignment().MachinesOf(s)
+	if len(ms) == 0 {
+		return -1
+	}
+	return ms[0]
+}
+
+func TestExecutionEventsFold(t *testing.T) {
+	l := newTestLogs(t, 1)[0]
+	p := l.Problem()
+	s := 0
+	src := hostOf(l, s)
+	if src < 0 {
+		t.Fatal("service 0 has no containers")
+	}
+	dst := (src + 1) % p.M()
+	before := l.Assignment().Get(s, dst)
+
+	// MoveStarted/MoveFailed are bookkeeping-only: no state change.
+	fp0 := l.Fingerprint()
+	mustAppend(t, l,
+		MoveStarted{Op: OpCreate, Service: s, Machine: dst},
+		MoveFailed{Op: OpCreate, Service: s, Machine: dst, Reason: "test"},
+	)
+	if l.Fingerprint() != fp0 {
+		t.Fatal("MoveStarted/MoveFailed changed the folded state")
+	}
+
+	// MoveApplied mutates the placement cell by cell.
+	mustAppend(t, l,
+		MoveApplied{Op: OpCreate, Service: s, Machine: dst},
+		MoveApplied{Op: OpDelete, Service: s, Machine: src},
+	)
+	if got := l.Assignment().Get(s, dst); got != before+1 {
+		t.Fatalf("create landed %d, want %d", got, before+1)
+	}
+
+	// Deleting an absent container is an invalid event.
+	empty := -1
+	for m := 0; m < p.M(); m++ {
+		if l.Assignment().Get(s, m) == 0 {
+			empty = m
+			break
+		}
+	}
+	if empty >= 0 {
+		if _, err := l.Append(MoveApplied{Op: OpDelete, Service: s, Machine: empty}); err == nil {
+			t.Fatal("delete of absent container accepted")
+		}
+	}
+
+	// MachineDied zeroes the machine and reports the evicted services.
+	head := l.Head()
+	mustAppend(t, l, MachineDied{Machine: dst})
+	ents := l.Entries(head + 1)
+	if len(ents) != 1 || len(ents[0].Touched) == 0 {
+		t.Fatalf("death entry touched=%v", ents)
+	}
+	if l.Assignment().Get(s, dst) != 0 {
+		t.Fatal("dead machine still hosts containers")
+	}
+	for _, v := range p.Machines[dst].Capacity {
+		if v != 0 {
+			t.Fatal("dead machine kept capacity")
+		}
+	}
+	if d := l.DeadMachines(); len(d) != 1 || d[0] != dst {
+		t.Fatalf("dead machines = %v", d)
+	}
+	// Idempotent: a second report of the same death is a no-op.
+	mustAppend(t, l, MachineDied{Machine: dst})
+
+	// Creating on a dead machine is invalid.
+	if _, err := l.Append(MoveApplied{Op: OpCreate, Service: s, Machine: dst}); err == nil {
+		t.Fatal("create on dead machine accepted")
+	}
+}
+
+func TestPlanCommittedFold(t *testing.T) {
+	l := newTestLogs(t, 1)[0]
+	s := 0
+	src := hostOf(l, s)
+	dst := (src + 1) % l.Problem().M()
+	b1, b2 := l.Assignment().Get(s, src), l.Assignment().Get(s, dst)
+
+	// A proposed commit (Applied=false) leaves the state untouched but
+	// counts toward fullRuns when it ran the full pipeline.
+	fp := l.Fingerprint()
+	mustAppend(t, l, PlanCommitted{Origin: "propose", Mode: "full", Moves: 3})
+	if l.Fingerprint() != fp {
+		t.Fatal("proposed commit mutated state")
+	}
+	if l.FullRuns() != 1 {
+		t.Fatalf("fullRuns = %d, want 1", l.FullRuns())
+	}
+
+	// An applied commit verifies its Before cells and then applies.
+	mustAppend(t, l, PlanCommitted{
+		Origin: "reoptimize", Mode: "delta", Applied: true, Moves: 1,
+		Changed: []PlacementDelta{
+			{Service: s, Machine: src, Before: b1, After: b1 - 1},
+			{Service: s, Machine: dst, Before: b2, After: b2 + 1},
+		},
+	})
+	if got := l.Assignment().Get(s, dst); got != b2+1 {
+		t.Fatalf("applied commit landed %d, want %d", got, b2+1)
+	}
+	if l.FullRuns() != 1 {
+		t.Fatalf("delta commit bumped fullRuns to %d", l.FullRuns())
+	}
+
+	// Stale Before cells are refused (the state moved under the plan).
+	_, err := l.Append(PlanCommitted{
+		Origin: "reoptimize", Applied: true,
+		Changed: []PlacementDelta{{Service: s, Machine: dst, Before: b2 + 99, After: 0}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "commit expected") {
+		t.Fatalf("stale commit error = %v", err)
+	}
+}
+
+func TestFingerprintOrderIndependence(t *testing.T) {
+	ls := newTestLogs(t, 3)
+	a, b, c := ls[0], ls[1], ls[2]
+	s := 0
+	src := hostOf(a, s)
+	dst := (src + 1) % a.Problem().M()
+
+	// Same content via different event orders.
+	mustAppend(t, a,
+		UpdateAffinity{A: 0, B: 1, Weight: 2.5},
+		UpdateAffinity{A: 2, B: 3, Weight: 1.25},
+		MoveApplied{Op: OpCreate, Service: s, Machine: dst},
+		MoveApplied{Op: OpCreate, Service: s, Machine: src},
+	)
+	mustAppend(t, b,
+		MoveApplied{Op: OpCreate, Service: s, Machine: src},
+		UpdateAffinity{A: 2, B: 3, Weight: 1.25},
+		MoveApplied{Op: OpCreate, Service: s, Machine: dst},
+		UpdateAffinity{A: 0, B: 1, Weight: 2.5},
+	)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical content, different fingerprints")
+	}
+
+	// Different content must differ.
+	mustAppend(t, c,
+		UpdateAffinity{A: 0, B: 1, Weight: 2.5},
+		UpdateAffinity{A: 2, B: 3, Weight: 1.25},
+		MoveApplied{Op: OpCreate, Service: s, Machine: dst},
+	)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different content, same fingerprint")
+	}
+	// Replica-target changes are content too, even with placements equal.
+	fp := a.Fingerprint()
+	mustAppend(t, a, ScaleService{Service: s, Replicas: a.Problem().Services[s].Replicas + 1})
+	if a.Fingerprint() == fp {
+		t.Fatal("replica target change did not move the fingerprint")
+	}
+}
+
+func TestTraceReplayDeterminism(t *testing.T) {
+	c, err := workload.Generate(workload.TrainingPresets()[2])
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	snap := snapshot.FromCluster(c.Problem, c.Original)
+	p, a, err := snap.ToCluster()
+	if err != nil {
+		t.Fatalf("to cluster: %v", err)
+	}
+	l, err := NewLog(p, a)
+	if err != nil {
+		t.Fatalf("new log: %v", err)
+	}
+	s := 0
+	src := hostOf(l, s)
+	dst := (src + 1) % p.M()
+	mustAppend(t, l, ScaleService{Service: s, Replicas: p.Services[s].Replicas + 2})
+	l.AdvanceTick()
+	mustAppend(t, l,
+		PlanCommitted{Origin: "propose", Mode: "full", Moves: 2},
+		MoveStarted{Op: OpCreate, Service: s, Machine: dst},
+		MoveApplied{Op: OpCreate, Service: s, Machine: dst},
+		MachineDied{Machine: src},
+		ReplanRequested{Reason: "machine-down"},
+	)
+
+	tr := l.Export(snap, 42, "T3", &Summary{Ticks: 2, Events: int(l.Head())})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Fingerprint != l.Fingerprint() {
+		t.Fatal("trace fingerprint diverged from live log")
+	}
+
+	// Replay is a pure fold: fingerprint, head, tick stamps, and
+	// fullRuns all reproduce.
+	rl, err := Replay(got)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rl.Fingerprint() != got.Fingerprint {
+		t.Fatalf("replayed fingerprint %s, want %s", rl.Fingerprint(), got.Fingerprint)
+	}
+	if rl.Head() != l.Head() || rl.Tick() != l.Tick() || rl.FullRuns() != l.FullRuns() {
+		t.Fatalf("replayed head/tick/fullRuns = %d/%d/%d, want %d/%d/%d",
+			rl.Head(), rl.Tick(), rl.FullRuns(), l.Head(), l.Tick(), l.FullRuns())
+	}
+	// Replaying a prefix reconstructs the mid-run state (checkpoint
+	// resume): cut before the death.
+	prefix := *got
+	prefix.Events = prefix.Events[:len(prefix.Events)-2]
+	pl, err := Replay(&prefix)
+	if err != nil {
+		t.Fatalf("prefix replay: %v", err)
+	}
+	if len(pl.DeadMachines()) != 0 {
+		t.Fatal("prefix replay saw the death it was cut before")
+	}
+
+	// A gap in the sequence numbers is refused.
+	gap := *got
+	gap.Events = append([]EntryJSON(nil), got.Events...)
+	gap.Events[2].Seq = 99
+	if _, err := Replay(&gap); err == nil || !strings.Contains(err.Error(), "gap or reorder") {
+		t.Fatalf("seq gap error = %v", err)
+	}
+	// Version mismatch is refused at read time.
+	bad := bytes.NewBufferString(`{"version":"rasa-lifetime-trace/9","events":[]}`)
+	if _, err := ReadTrace(bad); err == nil {
+		t.Fatal("unknown trace version accepted")
+	}
+	// A trace without a snapshot cannot replay.
+	nosnap := *got
+	nosnap.Snapshot = nil
+	if _, err := Replay(&nosnap); err == nil {
+		t.Fatal("snapshot-less trace replayed")
+	}
+}

@@ -1,0 +1,149 @@
+package lifetime
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+)
+
+// Entry is one committed log record: a 1-based sequence number, the
+// driver tick it was appended on, the event, and the services whose
+// placements the event disturbed (evictions — drains and deaths).
+type Entry struct {
+	Seq     uint64
+	Tick    int
+	Event   Event
+	Touched []int
+}
+
+// Log is the append-only event log plus its folded State. Append is
+// atomic per event: the event either applies cleanly and is recorded,
+// or the state is unchanged and the error names the offender. All
+// methods lock internally; the accessors hand out live pointers, so
+// callers that inspect them must not do so concurrently with Append.
+type Log struct {
+	mu      sync.Mutex
+	st      *State
+	entries []Entry
+	tick    int
+}
+
+// NewLog takes ownership of p and assign: the fold mutates both in
+// place as events append. Callers that need the originals intact must
+// clone before constructing the log.
+func NewLog(p *cluster.Problem, assign *cluster.Assignment) (*Log, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if assign == nil {
+		return nil, fmt.Errorf("lifetime: nil assignment")
+	}
+	if assign.N != p.N() || assign.M != p.M() {
+		return nil, fmt.Errorf("lifetime: assignment shape %dx%d does not match problem %dx%d",
+			assign.N, assign.M, p.N(), p.M())
+	}
+	return &Log{st: &State{p: p, assign: assign, dead: make(map[int]bool)}}, nil
+}
+
+// Append applies and records the events in order, stopping at the
+// first invalid one. It returns how many were appended; on error the
+// returned count is the index of the offending event and every earlier
+// event remains applied (events are not transactional — they model a
+// feed of things that already happened).
+func (l *Log) Append(events ...Event) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, ev := range events {
+		if err := l.appendLocked(ev); err != nil {
+			return i, fmt.Errorf("lifetime: event %d (%s): %w", i, ev.Kind(), err)
+		}
+	}
+	return len(events), nil
+}
+
+func (l *Log) appendLocked(ev Event) error {
+	touched, err := ev.apply(l.st)
+	if err != nil {
+		return err
+	}
+	l.entries = append(l.entries, Entry{
+		Seq:     uint64(len(l.entries) + 1),
+		Tick:    l.tick,
+		Event:   ev,
+		Touched: touched,
+	})
+	return nil
+}
+
+// Head returns the sequence number of the newest entry (0 when empty).
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.entries))
+}
+
+// Entries returns a copy of every entry with Seq >= from (1-based).
+func (l *Log) Entries(from uint64) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 1 {
+		from = 1
+	}
+	if from > uint64(len(l.entries)) {
+		return nil
+	}
+	return append([]Entry(nil), l.entries[from-1:]...)
+}
+
+// Tick returns the current driver tick stamped onto new entries.
+func (l *Log) Tick() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tick
+}
+
+// AdvanceTick increments the driver tick and returns the new value.
+func (l *Log) AdvanceTick() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tick++
+	return l.tick
+}
+
+// Problem returns the live problem. See the Log doc for aliasing rules.
+func (l *Log) Problem() *cluster.Problem {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.p
+}
+
+// Assignment returns the live assignment. See the Log doc for aliasing
+// rules. The pointer is stable across appends except RemoveService,
+// which rebuilds the matrix with the service's row dropped.
+func (l *Log) Assignment() *cluster.Assignment {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.assign
+}
+
+// Fingerprint hashes the folded state; see State.Fingerprint.
+func (l *Log) Fingerprint() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.Fingerprint()
+}
+
+// DeadMachines lists every machine written off so far, ascending.
+func (l *Log) DeadMachines() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.DeadMachines()
+}
+
+// FullRuns counts the full-pipeline planner passes committed so far.
+func (l *Log) FullRuns() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.fullRuns
+}

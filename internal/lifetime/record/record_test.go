@@ -1,0 +1,72 @@
+package record
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/lifetime"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// testConfig records over the small T3 preset with a budget far above
+// what its solves need: recording is only deterministic when every
+// solve converges before the deadline, and the race detector slows
+// solves by an order of magnitude.
+func testConfig() Config {
+	return Config{
+		Preset:    workload.TrainingPresets()[2],
+		Ticks:     3,
+		PerTick:   3,
+		Budget:    10 * time.Second,
+		FaultRate: 0.1,
+		DeathTick: 1,
+		Seed:      7,
+	}
+}
+
+// Recording the same config twice must produce byte-identical traces,
+// and replaying either must land on the recorded fingerprint — the
+// determinism contract behind rasagen -record / rasabench -replay.
+func TestRecordDeterministicAndReplayable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full recorded lifetimes")
+	}
+	first, err := Record(t.Context(), testConfig())
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	second, err := Record(t.Context(), testConfig())
+	if err != nil {
+		t.Fatalf("record again: %v", err)
+	}
+	if first.Fingerprint != second.Fingerprint {
+		t.Fatalf("recording nondeterministic: %s vs %s", first.Fingerprint, second.Fingerprint)
+	}
+	b1, _ := json.Marshal(first)
+	b2, _ := json.Marshal(second)
+	if string(b1) != string(b2) {
+		t.Fatal("recorded traces differ beyond the fingerprint")
+	}
+
+	if first.Summary == nil || first.Summary.Events == 0 || first.Summary.Reoptimizes != 3 {
+		t.Fatalf("summary underpopulated: %+v", first.Summary)
+	}
+	if first.Summary.FloorViolations != 0 {
+		t.Fatalf("executor issued %d SLA floor violations", first.Summary.FloorViolations)
+	}
+	if first.Summary.Deaths == 0 {
+		t.Fatal("death tick recorded no machine death")
+	}
+
+	replayed, err := lifetime.Replay(first)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if replayed.Fingerprint() != first.Fingerprint {
+		t.Fatalf("replay fingerprint %s, want %s", replayed.Fingerprint(), first.Fingerprint)
+	}
+	if len(replayed.DeadMachines()) == 0 {
+		t.Fatal("replay lost the machine death")
+	}
+}

@@ -1,0 +1,110 @@
+package lifetime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+)
+
+// State is the deterministic fold of the event log: the live problem,
+// the live assignment, and the set of dead machines. It has no lock of
+// its own — the owning Log serializes all access.
+type State struct {
+	p      *cluster.Problem
+	assign *cluster.Assignment
+	dead   map[int]bool
+	// fullRuns counts full-pipeline PlanCommitted entries; the
+	// incremental engine derives its partition-seed exploration bump
+	// from it so a resumed-from-log run re-solves with the same seeds
+	// an uninterrupted run would have used.
+	fullRuns int
+}
+
+// Problem returns the live problem (aliased, not a copy).
+func (st *State) Problem() *cluster.Problem { return st.p }
+
+// Assignment returns the live assignment (aliased, not a copy).
+func (st *State) Assignment() *cluster.Assignment { return st.assign }
+
+// DeadMachines lists every machine written off so far, ascending.
+func (st *State) DeadMachines() []int {
+	out := make([]int, 0, len(st.dead))
+	for m := range st.dead {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FullRuns counts the full-pipeline planner passes committed so far.
+func (st *State) FullRuns() int { return st.fullRuns }
+
+// Fingerprint is an order-independent FNV-1a hash of the state's
+// observable content: shape, replica targets, placements, machine
+// capacities, and the affinity graph. Two states with identical
+// content fingerprint identically regardless of the event order that
+// produced them or the iteration order of internal maps — the equality
+// check behind replay-determinism and checkpoint/resume assertions.
+func (st *State) Fingerprint() string {
+	h := fnv.New64a()
+	word := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	p, a := st.p, st.assign
+	word(uint64(p.N()))
+	word(uint64(p.M()))
+	for s := 0; s < p.N(); s++ {
+		word(uint64(p.Services[s].Replicas))
+		ms := append([]int(nil), a.MachinesOf(s)...)
+		sort.Ints(ms)
+		for _, m := range ms {
+			if c := a.Get(s, m); c > 0 {
+				word(uint64(m))
+				word(uint64(c))
+			}
+		}
+		word(^uint64(0)) // service separator
+	}
+	for m := 0; m < p.M(); m++ {
+		for _, v := range p.Machines[m].Capacity {
+			word(math.Float64bits(v))
+		}
+	}
+	// Affinity edges normalized (u < v) and merged, then sorted: the
+	// graph's internal edge order is construction-dependent, the hash
+	// must not be.
+	type edge struct{ u, v int }
+	merged := make(map[edge]float64)
+	for _, e := range p.Affinity.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		merged[edge{u, v}] = e.Weight
+	}
+	keys := make([]edge, 0, len(merged))
+	for k, w := range merged {
+		if w > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
+	for _, k := range keys {
+		word(uint64(k.u))
+		word(uint64(k.v))
+		word(math.Float64bits(merged[k]))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -31,6 +31,7 @@ import (
 	"github.com/cloudsched/rasa/internal/partition"
 	"github.com/cloudsched/rasa/internal/sched"
 	"github.com/cloudsched/rasa/internal/workload"
+	"github.com/cloudsched/rasa/internal/workload/churn"
 )
 
 // LatencyModel parameterizes the request-level performance model.
@@ -263,8 +264,21 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 	}
 	rep := &Report{Scenario: scenario, TrackedPairs: topPairs(p, cfg.TrackedPairs)}
 	// Churn schedule must be identical across scenarios: derive from the
-	// config seed only.
-	churnRng := rand.New(rand.NewSource(cfg.Seed*7919 + 13))
+	// config seed only. The schedule is generated up front by the shared
+	// churn generator — the same replayable trace vocabulary the serving
+	// layer and the benchmarks consume.
+	redeploys, err := churn.Redeploy(p, churn.RedeployConfig{
+		Ticks:   cfg.Ticks,
+		PerTick: cfg.ChurnServices,
+		Seed:    cfg.Seed*7919 + 13,
+	}).Ticks()
+	if err != nil {
+		return nil, fmt.Errorf("prodsim: churn schedule: %w", err)
+	}
+	churnAt := make(map[int][]incr.Event, len(redeploys))
+	for _, b := range redeploys {
+		churnAt[b.Tick] = b.Events
+	}
 	noiseRng := rand.New(rand.NewSource(cfg.Seed*104729 + 29))
 	unschedulableUntil := make([]int, p.N())
 
@@ -276,10 +290,15 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 
 		// 1. Cluster churn: some services get redeployed by their owners
 		// (updates, scaling); their containers land wherever the default
-		// scheduler puts them, eroding collocation.
-		if err := applyChurn(st, churnRng, cfg.ChurnServices); err != nil {
-			return nil, fmt.Errorf("prodsim: tick %d: %w", tick, err)
+		// scheduler puts them, eroding collocation. Events flow through
+		// the lifetime event log; Settle re-places the stripped
+		// containers with the default scheduler.
+		if batch := churnAt[tick]; len(batch) > 0 {
+			if _, err := st.Apply(batch...); err != nil {
+				return nil, fmt.Errorf("prodsim: tick %d: %w", tick, err)
+			}
 		}
+		st.Settle()
 		assign = st.Assignment()
 
 		// 2. CronJob: trigger the RASA workflow on schedule.
@@ -335,10 +354,13 @@ func run(ctx context.Context, cfg Config, scenario Scenario, w *workload.Cluster
 						cfg.OnExecute(tick, rep)
 					}
 				} else {
-					assign = candidate
 					if err := st.SetAssignment(candidate); err != nil {
 						return nil, fmt.Errorf("prodsim: tick %d: %w", tick, err)
 					}
+					// The adoption is committed to the event log, which
+					// mutates the live assignment in place; re-read it
+					// rather than aliasing the detached candidate.
+					assign = st.Assignment()
 					tm.Applied = true
 					tm.Moves = moves
 				}
@@ -406,38 +428,6 @@ func topPairs(p *cluster.Problem, k int) [][2]int {
 		out = append(out, [2]int{es[i].U, es[i].V})
 	}
 	return out
-}
-
-// applyChurn redeploys churn services through the incremental event
-// log: each churned service is scale-bounced (halved, then restored to
-// its SLA target), which strips half its containers and leaves a
-// deficit the default scheduler refills wherever it likes — eroding
-// collocation exactly like an owner-driven rolling redeploy. Routing
-// churn through incr events keeps the simulator and the serving layer
-// on one vocabulary of cluster mutations.
-//
-// The churn schedule is part of the like-for-like contract between
-// scenarios: exactly one rng draw is consumed per churned service,
-// including single-replica services that cannot bounce.
-func applyChurn(st *incr.State, rng *rand.Rand, churn int) error {
-	p := st.Problem()
-	for c := 0; c < churn; c++ {
-		s := rng.Intn(p.N())
-		d := p.Services[s].Replicas
-		bounce := d / 2
-		if bounce < 1 {
-			continue
-		}
-		if _, err := st.Apply(
-			incr.ScaleService{Service: s, Replicas: bounce},
-			incr.ScaleService{Service: s, Replicas: d},
-		); err != nil {
-			return err
-		}
-	}
-	// Default scheduler re-places the stripped containers.
-	st.Settle()
-	return nil
 }
 
 func restoreService(dst, src *cluster.Assignment, s int) {

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/lifetime"
 	"github.com/cloudsched/rasa/internal/sched"
 	"github.com/cloudsched/rasa/internal/snapshot"
 	"github.com/cloudsched/rasa/internal/solve"
@@ -266,6 +268,49 @@ func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request)
 		OutOfTime:        res.OutOfTime,
 		Stats:            res.Stats,
 		Elapsed:          res.Elapsed.Round(time.Microsecond).String(),
+	})
+}
+
+// handleClusterLog serves GET /v1/cluster/log?from=N&limit=K: the
+// lifetime event log from sequence number `from` (default 1, 1-based,
+// inclusive), at most `limit` entries (default 1000), plus the log head
+// and the folded state's fingerprint so pollers can detect both how far
+// behind they are and whether their replayed state matches.
+func (s *Server) handleClusterLog(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "no cluster installed")
+		return
+	}
+	from := uint64(1)
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid from: "+err.Error())
+			return
+		}
+		from = n
+	}
+	limit := 1000
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid limit (want a positive integer)")
+			return
+		}
+		limit = n
+	}
+	log := sess.eng.State().Log()
+	entries := log.Entries(from)
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"head":        log.Head(),
+		"fingerprint": log.Fingerprint(),
+		"from":        from,
+		"count":       len(entries),
+		"entries":     lifetime.EntriesJSON(entries),
 	})
 }
 

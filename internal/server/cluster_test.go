@@ -145,6 +145,55 @@ func TestClusterLifecycle(t *testing.T) {
 		}
 	}
 
+	// The event log records everything that happened: churn events plus
+	// the engine's plan commits, pageable via ?from=.
+	req = httptest.NewRequest(http.MethodGet, "/v1/cluster/log", nil)
+	lg := httptest.NewRecorder()
+	s.ServeHTTP(lg, req)
+	if lg.Code != http.StatusOK {
+		t.Fatalf("log: %d %s", lg.Code, lg.Body)
+	}
+	var logResp struct {
+		Head        uint64 `json:"head"`
+		Fingerprint string `json:"fingerprint"`
+		Count       int    `json:"count"`
+		Entries     []struct {
+			Seq  uint64 `json:"seq"`
+			Type string `json:"type"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(lg.Body.Bytes(), &logResp); err != nil {
+		t.Fatal(err)
+	}
+	if logResp.Head < 3 || logResp.Count != int(logResp.Head) || logResp.Fingerprint == "" {
+		t.Fatalf("log response underpopulated: head=%d count=%d fp=%q", logResp.Head, logResp.Count, logResp.Fingerprint)
+	}
+	kinds := map[string]bool{}
+	for i, en := range logResp.Entries {
+		if en.Seq != uint64(i+1) {
+			t.Fatalf("entry %d has seq %d", i, en.Seq)
+		}
+		kinds[en.Type] = true
+	}
+	for _, want := range []string{"scaleService", "updateAffinity", "planCommitted"} {
+		if !kinds[want] {
+			t.Fatalf("event kind %q missing from log: %v", want, kinds)
+		}
+	}
+	// Paging from a mid-log offset returns only the tail.
+	req = httptest.NewRequest(http.MethodGet, "/v1/cluster/log?from=3", nil)
+	lg = httptest.NewRecorder()
+	s.ServeHTTP(lg, req)
+	var tail struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(lg.Body.Bytes(), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if want := int(logResp.Head) - 2; tail.Count != want {
+		t.Fatalf("log from=3 count=%d, want %d", tail.Count, want)
+	}
+
 	// Metrics from the incr engine are exported through the server
 	// registry.
 	var buf bytes.Buffer

@@ -25,6 +25,7 @@
 //	GET  /v1/cluster             live cluster state summary
 //	POST /v1/cluster/events      apply a typed event batch to the live cluster
 //	POST /v1/cluster/reoptimize  delta re-solve; returns moved containers + plan
+//	GET  /v1/cluster/log         lifetime event log (paged; ?from=&limit=)
 //	GET  /metrics                Prometheus text exposition
 //	GET  /healthz                liveness + drain state
 package server
@@ -164,6 +165,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
 	s.mux.HandleFunc("POST /v1/cluster/events", s.handleClusterEvents)
 	s.mux.HandleFunc("POST /v1/cluster/reoptimize", s.handleClusterReoptimize)
+	s.mux.HandleFunc("GET /v1/cluster/log", s.handleClusterLog)
 	s.mux.HandleFunc("POST /v1/cluster/execute", s.handleExecuteSubmit)
 	s.mux.HandleFunc("GET /v1/cluster/execute", s.handleExecuteList)
 	s.mux.HandleFunc("GET /v1/cluster/execute/{id}", s.handleExecuteGet)

@@ -29,6 +29,53 @@ type Config struct {
 	ServiceOnly bool
 }
 
+// RedeployConfig tunes Redeploy.
+type RedeployConfig struct {
+	// Ticks is how many driver ticks to cover; PerTick is how many
+	// services are redeployed per tick.
+	Ticks   int
+	PerTick int
+	// Seed drives the service sampling (required for reproducibility —
+	// there is no cluster to default from).
+	Seed int64
+}
+
+// Redeploy emits the production simulator's churn schedule as a
+// replayable trace: each tick, PerTick services are drawn and
+// scale-bounced — halved, then restored to their SLA target — which
+// strips half their containers and leaves a deficit the default
+// scheduler refills wherever it likes, eroding collocation exactly
+// like an owner-driven rolling redeploy.
+//
+// The schedule is part of prodsim's like-for-like contract between
+// scenarios: exactly one rng draw is consumed per churned service,
+// including single-replica services that cannot bounce (their draw
+// emits nothing). Bounces always restore the original target, so the
+// shadow replica counts never drift from the live cluster's.
+func Redeploy(p *cluster.Problem, cfg RedeployConfig) *incr.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	replicas := make([]int, p.N())
+	for s := range p.Services {
+		replicas[s] = p.Services[s].Replicas
+	}
+	tr := &incr.Trace{Version: incr.TraceVersion, Seed: cfg.Seed}
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		for c := 0; c < cfg.PerTick; c++ {
+			s := rng.Intn(len(replicas))
+			d := replicas[s]
+			bounce := d / 2
+			if bounce < 1 {
+				continue
+			}
+			tr.Events = append(tr.Events,
+				incr.TraceEvent{Tick: tick, EventJSON: incr.ToJSON(incr.ScaleService{Service: s, Replicas: bounce})},
+				incr.TraceEvent{Tick: tick, EventJSON: incr.ToJSON(incr.ScaleService{Service: s, Replicas: d})},
+			)
+		}
+	}
+	return tr
+}
+
 // Churn event mix: mostly replica scaling (owner redeploys), some
 // affinity drift, occasional machine drains and inventory adds, rare
 // service retirement — the event profile of Section III's live region
