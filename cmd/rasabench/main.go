@@ -22,6 +22,8 @@
 //	                   JSON artifact (BENCH_pr5.json schema) to FILE
 //	-lifetimebench FILE  run the event-sourced lifetime benchmark and write
 //	                   its JSON artifact (BENCH_pr6.json schema) to FILE
+//	-sparsebench FILE  run the sparse-vs-dense LP kernel benchmark and write
+//	                   its JSON artifact (BENCH_pr8.json schema) to FILE
 //	-replay FILE       replay a recorded lifetime trace (rasagen -record)
 //	                   and print a JSON verdict: whether the pure fold
 //	                   reproduces the recorded end-state fingerprint
@@ -52,6 +54,7 @@ func main() {
 	incrBench := flag.String("incrbench", "", "run the incremental re-optimization benchmark and write its JSON artifact to this file")
 	execBench := flag.String("execbench", "", "run the migration-execution benchmark and write its JSON artifact to this file")
 	lifetimeBench := flag.String("lifetimebench", "", "run the event-sourced lifetime benchmark and write its JSON artifact to this file")
+	sparseBench := flag.String("sparsebench", "", "run the sparse-vs-dense LP kernel benchmark and write its JSON artifact to this file")
 	replay := flag.String("replay", "", "replay a recorded lifetime trace and print a JSON verdict")
 	flag.Parse()
 
@@ -100,6 +103,12 @@ func main() {
 	if *lifetimeBench != "" {
 		if err := runLifetimeBench(cfg, *lifetimeBench); err != nil {
 			fail(fmt.Errorf("lifetimebench: %w", err))
+		}
+		benchOnly = true
+	}
+	if *sparseBench != "" {
+		if err := runSparseBench(cfg, *sparseBench); err != nil {
+			fail(fmt.Errorf("sparsebench: %w", err))
 		}
 		benchOnly = true
 	}
@@ -203,6 +212,26 @@ func runLifetimeBench(cfg experiments.Config, path string) error {
 	}
 	defer f.Close()
 	if err := experiments.WriteLifetimeBenchJSON(f, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// runSparseBench runs the PR-8 sparse-kernel benchmark and writes its
+// JSON artifact (ns/solve per kernel, speedup, objective parity, and
+// presolve shrinkage on T4 subproblem LPs).
+func runSparseBench(cfg experiments.Config, path string) error {
+	r, err := experiments.SparseBench(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteSparseBenchJSON(f, r); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -11,16 +11,27 @@
 // solver is exact up to floating-point tolerances, reports dual values
 // (required by column-generation pricing), and is deterministic.
 //
-// The implementation is a dense tableau simplex with Dantzig pricing and
-// an automatic switch to Bland's rule when cycling is suspected. It is
-// sized for RASA subproblems (hundreds to a few thousand rows), which is
-// exactly the regime the paper's partitioning phase produces.
+// Two interchangeable engines back the same API (Options.Kernel):
 //
-// The engine lives in a Workspace (see workspace.go) whose tableau
-// storage is flat, pooled, and reused across solves, and which supports
-// dual-simplex warm starts from a captured Basis — the mechanism
-// branch-and-bound children and CG master re-solves use to re-optimize
-// in a few pivots instead of a full two-phase solve.
+//   - A dense tableau simplex with Dantzig pricing and an automatic
+//     switch to Bland's rule when cycling is suspected — the reference
+//     kernel, lowest constant factor on small problems.
+//   - A sparse revised simplex (sparse.go): CSC constraint storage, a
+//     product-form eta file with periodic refactorization, bounded
+//     variables (presolve turns assignment-style singleton rows into
+//     bounds that never enter the matrix), and a presolve/postsolve
+//     pair that maps solutions and duals back to original indices.
+//     KernelAuto selects it once the implied dense tableau passes
+//     ~32k cells; any numerical breakdown falls back to the dense
+//     kernel, so results are identical up to tolerances.
+//
+// The engines live in a Workspace (see workspace.go) whose storage is
+// flat, pooled, and reused across solves, and which supports warm
+// starts from a captured Basis — the mechanism branch-and-bound
+// children and CG master re-solves use to re-optimize in a few pivots
+// instead of a full two-phase solve. Bases are captured in the dense
+// column layout regardless of kernel, so either engine can warm-start
+// from the other's capture.
 package lp
 
 import (
@@ -121,8 +132,15 @@ type Solution struct {
 
 // Options tune a solve.
 type Options struct {
-	MaxIter  int       // pivot limit; 0 means a size-derived default
+	// MaxIter is the total pivot budget of the solve, shared across
+	// phase 1, phase 2, and warm-start repair; 0 means a size-derived
+	// default.
+	MaxIter  int
 	Deadline time.Time // zero means no deadline
+	// Kernel selects the simplex engine: KernelAuto (default) routes
+	// large problems to the sparse revised-simplex kernel and small
+	// ones to the dense tableau; KernelDense / KernelSparse force one.
+	Kernel Kernel
 }
 
 // Numerical tolerances. These are standard textbook magnitudes for a

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReleaseDropsOversizedArrays pins the pool-retention cap: a
+// workspace that grew past maxPooledFloats must shed its backing
+// arrays on Release instead of pinning them in the pool forever, while
+// ordinarily-sized workspaces keep their storage for reuse.
+func TestReleaseDropsOversizedArrays(t *testing.T) {
+	w := AcquireWorkspace()
+	w.a = make([]float64, maxPooledFloats+1)
+	w.Release()
+	if cap(w.a) != 0 {
+		t.Fatalf("oversized tableau retained through Release: cap=%d", cap(w.a))
+	}
+
+	w = AcquireWorkspace()
+	w.a = make([]float64, 1024)
+	w.phase2 = make([]float64, 64)
+	w.Release()
+	if cap(w.a) != 1024 || cap(w.phase2) != 64 {
+		t.Fatalf("small arrays dropped on Release: cap(a)=%d cap(phase2)=%d", cap(w.a), cap(w.phase2))
+	}
+
+	// Sparse-kernel state counts against the same cap.
+	w = AcquireWorkspace()
+	w.sps.xB = make([]float64, maxPooledFloats+1)
+	w.Release()
+	if cap(w.sps.xB) != 0 {
+		t.Fatalf("oversized sparse state retained through Release: cap=%d", cap(w.sps.xB))
+	}
+}
+
+// TestMaxIterTotalBudget pins MaxIter as a TOTAL pivot budget. The old
+// code handed the full budget to each phase separately, so a solve
+// could spend up to 2x MaxIter pivots; now phase 1, phase 2, and
+// warm-start repair all draw from one pool.
+func TestMaxIterTotalBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	ctx := context.Background()
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		p := randomMixedLP(rng)
+		for _, k := range []Kernel{KernelDense, KernelSparse} {
+			full, err := Solve(ctx, p, Options{Kernel: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.Stats.SimplexIters < 2 {
+				continue
+			}
+			checked++
+			for budget := 1; budget <= full.Stats.SimplexIters; budget++ {
+				sol, err := Solve(ctx, p, Options{Kernel: k, MaxIter: budget})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sol.Stats.SimplexIters > budget {
+					t.Fatalf("kernel %v budget %d: spent %d pivots total (problem %+v)",
+						k, budget, sol.Stats.SimplexIters, p)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no trial exercised a multi-pivot solve")
+	}
+}
+
+// TestMaxIterTotalBudgetWarm extends the budget pin to the warm path:
+// dual repair plus primal polish share the one budget.
+func TestMaxIterTotalBudgetWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	ctx := context.Background()
+	for trial := 0; trial < 100; trial++ {
+		p := randomMixedLP(rng)
+		w := AcquireWorkspace()
+		parent, err := w.Solve(ctx, p, Options{Kernel: KernelDense})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parent.Status != Optimal {
+			w.Release()
+			continue
+		}
+		basis := w.CaptureBasis(nil)
+		child := &Problem{NumVars: p.NumVars, Objective: p.Objective}
+		child.Rows = append(child.Rows, p.Rows...)
+		v := rng.Intn(p.NumVars)
+		child.AddRow([]Coef{{Var: v, Val: 1}}, LE, math.Floor(parent.X[v]))
+		for budget := 1; budget <= 6; budget++ {
+			sol, err := w.SolveFrom(ctx, child, Options{Kernel: KernelDense, MaxIter: budget}, basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Stats.SimplexIters > budget {
+				t.Fatalf("trial %d budget %d: warm solve spent %d pivots", trial, budget, sol.Stats.SimplexIters)
+			}
+		}
+		w.Release()
+	}
+}
+
+// TestWarmStartLayoutDriftGuard provokes the layout-drift hole: a
+// basis captured on one row prefix, then replayed against a prefix
+// whose row SENSE changed. The captured column indices are positional,
+// so without the (n, nArt) guard the stale basis canonicalizes into
+// the wrong columns and silently optimizes a different polytope. The
+// guard must reject the basis (zero warm pivots) and the cold fallback
+// must still produce the right answer.
+func TestWarmStartLayoutDriftGuard(t *testing.T) {
+	ctx := context.Background()
+	base := &Problem{NumVars: 2}
+	base.Objective = []Coef{{Var: 0, Val: 3}, {Var: 1, Val: 2}}
+	base.AddRow([]Coef{{Var: 0, Val: 1}, {Var: 1, Val: 1}}, LE, 4)
+	base.AddRow([]Coef{{Var: 0, Val: 1}}, LE, 3)
+
+	flips := []struct {
+		name  string
+		sense Sense
+	}{
+		{"LE->GE changes column count", GE},
+		{"LE->EQ swaps slack for artificial", EQ},
+	}
+	for _, k := range []Kernel{KernelDense, KernelSparse} {
+		for _, f := range flips {
+			w := AcquireWorkspace()
+			parent, err := w.Solve(ctx, base, Options{Kernel: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parent.Status != Optimal {
+				t.Fatalf("kernel %v: parent not optimal: %v", k, parent.Status)
+			}
+			basis := w.CaptureBasis(nil)
+
+			drifted := &Problem{NumVars: 2, Objective: base.Objective}
+			drifted.Rows = append(drifted.Rows, base.Rows...)
+			drifted.Rows[0].Sense = f.sense
+
+			warm, err := w.SolveFrom(ctx, drifted, Options{Kernel: k}, basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := solveWith(t, drifted, KernelDense)
+			if warm.Status != cold.Status {
+				t.Fatalf("kernel %v %s: drifted warm status %v != cold %v", k, f.name, warm.Status, cold.Status)
+			}
+			if cold.Status == Optimal {
+				if math.Abs(warm.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+					t.Fatalf("kernel %v %s: drifted warm objective %g != cold %g", k, f.name, warm.Objective, cold.Objective)
+				}
+				checkCertificates(t, "drifted-warm", drifted, warm)
+			}
+			if warm.Stats.WarmPivots != 0 {
+				t.Fatalf("kernel %v %s: drifted basis was not rejected: %d warm pivots", k, f.name, warm.Stats.WarmPivots)
+			}
+			w.Release()
+		}
+	}
+}
+
+// TestPrefixLayoutMatchesBuild pins prefixLayout to the column
+// assignment Workspace.build actually performs — the invariant the
+// cross-kernel basis interop and the drift guard both lean on.
+func TestPrefixLayoutMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 300; trial++ {
+		p := randomMixedLP(rng)
+		w := AcquireWorkspace()
+		w.trackPhase1 = false
+		w.build(p)
+		li := prefixLayout(p.Rows, p.NumVars)
+		if li.n != w.n {
+			t.Fatalf("trial %d: prefixLayout n=%d, build n=%d", trial, li.n, w.n)
+		}
+		nArt := 0
+		for j := 0; j < w.n; j++ {
+			if w.artificial[j] {
+				nArt++
+			}
+			if li.owner[j] != w.colRow[j] {
+				t.Fatalf("trial %d: column %d owner %d != build colRow %d", trial, j, li.owner[j], w.colRow[j])
+			}
+		}
+		if li.nArt != nArt {
+			t.Fatalf("trial %d: prefixLayout nArt=%d, build has %d artificials", trial, li.nArt, nArt)
+		}
+		for i := range p.Rows {
+			if li.slack[i] != w.slackCol[i] {
+				t.Fatalf("trial %d: row %d slack %d != build slackCol %d", trial, i, li.slack[i], w.slackCol[i])
+			}
+		}
+		w.Release()
+	}
+}

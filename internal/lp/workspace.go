@@ -42,6 +42,12 @@ type Workspace struct {
 	// trackPhase1 gates phase-1 cost-row maintenance; warm starts never
 	// run phase 1 and skip the bookkeeping.
 	trackPhase1 bool
+
+	// sps is the sparse revised-simplex kernel's state (sparse.go);
+	// lastKernel records which engine produced the workspace's current
+	// end-state so CaptureBasis reads the right one.
+	sps        spState
+	lastKernel Kernel
 }
 
 // Basis is a snapshot of the simplex basis of a solved tableau, the
@@ -54,6 +60,7 @@ type Basis struct {
 	m      int   // rows covered
 	nStruc int   // structural variables at capture
 	n      int   // total columns at capture
+	nArt   int   // artificial columns at capture (layout-drift guard)
 }
 
 // Rows reports how many constraint rows the basis covers.
@@ -65,9 +72,28 @@ var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
 // parallel solvers recycle tableau storage instead of reallocating.
 func AcquireWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
 
-// Release returns the workspace (and its backing arrays) to the pool.
-// The workspace must not be used after Release.
-func (w *Workspace) Release() { wsPool.Put(w) }
+// maxPooledFloats caps the float64 backing capacity a Released
+// workspace may carry into the pool (~8 MiB). One paper-scale solve
+// grows a tableau of tens of millions of cells; without the cap a
+// single such solve pins that memory for the process lifetime.
+const maxPooledFloats = 1 << 20
+
+// Release returns the workspace to the pool. Oversized backing arrays
+// are dropped first so one huge solve does not pin O(m·n) storage
+// forever. The workspace must not be used after Release.
+func (w *Workspace) Release() {
+	if w.retainedFloats() > maxPooledFloats {
+		*w = Workspace{}
+	}
+	wsPool.Put(w)
+}
+
+// retainedFloats is the float64 capacity the workspace would keep
+// pooled (the dominant storage; int/bool slices scale with the same
+// dimensions and are covered by the same cap).
+func (w *Workspace) retainedFloats() int {
+	return cap(w.a) + cap(w.phase1) + cap(w.phase2) + cap(w.slackSign) + w.sps.retainedFloats()
+}
 
 // CaptureBasis snapshots the basis of the workspace's most recent solve
 // into dst (allocated when nil) and returns it. Only meaningful after a
@@ -77,8 +103,23 @@ func (w *Workspace) CaptureBasis(dst *Basis) *Basis {
 	if dst == nil {
 		dst = &Basis{}
 	}
+	if w.lastKernel == KernelSparse {
+		// The sparse kernel pre-translates its basis into the dense
+		// column layout (buildCapture), so captures from either kernel
+		// warm-start either kernel.
+		k := &w.sps
+		dst.cols = append(dst.cols[:0], k.capCols...)
+		dst.m, dst.nStruc, dst.n, dst.nArt = k.capM, k.capNStruc, k.capN, k.capNArt
+		return dst
+	}
 	dst.cols = append(dst.cols[:0], w.basis[:w.m]...)
 	dst.m, dst.nStruc, dst.n = w.m, w.nStruc, w.n
+	dst.nArt = 0
+	for j := w.nStruc; j < w.n; j++ {
+		if w.artificial[j] {
+			dst.nArt++
+		}
+	}
 	return dst
 }
 
@@ -153,6 +194,14 @@ func (w *Workspace) solveImpl(ctx context.Context, p *Problem, opts Options, fro
 		stats.Stop = cause
 		return finish(Solution{Status: IterLimit})
 	}
+	if resolveKernel(opts.Kernel, p) == KernelSparse {
+		if sol, ok := w.solveSparse(ctx, p, opts, from, &stats); ok {
+			return finish(sol)
+		}
+		// Numerical breakdown in the sparse kernel: the dense tableau
+		// below makes no factorization assumptions and settles it.
+	}
+	w.lastKernel = KernelDense
 	if from != nil {
 		if sol, ok := w.solveWarm(ctx, p, opts, from, &stats); ok {
 			return finish(sol)
@@ -167,9 +216,12 @@ func (w *Workspace) solveImpl(ctx context.Context, p *Problem, opts Options, fro
 	if maxIter <= 0 {
 		maxIter = 200 * (w.m + w.n + 10)
 	}
+	// MaxIter is a total pivot budget across phases (and across a
+	// sparse attempt that broke down after spending pivots), not a
+	// per-phase allowance.
 
 	// Phase 1: drive artificials to zero.
-	st, cause := w.iterate(ctx, w.phase1, maxIter, opts.Deadline, true, false, &stats)
+	st, cause := w.iterate(ctx, w.phase1, maxIter-stats.SimplexIters, opts.Deadline, true, false, &stats)
 	if st == IterLimit {
 		stats.Stop = cause
 		return finish(Solution{Status: IterLimit})
@@ -180,8 +232,8 @@ func (w *Workspace) solveImpl(ctx context.Context, p *Problem, opts Options, fro
 	}
 	w.expelArtificials()
 
-	// Phase 2: original objective.
-	st, cause = w.iterate(ctx, w.phase2, maxIter, opts.Deadline, false, false, &stats)
+	// Phase 2: original objective, on whatever budget phase 1 left.
+	st, cause = w.iterate(ctx, w.phase2, maxIter-stats.SimplexIters, opts.Deadline, false, false, &stats)
 	if st == Unbounded {
 		return finish(Solution{Status: Unbounded})
 	}
@@ -319,6 +371,17 @@ func (w *Workspace) solveWarm(ctx context.Context, p *Problem, opts Options, fro
 	if from == nil || from.m > m || from.nStruc > p.NumVars || len(from.cols) != from.m {
 		return Solution{}, false
 	}
+	// The captured column indices are positional: they are only
+	// meaningful if the shared row prefix still implies the layout they
+	// were captured under. A row sense changed in the prefix shifts
+	// every later slack/surplus column (LE<->GE changes the column
+	// count; LE<->EQ keeps it but swaps a slack for an artificial), and
+	// a drifted basis would canonicalize into the wrong columns and
+	// silently optimize a different vertex set. The (n, nArt) pair of
+	// the prefix layout detects both drifts.
+	if li := prefixLayout(p.Rows[:from.m], from.nStruc); li.n != from.n || li.nArt != from.nArt {
+		return Solution{}, false
+	}
 	w.trackPhase1 = false
 	w.build(p)
 
@@ -348,6 +411,9 @@ func (w *Workspace) solveWarm(ctx context.Context, p *Problem, opts Options, fro
 		return Solution{}, false
 	}
 
+	// MaxIter is a total budget: the dual repair and the primal polish
+	// share it (and any pivots a preceding sparse attempt spent count
+	// against it too).
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = 200 * (w.m + w.n + 10)
@@ -370,7 +436,7 @@ func (w *Workspace) solveWarm(ctx context.Context, p *Problem, opts Options, fro
 				return Solution{}, false
 			}
 		}
-		st, cause := w.dualIterate(ctx, maxIter, opts.Deadline, stats)
+		st, cause := w.dualIterate(ctx, maxIter-stats.SimplexIters, opts.Deadline, stats)
 		switch st {
 		case Infeasible:
 			return Solution{Status: Infeasible}, true
@@ -381,8 +447,9 @@ func (w *Workspace) solveWarm(ctx context.Context, p *Problem, opts Options, fro
 			return Solution{Status: IterLimit}, true
 		}
 	}
-	// Primal-feasible basis: finish (or polish) with warm primal pivots.
-	st, cause := w.iterate(ctx, w.phase2, maxIter, opts.Deadline, false, true, stats)
+	// Primal-feasible basis: finish (or polish) with warm primal pivots
+	// on whatever budget the dual repair left.
+	st, cause := w.iterate(ctx, w.phase2, maxIter-stats.SimplexIters, opts.Deadline, false, true, stats)
 	if st == Unbounded {
 		return Solution{Status: Unbounded}, true
 	}

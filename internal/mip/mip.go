@@ -113,6 +113,12 @@ type Options struct {
 	// to a cold solve when it is stale or mismatched, so a wrong guess
 	// costs nothing but the check. Ignored under DisableWarmStart.
 	RootBasis *lp.Basis
+	// LPKernel selects the simplex engine for node LPs (lp.KernelAuto
+	// by default: size-routed, sparse revised simplex on large
+	// relaxations with a dense-tableau fallback). lp.KernelDense /
+	// lp.KernelSparse force one — the ablation knob behind
+	// experiments.SparseBench.
+	LPKernel lp.Kernel
 }
 
 // Solution is the result of a solve.
@@ -260,7 +266,7 @@ func (s *solver) solveLP(n *node) (lp.Solution, error) {
 	}
 	prob.Rows = append(prob.Rows, s.prob.LP.Rows...)
 	prob.Rows = append(prob.Rows, extra...)
-	opts := lp.Options{Deadline: s.opts.Deadline}
+	opts := lp.Options{Deadline: s.opts.Deadline, Kernel: s.opts.LPKernel}
 	var from *lp.Basis
 	if !s.opts.DisableWarmStart {
 		if n.parent != nil {
