@@ -24,6 +24,8 @@
 //	                   its JSON artifact (BENCH_pr6.json schema) to FILE
 //	-sparsebench FILE  run the sparse-vs-dense LP kernel benchmark and write
 //	                   its JSON artifact (BENCH_pr8.json schema) to FILE
+//	-shardbench FILE   run the federated shard-pool churn benchmark and write
+//	                   its JSON artifact (BENCH_pr9.json schema) to FILE
 //	-replay FILE       replay a recorded lifetime trace (rasagen -record)
 //	                   and print a JSON verdict: whether the pure fold
 //	                   reproduces the recorded end-state fingerprint
@@ -55,6 +57,7 @@ func main() {
 	execBench := flag.String("execbench", "", "run the migration-execution benchmark and write its JSON artifact to this file")
 	lifetimeBench := flag.String("lifetimebench", "", "run the event-sourced lifetime benchmark and write its JSON artifact to this file")
 	sparseBench := flag.String("sparsebench", "", "run the sparse-vs-dense LP kernel benchmark and write its JSON artifact to this file")
+	shardBench := flag.String("shardbench", "", "run the federated shard-pool churn benchmark and write its JSON artifact to this file")
 	replay := flag.String("replay", "", "replay a recorded lifetime trace and print a JSON verdict")
 	flag.Parse()
 
@@ -109,6 +112,12 @@ func main() {
 	if *sparseBench != "" {
 		if err := runSparseBench(cfg, *sparseBench); err != nil {
 			fail(fmt.Errorf("sparsebench: %w", err))
+		}
+		benchOnly = true
+	}
+	if *shardBench != "" {
+		if err := runShardBench(cfg, *shardBench); err != nil {
+			fail(fmt.Errorf("shardbench: %w", err))
 		}
 		benchOnly = true
 	}
@@ -232,6 +241,26 @@ func runSparseBench(cfg experiments.Config, path string) error {
 	}
 	defer f.Close()
 	if err := experiments.WriteSparseBenchJSON(f, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// runShardBench runs the PR-9 federated shard-pool benchmark and writes
+// its JSON artifact (per-arm throughput and pass mix under an identical
+// churn firehose, quality parity, executed final wave, rebalance).
+func runShardBench(cfg experiments.Config, path string) error {
+	r, err := experiments.ShardBench(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteShardBenchJSON(f, r); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

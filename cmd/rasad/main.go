@@ -49,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent optimization jobs with -serve")
 	queueDepth := flag.Int("queue", 64, "bounded job queue depth with -serve (overload returns 429)")
 	maxBudget := flag.Duration("max-budget", 60*time.Second, "upper clamp on per-job budgets with -serve")
+	shards := flag.Int("shards", 0, "with -serve, run the /v1/cluster session on this many federated shard workers (>= 2)")
+	maxWait := flag.Duration("max-wait", 5*time.Minute, "upper clamp on ?wait= long-poll durations with -serve")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the context: in-flight solves return their
@@ -61,7 +63,7 @@ func main() {
 		return
 	}
 	if *serveAddr != "" {
-		runServe(ctx, *serveAddr, *workers, *queueDepth, *budget, *maxBudget)
+		runServe(ctx, *serveAddr, *workers, *queueDepth, *shards, *budget, *maxBudget, *maxWait)
 		return
 	}
 	runOnce(ctx, *snapPath, *budget, *seed, *verbose)

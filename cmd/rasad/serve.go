@@ -20,18 +20,25 @@ import (
 // milliseconds, so this only matters if a solver wedges.
 const drainTimeout = 30 * time.Second
 
-func runServe(ctx context.Context, addr string, workers, queueDepth int, budget, maxBudget time.Duration) {
+func runServe(ctx context.Context, addr string, workers, queueDepth, shards int, budget, maxBudget, maxWait time.Duration) {
 	srv := server.New(server.Config{
 		Workers:       workers,
 		QueueDepth:    queueDepth,
 		DefaultBudget: budget,
 		MaxBudget:     maxBudget,
+		MaxWait:       maxWait,
+		Shards:        shards,
 	})
 	hs := &http.Server{Addr: addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("rasad: serving optimization API on %s (%d workers, queue depth %d, default budget %s)\n",
-		addr, workers, queueDepth, budget)
+	if shards >= 2 {
+		fmt.Printf("rasad: serving optimization API on %s (%d workers, queue depth %d, default budget %s, %d cluster shards)\n",
+			addr, workers, queueDepth, budget, shards)
+	} else {
+		fmt.Printf("rasad: serving optimization API on %s (%d workers, queue depth %d, default budget %s)\n",
+			addr, workers, queueDepth, budget)
+	}
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,516 @@
+// Shard federation benchmark (BENCH_pr9.json): the PR-9 scatter-gather
+// pool against the single incremental engine under a sustained churn
+// firehose. Hundreds of scripted sessions — each owning a disjoint
+// slice of one compatibility block's services, so concurrent batches
+// commute — fire zone-concentrated event waves; after each wave one
+// event-to-plan pass runs (Reoptimize with migration planning on). The
+// single-engine arm pays cluster-scoped pass costs for every wave; the
+// federated arms re-solve only the blocks the wave dirtied. The
+// artifact records per-arm throughput, pass-mode mix, final normalized
+// gain (the arms must agree within 1%), an executed final wave with
+// zero SLA-floor violations, and a shard rebalance whose replayed
+// blocks preserve their log fingerprints.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/exec"
+	"github.com/cloudsched/rasa/internal/fed"
+	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/lifetime"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// ShardBenchResult is the schema of BENCH_pr9.json.
+type ShardBenchResult struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	Preset string `json:"preset"`
+
+	Services int `json:"services"`
+	Machines int `json:"machines"`
+	// Blocks is the compatibility-block count (= zones: every service
+	// is zone-pinned); Sessions is the concurrent scripted submitters.
+	Blocks   int `json:"blocks"`
+	Sessions int `json:"sessions"`
+	// Rounds churn waves were fired; each wave touches BlocksPerRound
+	// rotating blocks and is followed by one event-to-plan pass.
+	Rounds         int    `json:"rounds"`
+	BlocksPerRound int    `json:"blocksPerRound"`
+	Events         int    `json:"events"`
+	Budget         string `json:"budget"`
+
+	Arms []ShardBenchArm `json:"arms"`
+
+	// ThroughputSpeedup4x is eventsPerSec(fed-4) / eventsPerSec(single)
+	// — the PR-9 acceptance floor is 2.5. AffinityDeltaPercent is the
+	// relative gap between the 4-shard arm's and the single engine's
+	// final normalized gain (ceiling 1%).
+	ThroughputSpeedup4x  float64 `json:"throughputSpeedup4x"`
+	AffinityDeltaPercent float64 `json:"affinityDeltaPercent"`
+
+	// Rebalance resizes the 4-shard pool after the firehose; the
+	// replayed blocks must preserve their log fingerprints.
+	Rebalance *fed.Rebalance `json:"rebalance"`
+}
+
+// ShardBenchArm is one engine configuration driven through the
+// identical firehose.
+type ShardBenchArm struct {
+	// Name is "single" or "fed-N"; Shards is 0 for the single engine.
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+
+	Events       int     `json:"events"`
+	WallSeconds  float64 `json:"wallSeconds"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+
+	// Pass-mode mix over the firehose waves. For the single engine a
+	// wave is one pass; for a pool each dirty block contributes one.
+	Noops  int `json:"noops"`
+	Deltas int `json:"deltas"`
+	Fulls  int `json:"fulls"`
+	Moves  int `json:"moves"`
+	// FloorRejections counts merged block plans the pool's global
+	// SLA-floor check refused (single engine: always 0).
+	FloorRejections int `json:"floorRejections"`
+
+	FinalNormalizedGain float64 `json:"finalNormalizedGain"`
+	FinalGained         float64 `json:"finalGainedAffinity"`
+
+	// The post-firehose wave executed through the migration executor
+	// against an instant fabric.
+	ExecOutcome         string `json:"execOutcome"`
+	ExecMoves           int    `json:"execPlannedMoves"`
+	ExecFloorViolations int    `json:"execFloorViolations"`
+}
+
+// shardScript is the pre-generated firehose: batches[worker][round] is
+// the event batch session `worker` submits in round `round`. Sessions
+// own disjoint service sets within one block, so every round's
+// concurrent batches commute — all arms reach the identical state at
+// each round boundary regardless of goroutine interleaving.
+type shardScript struct {
+	batches  [][][]incr.Event
+	active   [][]int // round -> active worker ids
+	finale   [][]incr.Event
+	perRound []int
+	events   int
+}
+
+const (
+	shardBenchSessions  = 200
+	shardBenchRounds    = 24
+	shardBlocksPerRound = 1
+	eventsPerSession    = 2
+)
+
+// buildShardScript assigns every session a block and a disjoint slice
+// of its services, then scripts bounce-scales and intra-slice affinity
+// reweights per round. Affinity pairs stay inside one session's slice
+// (hence inside one block), so no script event creates a cross-block
+// edge and both arms optimize the same edge set.
+func buildShardScript(p *cluster.Problem, blocks []partition.Block, seed int64) *shardScript {
+	nb := len(blocks)
+	owner := make([][]int, shardBenchSessions) // session -> owned services
+	for bi, b := range blocks {
+		var workers []int
+		for w := bi; w < shardBenchSessions; w += nb {
+			workers = append(workers, w)
+		}
+		for j, s := range b.Services {
+			w := workers[j%len(workers)]
+			owner[w] = append(owner[w], s)
+		}
+	}
+	orig := make([]int, p.N())
+	shadow := make([]int, p.N())
+	for s := range p.Services {
+		orig[s] = p.Services[s].Replicas
+		shadow[s] = orig[s]
+	}
+	avgWeight := 1.0
+	if m := p.Affinity.M(); m > 0 {
+		avgWeight = p.Affinity.TotalWeight() / float64(m)
+	}
+
+	sc := &shardScript{
+		batches: make([][][]incr.Event, shardBenchSessions),
+		active:  make([][]int, shardBenchRounds),
+	}
+	emit := func(w int, rng *rand.Rand) []incr.Event {
+		var batch []incr.Event
+		for e := 0; e < eventsPerSession; e++ {
+			if e%2 == 1 && len(owner[w]) >= 2 {
+				i := rng.Intn(len(owner[w]))
+				j := rng.Intn(len(owner[w]) - 1)
+				if j >= i {
+					j++
+				}
+				batch = append(batch, incr.UpdateAffinity{
+					A: owner[w][i], B: owner[w][j],
+					Weight: avgWeight * (0.5 + rng.Float64()),
+				})
+				continue
+			}
+			s := owner[w][rng.Intn(len(owner[w]))]
+			// Bounce above the original target: scale up one replica, then
+			// restore. Upward bounces keep every entry state at or under
+			// its replica target, so migration plans never need the
+			// deadlock-breaking stall path; the generated cluster's 0.5
+			// utilization covers the extra replica.
+			target := shadow[s] + 1
+			if shadow[s] > orig[s] {
+				target = orig[s]
+			}
+			shadow[s] = target
+			batch = append(batch, incr.ScaleService{Service: s, Replicas: target})
+		}
+		return batch
+	}
+	rngs := make([]*rand.Rand, shardBenchSessions)
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewSource(seed*7919 + int64(w)))
+	}
+	for w := 0; w < shardBenchSessions; w++ {
+		sc.batches[w] = make([][]incr.Event, shardBenchRounds)
+	}
+	for r := 0; r < shardBenchRounds; r++ {
+		hot := map[int]bool{}
+		for k := 0; k < shardBlocksPerRound; k++ {
+			hot[(r*shardBlocksPerRound+k)%nb] = true
+		}
+		count := 0
+		for w := 0; w < shardBenchSessions; w++ {
+			if len(owner[w]) == 0 || !hot[w%nb] {
+				continue
+			}
+			b := emit(w, rngs[w])
+			sc.batches[w][r] = b
+			sc.active[r] = append(sc.active[r], w)
+			count += len(b)
+		}
+		sc.perRound = append(sc.perRound, count)
+		sc.events += count
+	}
+	// The finale touches every session once; it is applied but not
+	// re-optimized, leaving real work for the executor phase.
+	for w := 0; w < shardBenchSessions; w++ {
+		if len(owner[w]) == 0 {
+			continue
+		}
+		sc.finale = append(sc.finale, emit(w, rngs[w]))
+	}
+	return sc
+}
+
+// shardArm abstracts the two backends behind the firehose driver.
+type shardArm struct {
+	name   string
+	shards int
+	apply  func([]incr.Event) error
+	reopt  func() (noops, deltas, fulls, moves, rejections int, err error)
+	stats  func() incr.Stats
+	exec   func() (*exec.Report, error)
+	pool   *fed.Pool
+}
+
+func shardEngineOpts(cfg Config) incr.Options {
+	// Floor the pass budget well above the block solve times: the
+	// anytime solvers prove per-block optimality in tens of
+	// milliseconds, so the floor never pads the wall clock — it only
+	// keeps the single engine's cluster-wide full passes from being
+	// truncated to incomparable incumbents (lifetimebench pins its
+	// embedded budget for the same reason).
+	budget := cfg.Budget
+	if budget < 4*time.Second {
+		budget = 4 * time.Second
+	}
+	return incr.Options{
+		Budget:      budget,
+		Parallelism: 1,
+		MinAlive:    0.75,
+		// Both arms tolerate at most one point of drift before
+		// escalating, so their final gains are comparable: the default
+		// 5% would let the single engine coast on stale partitions while
+		// the pool's block-scoped passes stay near-optimal.
+		DriftThreshold: 0.01,
+		// One subproblem per compatibility block and unsampled master
+		// sets: the single engine then solves exactly the subproblems
+		// the pool's blocks solve, so the arms' final gains differ only
+		// by budget pressure, not partition shape.
+		Partition: partition.Options{Seed: cfg.Seed, MasterRatio: 1, TargetSize: 16},
+	}
+}
+
+func newSingleArm(cfg Config, c *workload.Cluster) (*shardArm, error) {
+	p, a, err := snapshot.FromCluster(c.Problem, c.Original).ToCluster()
+	if err != nil {
+		return nil, err
+	}
+	st, err := incr.NewState(p, a)
+	if err != nil {
+		return nil, err
+	}
+	eng := incr.New(st, shardEngineOpts(cfg), nil)
+	// One session mutex, exactly as the server serializes the shared
+	// engine: concurrent sessions queue on it.
+	var mu sync.Mutex
+	return &shardArm{
+		name: "single",
+		apply: func(evs []incr.Event) error {
+			mu.Lock()
+			defer mu.Unlock()
+			_, err := eng.Apply(evs...)
+			return err
+		},
+		reopt: func() (int, int, int, int, int, error) {
+			res, err := eng.Reoptimize(cfg.Ctx)
+			if err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+			var no, de, fu int
+			switch res.Mode {
+			case incr.ModeNoop:
+				no = 1
+			case incr.ModeDelta:
+				de = 1
+			default:
+				fu = 1
+			}
+			return no, de, fu, res.Moves, 0, nil
+		},
+		stats: func() incr.Stats { return st.Snapshot() },
+		exec: func() (*exec.Report, error) {
+			fab := exec.NewInstantFabric(st.Assignment().Clone())
+			return exec.New(eng, fab, exec.Options{MinAlive: 0.75, Parallelism: 1, Seed: cfg.Seed}, nil).Run(cfg.Ctx)
+		},
+	}, nil
+}
+
+func newFedArm(cfg Config, c *workload.Cluster, shards int) (*shardArm, error) {
+	p, a, err := snapshot.FromCluster(c.Problem, c.Original).ToCluster()
+	if err != nil {
+		return nil, err
+	}
+	pool, err := fed.New(p, a, fed.Options{Shards: shards, Engine: shardEngineOpts(cfg)}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &shardArm{
+		name:   fmt.Sprintf("fed-%d", shards),
+		shards: shards,
+		pool:   pool,
+		apply: func(evs []incr.Event) error {
+			_, err := pool.Apply(evs...)
+			return err
+		},
+		reopt: func() (int, int, int, int, int, error) {
+			res, err := pool.Reoptimize(cfg.Ctx)
+			if err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+			return res.Noops, res.Deltas, res.Fulls, res.Moves, res.FloorRejections, nil
+		},
+		stats: func() incr.Stats { return pool.Stats() },
+		exec: func() (*exec.Report, error) {
+			fabFor := func(blockID int, gMach []int, start *cluster.Assignment) exec.Fabric {
+				return exec.NewInstantFabric(start.Clone())
+			}
+			return pool.Execute(cfg.Ctx, fabFor, exec.Options{MinAlive: 0.75, Parallelism: 1, Seed: cfg.Seed})
+		},
+	}, nil
+}
+
+// runFirehose drives the scripted waves through one arm: per round, the
+// active sessions submit concurrently, then one event-to-plan pass
+// runs. The measured wall clock covers both.
+func runFirehose(cfg Config, arm *shardArm, sc *shardScript) (*ShardBenchArm, error) {
+	out := &ShardBenchArm{Name: arm.name, Shards: arm.shards, Events: sc.events}
+	start := time.Now()
+	for r := 0; r < shardBenchRounds; r++ {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(sc.active[r]))
+		for i, w := range sc.active[r] {
+			wg.Add(1)
+			go func(i, w int) {
+				defer wg.Done()
+				errs[i] = arm.apply(sc.batches[w][r])
+			}(i, w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("shardbench: %s apply: %w", arm.name, err)
+			}
+		}
+		no, de, fu, moves, rej, err := arm.reopt()
+		if err != nil {
+			return nil, fmt.Errorf("shardbench: %s reoptimize: %w", arm.name, err)
+		}
+		out.Noops += no
+		out.Deltas += de
+		out.Fulls += fu
+		out.Moves += moves
+		out.FloorRejections += rej
+	}
+	out.WallSeconds = time.Since(start).Seconds()
+	if out.WallSeconds > 0 {
+		out.EventsPerSec = float64(out.Events) / out.WallSeconds
+	}
+	// Settle (untimed): force one clean pass over everything so the
+	// quality comparison measures each arm's converged state, not the
+	// residue of whichever waves happened to run under budget pressure.
+	if err := arm.apply([]incr.Event{lifetime.ReplanRequested{Reason: "shardbench-settle"}}); err != nil {
+		return nil, fmt.Errorf("shardbench: %s settle apply: %w", arm.name, err)
+	}
+	if _, _, _, _, _, err := arm.reopt(); err != nil {
+		return nil, fmt.Errorf("shardbench: %s settle: %w", arm.name, err)
+	}
+	st := arm.stats()
+	out.FinalNormalizedGain = st.NormalizedGain
+	out.FinalGained = st.GainedAffinity
+
+	// Final wave: applied concurrently, then executed (not adopted) so
+	// the executor phase converges real pending work.
+	var wg sync.WaitGroup
+	errs := make([]error, len(sc.finale))
+	for i := range sc.finale {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = arm.apply(sc.finale[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shardbench: %s finale: %w", arm.name, err)
+		}
+	}
+	rep, err := arm.exec()
+	if err != nil {
+		return nil, fmt.Errorf("shardbench: %s execute: %w", arm.name, err)
+	}
+	out.ExecOutcome = string(rep.Outcome)
+	out.ExecMoves = rep.PlannedMoves
+	out.ExecFloorViolations = rep.FloorViolations
+	return out, nil
+}
+
+// ShardBench runs the identical scripted firehose through the single
+// incremental engine and through 2/4/8-shard federated pools, then
+// rebalances the 4-shard pool. The container runs on one core, so the
+// federated arms' throughput edge measures pass-scoped work avoided —
+// only dirtied blocks re-solve, and their pass overhead is block-sized
+// — not CPU parallelism; shard counts beyond the dirty-block count per
+// wave add routing capacity, not speed.
+func ShardBench(cfg Config) (*ShardBenchResult, error) {
+	cfg = cfg.withDefaults()
+	ps := workload.Preset{
+		Name: "SHARD", Services: 240, Containers: 1200, Machines: 96,
+		Beta: 1.7, AffinityFraction: 0.6, Zones: 24, CommunitySize: 5,
+		Utilization: 0.5, Seed: cfg.Seed + 5,
+	}
+	c, err := getCluster(ps)
+	if err != nil {
+		return nil, err
+	}
+	blocks := partition.Blocks(c.Problem)
+	sc := buildShardScript(c.Problem, blocks, cfg.Seed)
+
+	res := &ShardBenchResult{
+		Schema:   "rasa-shard-bench/1",
+		Seed:     cfg.Seed,
+		Preset:   ps.Name,
+		Services: c.Problem.N(),
+		Machines: c.Problem.M(),
+		Blocks:   len(blocks),
+		Sessions: shardBenchSessions,
+		Rounds:   shardBenchRounds,
+
+		BlocksPerRound: shardBlocksPerRound,
+		Events:         sc.events,
+		Budget:         cfg.Budget.String(),
+	}
+
+	header(cfg.Out, "SHARD-BENCH", "federated pool vs single engine under a scripted churn firehose (BENCH_pr9.json)")
+	row(cfg.Out, "arm", "events", "wall s", "ev/s", "noop", "delta", "full", "moves", "norm gain", "exec", "floor")
+
+	arms := []func() (*shardArm, error){
+		func() (*shardArm, error) { return newSingleArm(cfg, c) },
+		func() (*shardArm, error) { return newFedArm(cfg, c, 2) },
+		func() (*shardArm, error) { return newFedArm(cfg, c, 4) },
+		func() (*shardArm, error) { return newFedArm(cfg, c, 8) },
+	}
+	var fed4 *fed.Pool
+	for _, mk := range arms {
+		arm, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		ar, err := runFirehose(cfg, arm, sc)
+		if err != nil {
+			return nil, err
+		}
+		if arm.shards == 4 {
+			fed4 = arm.pool
+		}
+		res.Arms = append(res.Arms, *ar)
+		row(cfg.Out, ar.Name, ar.Events, ar.WallSeconds, ar.EventsPerSec, ar.Noops, ar.Deltas,
+			ar.Fulls, ar.Moves, ar.FinalNormalizedGain, ar.ExecOutcome, ar.ExecFloorViolations)
+	}
+
+	single, four := res.Arms[0], res.Arms[2]
+	if single.EventsPerSec > 0 {
+		res.ThroughputSpeedup4x = four.EventsPerSec / single.EventsPerSec
+	}
+	if single.FinalNormalizedGain > 0 {
+		res.AffinityDeltaPercent = 100 * abs(four.FinalNormalizedGain-single.FinalNormalizedGain) / single.FinalNormalizedGain
+	}
+	for _, ar := range res.Arms {
+		if ar.ExecFloorViolations != 0 {
+			return nil, fmt.Errorf("shardbench: %s issued %d SLA-floor violations", ar.Name, ar.ExecFloorViolations)
+		}
+		if ar.ExecOutcome != string(exec.OutcomeCompleted) {
+			return nil, fmt.Errorf("shardbench: %s execution outcome %s", ar.Name, ar.ExecOutcome)
+		}
+	}
+	if res.AffinityDeltaPercent > 1 {
+		return nil, fmt.Errorf("shardbench: 4-shard final gain diverges %.2f%% from single engine",
+			res.AffinityDeltaPercent)
+	}
+
+	// Rebalance the 4-shard pool: the moved blocks replay their log
+	// segments into the new owners and must hash identically.
+	reb, err := fed4.Resize(6)
+	if err != nil {
+		return nil, fmt.Errorf("shardbench: rebalance: %w", err)
+	}
+	res.Rebalance = reb
+	if !reb.FingerprintsPreserved {
+		return nil, fmt.Errorf("shardbench: rebalance lost block fingerprints")
+	}
+	fmt.Fprintf(cfg.Out, "throughput speedup fed-4/single %.2fx; affinity delta %.3f%%; rebalance moved %d blocks (%d events replayed, fingerprints preserved)\n",
+		res.ThroughputSpeedup4x, res.AffinityDeltaPercent, len(reb.MovedBlocks), reb.ReplayedEvents)
+	return res, nil
+}
+
+// WriteShardBenchJSON writes the BENCH_pr9.json artifact.
+func WriteShardBenchJSON(w io.Writer, r *ShardBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,85 @@
+package fed
+
+import (
+	"context"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/exec"
+)
+
+// Execute drives one migration executor per block: each block proposes
+// its own plan and actuates it against the fabric fabFor builds for it
+// (the fabric sees local indices; gMach lets the caller translate
+// machine-scoped fault schedules). Blocks run sequentially in id order
+// — the executor's make-before-break waves already exploit intra-plan
+// parallelism, and per-block floors are the same floors the global
+// check enforces, so sequencing blocks loses no safety and keeps the
+// fault-injection schedule deterministic.
+//
+// The aggregate report sums every counter; Outcome is completed only
+// when every block completed. Final is the assembled global assignment.
+func (pl *Pool) Execute(ctx context.Context, fabFor func(blockID int, gMach []int, start *cluster.Assignment) exec.Fabric, opts exec.Options) (*exec.Report, error) {
+	pl.solveMu.Lock()
+	defer pl.solveMu.Unlock()
+
+	pl.mu.RLock()
+	blocks := append([]*block(nil), pl.blocks...)
+	crossTotal := pl.crossTotal
+	pl.mu.RUnlock()
+
+	agg := &exec.Report{Outcome: exec.OutcomeCompleted, MinHeadroom: -1}
+	var totalAffinity float64
+	for _, b := range blocks {
+		b.mu.Lock()
+		start := b.eng.State().Assignment().Clone()
+		fab := fabFor(b.id, append([]int(nil), b.gMach...), start)
+		ex := exec.New(b.eng, fab, opts, nil)
+		rep, err := ex.Run(ctx)
+		if err != nil {
+			b.mu.Unlock()
+			return nil, err
+		}
+		bp := b.eng.State().Problem()
+		totalAffinity += bp.Affinity.TotalWeight()
+		agg.PlannedMoves += rep.PlannedMoves
+		agg.Steps += rep.Steps
+		agg.Commands += rep.Commands
+		agg.Executed += rep.Executed
+		agg.Failed += rep.Failed
+		agg.Skipped += rep.Skipped
+		agg.Retries += rep.Retries
+		agg.BackoffTotal += rep.BackoffTotal
+		agg.Replans += rep.Replans
+		agg.ReplanReasons = append(agg.ReplanReasons, rep.ReplanReasons...)
+		agg.FloorViolations += rep.FloorViolations
+		agg.EnvFloorDips += rep.EnvFloorDips
+		agg.WastedMoves += rep.WastedMoves
+		agg.PlannedGain += rep.PlannedGain
+		agg.AchievedGain += rep.AchievedGain
+		agg.Elapsed += rep.Elapsed
+		for _, lm := range rep.DeadMachines {
+			agg.DeadMachines = append(agg.DeadMachines, b.gMach[lm])
+		}
+		if rep.MinHeadroom >= 0 && (agg.MinHeadroom < 0 || rep.MinHeadroom < agg.MinHeadroom) {
+			agg.MinHeadroom = rep.MinHeadroom
+		}
+		switch rep.Outcome {
+		case exec.OutcomeAborted:
+			agg.Outcome = exec.OutcomeAborted
+			if agg.Err == "" {
+				agg.Err = rep.Err
+			}
+		case exec.OutcomeCancelled:
+			if agg.Outcome != exec.OutcomeAborted {
+				agg.Outcome = exec.OutcomeCancelled
+			}
+		}
+		b.mu.Unlock()
+	}
+	if denom := totalAffinity + crossTotal; denom > 0 {
+		agg.NormPlanned = agg.PlannedGain / denom
+		agg.NormAchieved = agg.AchievedGain / denom
+	}
+	agg.Final = pl.Assignment()
+	return agg, nil
+}

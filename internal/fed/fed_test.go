@@ -1,0 +1,565 @@
+package fed
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/exec"
+	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/incr"
+	"github.com/cloudsched/rasa/internal/lifetime"
+	"github.com/cloudsched/rasa/internal/migrate"
+	"github.com/cloudsched/rasa/internal/partition"
+)
+
+// twoBlockProblem hand-builds a cluster with exactly two compatibility
+// blocks: services 0,1 pinned to machines 0,1 and services 2,3 pinned
+// to machines 2,3, with intra-block affinity in both blocks plus one
+// cross-block edge (1,2) of weight 2.
+func twoBlockProblem() (*cluster.Problem, *cluster.Assignment) {
+	p := &cluster.Problem{
+		ResourceNames: []string{"cpu", "mem"},
+		Services: []cluster.Service{
+			{Name: "a0", Replicas: 2, Request: cluster.Resources{1, 1}},
+			{Name: "a1", Replicas: 2, Request: cluster.Resources{1, 1}},
+			{Name: "b0", Replicas: 2, Request: cluster.Resources{1, 1}},
+			{Name: "b1", Replicas: 2, Request: cluster.Resources{1, 1}},
+		},
+		Machines: []cluster.Machine{
+			{Name: "m0", Capacity: cluster.Resources{10, 10}},
+			{Name: "m1", Capacity: cluster.Resources{10, 10}},
+			{Name: "m2", Capacity: cluster.Resources{10, 10}},
+			{Name: "m3", Capacity: cluster.Resources{10, 10}},
+		},
+	}
+	p.Affinity = graph.New(4)
+	p.Affinity.AddEdge(0, 1, 5)
+	p.Affinity.AddEdge(2, 3, 3)
+	p.Affinity.AddEdge(1, 2, 2)
+	pin := func(machines ...int) cluster.Bitmap {
+		bm := cluster.NewBitmap(4)
+		for _, m := range machines {
+			bm.Set(m)
+		}
+		return bm
+	}
+	p.Schedulable = []cluster.Bitmap{pin(0, 1), pin(0, 1), pin(2, 3), pin(2, 3)}
+
+	a := cluster.NewAssignment(4, 4)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 2)
+	a.Set(2, 2, 2)
+	a.Set(3, 3, 2)
+	return p, a
+}
+
+func testEngineOpts() incr.Options {
+	return incr.Options{
+		Budget:        5 * time.Second,
+		SkipMigration: true,
+		Parallelism:   1,
+	}
+}
+
+func newTestPool(t *testing.T, shards int) *Pool {
+	t.Helper()
+	p, a := twoBlockProblem()
+	pl, err := New(p, a, Options{Shards: shards, Engine: testEngineOpts()}, nil)
+	if err != nil {
+		t.Fatalf("new pool: %v", err)
+	}
+	return pl
+}
+
+func TestPoolTopology(t *testing.T) {
+	pl := newTestPool(t, 2)
+	if pl.Blocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", pl.Blocks())
+	}
+	if pl.Shards() != 2 || pl.Version() != 1 {
+		t.Fatalf("shards=%d version=%d, want 2/1", pl.Shards(), pl.Version())
+	}
+	if pl.crossTotal != 2 {
+		t.Fatalf("crossTotal = %v, want 2", pl.crossTotal)
+	}
+	st := pl.Stats()
+	if st.Services != 4 || st.Machines != 4 {
+		t.Fatalf("stats services=%d machines=%d, want 4/4", st.Services, st.Machines)
+	}
+	// Global denominator: 5 + 3 intra plus 2 cross.
+	if st.TotalAffinity != 10 {
+		t.Fatalf("total affinity = %v, want 10", st.TotalAffinity)
+	}
+
+	status := pl.Status()
+	if status.Version != 1 || len(status.Blocks) != 2 || len(status.Shards) != 2 {
+		t.Fatalf("status %+v", status)
+	}
+	blockSeen := 0
+	for _, sh := range status.Shards {
+		blockSeen += len(sh.Blocks)
+	}
+	if blockSeen != 2 {
+		t.Fatalf("shard block lists cover %d blocks, want 2", blockSeen)
+	}
+
+	// The full assignment round-trips through the per-block states.
+	got := pl.Assignment()
+	for s := 0; s < 4; s++ {
+		if got.Placed(s) != 2 {
+			t.Fatalf("service %d placed %d, want 2", s, got.Placed(s))
+		}
+	}
+}
+
+func TestEventRoutingAndJournal(t *testing.T) {
+	pl := newTestPool(t, 2)
+	n, err := pl.Apply(
+		lifetime.ScaleService{Service: 2, Replicas: 3},
+		lifetime.DrainMachine{Machine: 0},
+	)
+	if err != nil || n != 2 {
+		t.Fatalf("apply: n=%d err=%v", n, err)
+	}
+	if pl.Head() != 2 {
+		t.Fatalf("journal head = %d, want 2", pl.Head())
+	}
+	entries := pl.Entries(1)
+	if len(entries) != 2 || entries[0].Seq != 1 || entries[1].Seq != 2 {
+		t.Fatalf("entries %+v", entries)
+	}
+	if got := pl.Entries(3); got != nil {
+		t.Fatalf("entries past head = %+v, want nil", got)
+	}
+
+	// Scale of global service 2 must land in block 1 as local service 0.
+	b1 := pl.blocks[1]
+	if b1.eng.State().Problem().Services[0].Replicas != 3 {
+		t.Fatal("scale event did not reach owner block")
+	}
+	if b1.events != 1 || pl.blocks[0].events != 1 {
+		t.Fatalf("routed counts = %d/%d, want 1/1", pl.blocks[0].events, b1.events)
+	}
+
+	// A bad event stops the batch and reports how many applied.
+	n, err = pl.Apply(lifetime.ScaleService{Service: 1, Replicas: 3}, lifetime.ScaleService{Service: 99, Replicas: 1})
+	if err == nil || n != 1 {
+		t.Fatalf("bad batch: n=%d err=%v", n, err)
+	}
+	if pl.Head() != 3 {
+		t.Fatalf("journal head = %d after failed batch, want 3", pl.Head())
+	}
+
+	// Engine-internal events cannot be routed.
+	if _, err := pl.Apply(lifetime.PlanCommitted{}); err == nil {
+		t.Fatal("PlanCommitted accepted by router")
+	}
+}
+
+func TestCrossEdgeLedger(t *testing.T) {
+	pl := newTestPool(t, 2)
+	// Reweight the existing cross edge (1,2): ledger only, no block log.
+	if _, err := pl.Apply(lifetime.UpdateAffinity{A: 2, B: 1, Weight: 7}); err != nil {
+		t.Fatalf("cross update: %v", err)
+	}
+	if pl.crossTotal != 7 {
+		t.Fatalf("crossTotal = %v, want 7", pl.crossTotal)
+	}
+	if h := pl.blocks[0].log().Head(); h != 0 {
+		t.Fatalf("cross edge leaked into block log (head %d)", h)
+	}
+	// New cross edge and deletion.
+	if _, err := pl.Apply(lifetime.UpdateAffinity{A: 0, B: 3, Weight: 1}); err != nil {
+		t.Fatalf("new cross edge: %v", err)
+	}
+	if pl.crossTotal != 8 || len(pl.cross) != 2 {
+		t.Fatalf("crossTotal=%v edges=%d, want 8/2", pl.crossTotal, len(pl.cross))
+	}
+	if _, err := pl.Apply(lifetime.UpdateAffinity{A: 0, B: 3, Weight: 0}); err != nil {
+		t.Fatalf("delete cross edge: %v", err)
+	}
+	if pl.crossTotal != 7 || len(pl.cross) != 1 {
+		t.Fatalf("after delete crossTotal=%v edges=%d, want 7/1", pl.crossTotal, len(pl.cross))
+	}
+
+	// Intra-block updates forward to the owner's graph.
+	if _, err := pl.Apply(lifetime.UpdateAffinity{A: 0, B: 1, Weight: 9}); err != nil {
+		t.Fatalf("intra update: %v", err)
+	}
+	if w := pl.blocks[0].eng.State().Problem().Affinity.Weight(0, 1); w != 9 {
+		t.Fatalf("block edge weight = %v, want 9", w)
+	}
+
+	// Invalid updates are rejected with the tables intact.
+	for _, ev := range []lifetime.Event{
+		lifetime.UpdateAffinity{A: 0, B: 0, Weight: 1},
+		lifetime.UpdateAffinity{A: -1, B: 1, Weight: 1},
+		lifetime.UpdateAffinity{A: 0, B: 1, Weight: -2},
+	} {
+		if _, err := pl.Apply(ev); err == nil {
+			t.Fatalf("invalid %+v accepted", ev)
+		}
+	}
+}
+
+func TestAddMachineAndRemoveService(t *testing.T) {
+	pl := newTestPool(t, 2)
+	cap := cluster.Resources{10, 10}
+	// Two AddMachines round-robin onto blocks 0 then 1.
+	if _, err := pl.Apply(
+		lifetime.AddMachine{Name: "n0", Capacity: cap},
+		lifetime.AddMachine{Name: "n1", Capacity: cap},
+	); err != nil {
+		t.Fatalf("add machines: %v", err)
+	}
+	if len(pl.machOwner) != 6 {
+		t.Fatalf("machOwner len = %d, want 6", len(pl.machOwner))
+	}
+	if pl.machOwner[4] != 0 || pl.machOwner[5] != 1 {
+		t.Fatalf("owners of new machines = %d,%d, want 0,1", pl.machOwner[4], pl.machOwner[5])
+	}
+	if got := pl.blocks[0].gMach; len(got) != 3 || got[2] != 4 {
+		t.Fatalf("block 0 gMach = %v", got)
+	}
+	if pl.blocks[0].eng.State().Problem().M() != 3 {
+		t.Fatal("block 0 engine did not grow")
+	}
+
+	// Remove global service 1 (block 0 local 1): indices above shift.
+	if _, err := pl.Apply(lifetime.RemoveService{Service: 1}); err != nil {
+		t.Fatalf("remove service: %v", err)
+	}
+	if len(pl.svcOwner) != 3 {
+		t.Fatalf("svcOwner len = %d, want 3", len(pl.svcOwner))
+	}
+	// Old services 2,3 are now 1,2, still owned by block 1.
+	if pl.svcOwner[1] != 1 || pl.svcOwner[2] != 1 || pl.svcLocal[1] != 0 || pl.svcLocal[2] != 1 {
+		t.Fatalf("tables after remove: owner=%v local=%v", pl.svcOwner, pl.svcLocal)
+	}
+	if got := pl.blocks[1].gSvc; got[0] != 1 || got[1] != 2 {
+		t.Fatalf("block 1 gSvc = %v, want [1 2]", got)
+	}
+	// The cross edge (1,2) lost its endpoint: ledger drops its weight.
+	if pl.crossTotal != 0 || len(pl.cross) != 0 {
+		t.Fatalf("cross ledger after remove: total=%v edges=%d", pl.crossTotal, len(pl.cross))
+	}
+	// Events to the shifted indices land in the right block.
+	if _, err := pl.Apply(lifetime.ScaleService{Service: 1, Replicas: 4}); err != nil {
+		t.Fatalf("scale shifted service: %v", err)
+	}
+	if pl.blocks[1].eng.State().Problem().Services[0].Replicas != 4 {
+		t.Fatal("scale of shifted index missed its block")
+	}
+
+	// Block 0 is down to one service: removing it would orphan the block.
+	if _, err := pl.Apply(lifetime.RemoveService{Service: 0}); err == nil {
+		t.Fatal("removed last service of a block")
+	}
+}
+
+func TestMoveEventsCrossBlockRejected(t *testing.T) {
+	pl := newTestPool(t, 2)
+	if _, err := pl.Apply(lifetime.MoveStarted{Op: lifetime.OpCreate, Service: 0, Machine: 2}); err == nil {
+		t.Fatal("cross-block move event accepted")
+	}
+	// Same-block move events route through.
+	evs := []lifetime.Event{
+		lifetime.MoveStarted{Op: lifetime.OpCreate, Service: 0, Machine: 1},
+		lifetime.MoveApplied{Op: lifetime.OpCreate, Service: 0, Machine: 1},
+	}
+	if _, err := pl.Apply(evs...); err != nil {
+		t.Fatalf("intra-block move events: %v", err)
+	}
+	if got := pl.blocks[0].eng.State().Assignment().Get(0, 1); got != 1 {
+		t.Fatalf("move not applied to block state: got %d", got)
+	}
+}
+
+func TestReoptimizeScatterGather(t *testing.T) {
+	pl := newTestPool(t, 2)
+	ctx := context.Background()
+
+	// Bootstrap: both blocks run the full pipeline.
+	res, err := pl.Reoptimize(ctx)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if res.Fulls != 2 || res.FloorRejections != 0 {
+		t.Fatalf("bootstrap fulls=%d rejections=%d", res.Fulls, res.FloorRejections)
+	}
+	if res.NormalizedGain < 0 || res.NormalizedGain > 1 {
+		t.Fatalf("normalized gain %v out of range", res.NormalizedGain)
+	}
+
+	// Nothing dirty: both blocks noop, no journal growth from commits.
+	res, err = pl.Reoptimize(ctx)
+	if err != nil {
+		t.Fatalf("noop pass: %v", err)
+	}
+	if res.Noops != 2 || res.Moves != 0 {
+		t.Fatalf("noop pass: noops=%d moves=%d", res.Noops, res.Moves)
+	}
+
+	// Dirty one block only: the other stays noop.
+	if _, err := pl.Apply(lifetime.ScaleService{Service: 3, Replicas: 3}); err != nil {
+		t.Fatalf("scale: %v", err)
+	}
+	res, err = pl.Reoptimize(ctx)
+	if err != nil {
+		t.Fatalf("delta pass: %v", err)
+	}
+	if res.Noops != 1 || res.Noops+res.Deltas+res.Fulls != 2 {
+		t.Fatalf("delta pass: noops=%d deltas=%d fulls=%d", res.Noops, res.Deltas, res.Fulls)
+	}
+	a := pl.Assignment()
+	if a.Placed(3) != 3 {
+		t.Fatalf("service 3 placed %d, want 3", a.Placed(3))
+	}
+	// Merged deltas are in global indices.
+	for _, d := range res.Changed {
+		if d.Service < 0 || d.Service >= 4 || d.Machine < 0 || d.Machine >= 4 {
+			t.Fatalf("delta out of global range: %+v", d)
+		}
+		if d.Service < 2 {
+			t.Fatalf("clean block produced delta %+v", d)
+		}
+	}
+}
+
+func TestMergedPlanGlobalIndices(t *testing.T) {
+	p, a := twoBlockProblem()
+	opts := testEngineOpts()
+	opts.SkipMigration = false
+	pl, err := New(p, a, Options{Shards: 2, Engine: opts}, nil)
+	if err != nil {
+		t.Fatalf("new pool: %v", err)
+	}
+	ctx := context.Background()
+	res, err := pl.Reoptimize(ctx)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if res.Plan == nil {
+		// Nothing needed moving; force churn in both blocks and retry.
+		if _, err := pl.Apply(
+			lifetime.ScaleService{Service: 0, Replicas: 4},
+			lifetime.ScaleService{Service: 2, Replicas: 4},
+		); err != nil {
+			t.Fatalf("churn: %v", err)
+		}
+		if res, err = pl.Reoptimize(ctx); err != nil {
+			t.Fatalf("churn pass: %v", err)
+		}
+	}
+	if res.Plan == nil {
+		t.Skip("no migration plan produced")
+	}
+	moves := 0
+	for _, step := range res.Plan.Steps {
+		for _, c := range step {
+			// Every command must stay inside its service's block.
+			bs := pl.svcOwner[c.Service]
+			if pl.machOwner[c.Machine] != bs {
+				t.Fatalf("merged command crosses blocks: %+v", c)
+			}
+			moves++
+		}
+	}
+	if moves == 0 {
+		t.Fatal("plan with no commands")
+	}
+}
+
+// TestFloorCheckRejectsBadPlan feeds the gather phase a hand-made plan
+// that deletes a service below its floor and checks the global check
+// refuses that block.
+func TestFloorCheckRejectsBadPlan(t *testing.T) {
+	pl := newTestPool(t, 2)
+	b := pl.blocks[0]
+	// Delete both replicas of local service 0 in one step, create none:
+	// alive falls to 0, far below floor(0.75*2)=1.
+	bad := &incr.Result{
+		Mode: incr.ModeDelta,
+		Plan: &migrate.Plan{Steps: []migrate.Step{{
+			{Op: migrate.Delete, Service: 0, Machine: 0},
+			{Op: migrate.Delete, Service: 0, Machine: 0},
+		}}, Moves: 2},
+		Changed: []lifetime.PlacementDelta{{Service: 0, Machine: 0, Before: 2, After: 2}},
+	}
+	rejected := pl.floorCheck([]*pass{{b: b, shard: 0, res: bad}})
+	if len(rejected) != 1 || rejected[0] != 0 {
+		t.Fatalf("rejected = %v, want [0]", rejected)
+	}
+
+	// A plan that respects the floor passes.
+	good := &incr.Result{
+		Mode: incr.ModeDelta,
+		Plan: &migrate.Plan{Steps: []migrate.Step{
+			{{Op: migrate.Delete, Service: 0, Machine: 0}},
+			{{Op: migrate.Create, Service: 0, Machine: 1}},
+		}, Moves: 1},
+	}
+	if rejected := pl.floorCheck([]*pass{{b: b, shard: 0, res: good}}); rejected != nil {
+		t.Fatalf("good plan rejected: %v", rejected)
+	}
+
+	// A create that overflows machine capacity is caught too.
+	over := &incr.Result{
+		Mode: incr.ModeDelta,
+		Plan: &migrate.Plan{Steps: []migrate.Step{func() migrate.Step {
+			var step migrate.Step
+			for i := 0; i < 12; i++ {
+				step = append(step, migrate.Command{Op: migrate.Create, Service: 0, Machine: 0})
+			}
+			return step
+		}()}, Moves: 12},
+		Changed: []lifetime.PlacementDelta{{Service: 0, Machine: 0, Before: 2, After: 14}},
+	}
+	if rejected := pl.floorCheck([]*pass{{b: b, shard: 0, res: over}}); len(rejected) != 1 {
+		t.Fatalf("overflow plan not rejected: %v", rejected)
+	}
+}
+
+func TestResizePreservesFingerprints(t *testing.T) {
+	pl := newTestPool(t, 1)
+	ctx := context.Background()
+	if _, err := pl.Reoptimize(ctx); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	// Put history in both block logs so the replay is non-trivial.
+	if _, err := pl.Apply(
+		lifetime.ScaleService{Service: 0, Replicas: 3},
+		lifetime.ScaleService{Service: 2, Replicas: 3},
+		lifetime.DrainMachine{Machine: 1},
+	); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if _, err := pl.Reoptimize(ctx); err != nil {
+		t.Fatalf("pass: %v", err)
+	}
+
+	before := make(map[int]string)
+	for _, b := range pl.blocks {
+		before[b.id] = b.log().Fingerprint()
+	}
+	beforeAssign := pl.Assignment()
+
+	rep, err := pl.Resize(4)
+	if err != nil {
+		t.Fatalf("resize: %v", err)
+	}
+	if rep.Version != 2 || rep.FromShards != 1 || rep.ToShards != 4 || !rep.FingerprintsPreserved {
+		t.Fatalf("rebalance report %+v", rep)
+	}
+	if pl.Shards() != 4 || pl.Version() != 2 {
+		t.Fatalf("pool shards=%d version=%d", pl.Shards(), pl.Version())
+	}
+	// Growing 1 -> 4 must move at least one block off shard 0.
+	if len(rep.MovedBlocks) == 0 {
+		t.Fatal("no blocks moved on 1 -> 4 resize")
+	}
+	for _, id := range rep.MovedBlocks {
+		if got := pl.blocks[id].log().Fingerprint(); got != before[id] {
+			t.Fatalf("block %d fingerprint %s != %s after rebalance", id, got, before[id])
+		}
+	}
+	// The replayed engines carry the same placements.
+	afterAssign := pl.Assignment()
+	for s := 0; s < 4; s++ {
+		for m := 0; m < 4; m++ {
+			if beforeAssign.Get(s, m) != afterAssign.Get(s, m) {
+				t.Fatalf("assignment changed at (%d,%d) across rebalance", s, m)
+			}
+		}
+	}
+	// Moved blocks bootstrap again (no partition survives the replay)
+	// and the pool keeps optimizing.
+	if _, err := pl.Reoptimize(ctx); err != nil {
+		t.Fatalf("post-resize pass: %v", err)
+	}
+
+	if _, err := pl.Resize(0); err == nil {
+		t.Fatal("resize to 0 shards accepted")
+	}
+}
+
+func TestExecuteAggregatesBlocks(t *testing.T) {
+	p, a := twoBlockProblem()
+	opts := testEngineOpts()
+	opts.SkipMigration = false
+	pl, err := New(p, a, Options{Shards: 2, Engine: opts}, nil)
+	if err != nil {
+		t.Fatalf("new pool: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := pl.Reoptimize(ctx); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if _, err := pl.Apply(
+		lifetime.ScaleService{Service: 1, Replicas: 4},
+		lifetime.ScaleService{Service: 3, Replicas: 4},
+	); err != nil {
+		t.Fatalf("churn: %v", err)
+	}
+	rep, err := pl.Execute(ctx, func(blockID int, gMach []int, start *cluster.Assignment) exec.Fabric {
+		return exec.NewInstantFabric(start)
+	}, exec.Options{})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if rep.Outcome != exec.OutcomeCompleted {
+		t.Fatalf("outcome = %v err=%q", rep.Outcome, rep.Err)
+	}
+	if rep.FloorViolations != 0 {
+		t.Fatalf("floor violations = %d, want 0", rep.FloorViolations)
+	}
+	got := rep.Final
+	if got.Placed(1) != 4 || got.Placed(3) != 4 {
+		t.Fatalf("final placements %d/%d, want 4/4", got.Placed(1), got.Placed(3))
+	}
+}
+
+func TestBlocksPartitionCoversCluster(t *testing.T) {
+	p, _ := twoBlockProblem()
+	blocks := partition.Blocks(p)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+	seenS, seenM := map[int]bool{}, map[int]bool{}
+	for _, b := range blocks {
+		for _, s := range b.Services {
+			if seenS[s] {
+				t.Fatalf("service %d in two blocks", s)
+			}
+			seenS[s] = true
+		}
+		for _, m := range b.Machines {
+			if seenM[m] {
+				t.Fatalf("machine %d in two blocks", m)
+			}
+			seenM[m] = true
+		}
+	}
+	if len(seenS) != p.N() || len(seenM) != p.M() {
+		t.Fatalf("coverage %d/%d services, %d/%d machines", len(seenS), p.N(), len(seenM), p.M())
+	}
+}
+
+func TestRendezvousStability(t *testing.T) {
+	// Growing the shard count must never move a block between two shards
+	// that both survive: the argmax over a superset either keeps the old
+	// winner or picks a new shard.
+	for blocks := 1; blocks <= 64; blocks *= 4 {
+		for s := 1; s < 8; s++ {
+			for b := 0; b < blocks; b++ {
+				old := rendezvousOwner(b, s)
+				next := rendezvousOwner(b, s+1)
+				if next != old && next != s {
+					t.Fatalf("block %d moved %d -> %d when adding shard %d", b, old, next, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package fed
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/obs"
+)
+
+// metrics instruments the shard pool. A nil *metrics is valid and drops
+// every observation, so the pool works without a registry.
+type metrics struct {
+	routed     *obs.CounterVec // rasa_fed_events_routed_total{shard}
+	reopts     *obs.CounterVec // rasa_fed_reoptimize_total{shard,mode}
+	mergeSecs  *obs.Histogram  // rasa_fed_merge_seconds
+	rejections *obs.Counter    // rasa_fed_floor_rejections_total
+	shards     *obs.Gauge      // rasa_fed_shards
+	blocks     *obs.Gauge      // rasa_fed_blocks
+	mapVersion *obs.Gauge      // rasa_fed_map_version
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		routed: reg.CounterVec("rasa_fed_events_routed_total",
+			"Churn events routed to shard workers, by owning shard.", "shard"),
+		reopts: reg.CounterVec("rasa_fed_reoptimize_total",
+			"Per-block re-optimization passes, by owning shard and path taken.", "shard", "mode"),
+		mergeSecs: reg.Histogram("rasa_fed_merge_seconds",
+			"Wall time of the scatter-gather merge step (plan recombination plus the global SLA-floor check).",
+			nil),
+		rejections: reg.Counter("rasa_fed_floor_rejections_total",
+			"Per-block plans rejected by the global SLA-floor check."),
+		shards: reg.Gauge("rasa_fed_shards",
+			"Shard workers in the pool."),
+		blocks: reg.Gauge("rasa_fed_blocks",
+			"Compatibility blocks owned by the pool."),
+		mapVersion: reg.Gauge("rasa_fed_map_version",
+			"Version of the block-to-shard assignment map."),
+	}
+}
+
+func shardLabel(s int) string { return strconv.Itoa(s) }
+
+func (m *metrics) event(shard int) {
+	if m == nil {
+		return
+	}
+	m.routed.With(shardLabel(shard)).Inc()
+}
+
+func (m *metrics) reoptimize(shard int, mode string) {
+	if m == nil {
+		return
+	}
+	m.reopts.With(shardLabel(shard), mode).Inc()
+}
+
+func (m *metrics) merge(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mergeSecs.Observe(d.Seconds())
+}
+
+func (m *metrics) rejection(n int) {
+	if m == nil {
+		return
+	}
+	m.rejections.Add(float64(n))
+}
+
+func (m *metrics) topology(shards, blocks, version int) {
+	if m == nil {
+		return
+	}
+	m.shards.Set(float64(shards))
+	m.blocks.Set(float64(blocks))
+	m.mapVersion.Set(float64(version))
+}

@@ -149,6 +149,10 @@ type Result struct {
 	OutOfTime        bool
 	Stats            solve.Stats
 	Elapsed          time.Duration
+
+	// head is the log head right after this pass committed; a later
+	// CommitProposal refuses to apply the result if the log advanced.
+	head uint64
 }
 
 // Engine drives incremental re-optimization over a State.
@@ -198,6 +202,46 @@ func (e *Engine) Propose(ctx context.Context) (*Result, error) {
 	return e.reoptimize(ctx, false)
 }
 
+// ErrStaleProposal is returned by CommitProposal when the log advanced
+// after the proposal: the proposal's placement deltas and the dirty-set
+// bookkeeping may no longer describe the live state.
+var ErrStaleProposal = errors.New("incr: log advanced since proposal")
+
+// CommitProposal adopts a previously Proposed result wholesale: the
+// proposal's placement deltas are committed to the log as an applied
+// plan, mutating the live assignment to the proposed target — the
+// atomic alternative to executing the proposal's migration plan move by
+// move. The federation merge step (internal/fed) uses it to commit
+// per-block plans that passed the global SLA-floor check.
+//
+// The committed event carries Mode "" (the proposal already recorded
+// its own Mode, and a "full" proposal already counted toward the log's
+// full-run total), so the partition-seed exploration schedule matches a
+// Reoptimize-adopted run exactly. Noop proposals commit trivially.
+func (e *Engine) CommitProposal(res *Result) error {
+	st := e.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if res.Mode == ModeNoop {
+		return nil
+	}
+	if st.log.Head() != res.head {
+		return ErrStaleProposal
+	}
+	pc := lifetime.PlanCommitted{
+		Origin:  "commit",
+		Applied: true,
+		Moves:   res.Moves,
+		Changed: res.Changed,
+	}
+	if err := st.commitLocked(pc); err != nil {
+		return err
+	}
+	st.dirty = make(map[int]bool)
+	st.dirtyTrivial = false
+	return nil
+}
+
 func (e *Engine) reoptimize(ctx context.Context, adopt bool) (*Result, error) {
 	st := e.st
 	st.mu.Lock()
@@ -228,6 +272,7 @@ func (e *Engine) reoptimize(ctx context.Context, adopt bool) (*Result, error) {
 		if total := p.Affinity.TotalWeight(); total > 0 {
 			res.NormalizedGain = res.GainedAffinity / total
 		}
+		res.head = st.log.Head()
 		e.m.reoptimize(res.Mode)
 		return res, nil
 	case float64(dirtyCount) > e.opts.MaxDirtyRatio*float64(totalGroups):
@@ -357,6 +402,7 @@ func (e *Engine) reoptimize(ctx context.Context, adopt bool) (*Result, error) {
 	if err := st.commitLocked(pc); err != nil {
 		return nil, err
 	}
+	res.head = st.log.Head()
 	if adopt {
 		st.dirty = make(map[int]bool)
 		st.dirtyTrivial = false
@@ -437,6 +483,7 @@ func (e *Engine) full(ctx context.Context, start time.Time, reason string, dirty
 		OutOfTime:        cres.OutOfTime,
 		Stats:            cres.Stats,
 		Elapsed:          time.Since(start),
+		head:             st.log.Head(),
 	}
 	e.m.reoptimize(res.Mode)
 	e.m.escalation(reason)

@@ -369,13 +369,36 @@ func Simulate(p *cluster.Problem, from *cluster.Assignment, plan *Plan, minAlive
 	used := cur.UsedResources(p)
 	alive := make([]int, p.N())
 	floor := make([]int, p.N())
+	// The plan's own end state stands in for Compute's `to` argument:
+	// replaying the command counts gives each service's final container
+	// count without needing the target assignment.
+	final := make([]int, p.N())
+	for s := 0; s < p.N(); s++ {
+		final[s] = cur.Placed(s)
+	}
+	for _, step := range plan.Steps {
+		for _, c := range step {
+			switch c.Op {
+			case Delete:
+				final[c.Service]--
+			case Create:
+				final[c.Service]++
+			}
+		}
+	}
 	for s := 0; s < p.N(); s++ {
 		alive[s] = cur.Placed(s)
 		floor[s] = int(minAlive * float64(p.Services[s].Replicas))
-		// Mirror Compute: the availability floor is relative to what the
-		// plan started with — an entry-state deficit is not a violation.
+		// Mirror Compute's two clamps: the availability floor is relative
+		// to what the plan started with (an entry-state deficit is not a
+		// violation) and to where it ends (when the optimizer under-places
+		// a service, deletes down to that target are planned work, not
+		// violations).
 		if floor[s] > alive[s] {
 			floor[s] = alive[s]
+		}
+		if floor[s] > final[s] {
+			floor[s] = final[s]
 		}
 	}
 	for si, step := range plan.Steps {

@@ -242,6 +242,100 @@ func compatibilityBlocks(p *cluster.Problem, services []int) (blocks [][]int, un
 	return blocks, unplaceable
 }
 
+// Block is one compatibility block of the cluster: a set of services
+// together with every machine any of them can run on. Blocks are
+// independent by construction — no service of one block can ever be
+// placed on a machine of another — which is the invariant the
+// federation layer (internal/fed) shards on.
+type Block struct {
+	// Services holds global service indices, sorted ascending.
+	Services []int
+	// Machines holds global machine indices, sorted ascending.
+	Machines []int
+}
+
+// Blocks partitions the whole cluster into compatibility blocks — the
+// stage-3 union-find over CanHost (Section IV-B3) run on every service,
+// additionally attributing each machine to the block it can host.
+// Unplaceable services (no compatible machine) and orphan machines
+// (hostable by no service) are folded into the first block so the union
+// of all blocks is exactly the cluster. Well-formed clusters produce
+// neither; the fold keeps every index owned by some block regardless.
+func Blocks(p *cluster.Problem) []Block {
+	n, m := p.N(), p.M()
+	parent := make([]int, n+m)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	hasMachine := make([]bool, n)
+	machUsed := make([]bool, m)
+	for s := 0; s < n; s++ {
+		for mach := 0; mach < m; mach++ {
+			if p.CanHost(s, mach) {
+				union(s, n+mach)
+				hasMachine[s] = true
+				machUsed[mach] = true
+			}
+		}
+	}
+	type group struct {
+		svcs, machs []int
+	}
+	byRoot := make(map[int]*group)
+	var unplaced []int
+	for s := 0; s < n; s++ {
+		if !hasMachine[s] {
+			unplaced = append(unplaced, s)
+			continue
+		}
+		r := find(s)
+		g := byRoot[r]
+		if g == nil {
+			g = &group{}
+			byRoot[r] = g
+		}
+		g.svcs = append(g.svcs, s)
+	}
+	var orphans []int
+	for mach := 0; mach < m; mach++ {
+		if !machUsed[mach] {
+			orphans = append(orphans, mach)
+			continue
+		}
+		// A used machine always shares a root with at least one service.
+		byRoot[find(n+mach)].machs = append(byRoot[find(n+mach)].machs, mach)
+	}
+	groups := make([]*group, 0, len(byRoot))
+	for _, g := range byRoot {
+		groups = append(groups, g)
+	}
+	// Services were appended in ascending order, so svcs[0] is each
+	// group's minimum — a stable sort key independent of union order.
+	sort.Slice(groups, func(a, b int) bool { return groups[a].svcs[0] < groups[b].svcs[0] })
+	if len(groups) == 0 {
+		groups = append(groups, &group{})
+	}
+	groups[0].svcs = append(groups[0].svcs, unplaced...)
+	groups[0].machs = append(groups[0].machs, orphans...)
+	sort.Ints(groups[0].svcs)
+	sort.Ints(groups[0].machs)
+	out := make([]Block, len(groups))
+	for i, g := range groups {
+		out[i] = Block{Services: g.svcs, Machines: g.machs}
+	}
+	return out
+}
+
 // lossMinBalanced implements the stage-4 heuristic (Section IV-B4):
 // sample seed sets, grow subsets by multi-source BFS on the induced
 // affinity graph, keep balanced partitions, and return the one with the

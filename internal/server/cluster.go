@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/cloudsched/rasa/internal/fed"
 	"github.com/cloudsched/rasa/internal/incr"
 	"github.com/cloudsched/rasa/internal/lifetime"
 	"github.com/cloudsched/rasa/internal/sched"
@@ -19,8 +21,9 @@ import (
 )
 
 // clusterSession is the server's single live cluster: the incremental
-// engine plus the budgets needed to derive request deadlines. One
-// session exists at a time; POST /v1/cluster replaces it.
+// engine (or, with Config.Shards >= 2, the federated shard pool) plus
+// the budgets needed to derive request deadlines. One session exists at
+// a time; POST /v1/cluster replaces it. Exactly one of eng/pool is set.
 //
 // The session mutex serializes Reoptimize calls (the engine's own state
 // lock would too, but queueing callers at this level keeps request
@@ -28,7 +31,17 @@ import (
 type clusterSession struct {
 	mu     sync.Mutex
 	eng    *incr.Engine
+	pool   *fed.Pool
 	budget time.Duration // full-pipeline budget (per-solve deadline input)
+}
+
+// stats returns the session's incr.Stats-shaped summary regardless of
+// which backend serves it.
+func (sess *clusterSession) stats() incr.Stats {
+	if sess.pool != nil {
+		return sess.pool.Stats()
+	}
+	return sess.eng.State().Snapshot()
 }
 
 // installRequest is the POST /v1/cluster body: a snapshot (wrapped or
@@ -113,11 +126,6 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st, err := incr.NewState(p, current)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
-		return
-	}
 	budget := time.Duration(req.Budget)
 	if budget <= 0 {
 		budget = s.cfg.DefaultBudget
@@ -138,19 +146,40 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 		ForceFull:      req.ForceFull,
 	}
 	opts.Partition.Seed = seed
-	sess := &clusterSession{eng: incr.New(st, opts, s.cfg.Registry), budget: budget}
+
+	sess := &clusterSession{budget: budget}
+	if s.cfg.Shards >= 2 {
+		pool, err := fed.New(p, current, fed.Options{Shards: s.cfg.Shards, Engine: opts}, s.cfg.Registry)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
+			return
+		}
+		sess.pool = pool
+	} else {
+		st, err := incr.NewState(p, current)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
+			return
+		}
+		sess.eng = incr.New(st, opts, s.cfg.Registry)
+	}
 
 	s.mu.Lock()
 	s.cluster = sess
 	s.mu.Unlock()
 
-	stats := st.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := sess.stats()
+	resp := map[string]any{
 		"services":  stats.Services,
 		"machines":  stats.Machines,
 		"bootstrap": bootstrap,
 		"stats":     stats,
-	})
+	}
+	if sess.pool != nil {
+		resp["shards"] = sess.pool.Shards()
+		resp["blocks"] = sess.pool.Blocks()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) session() *clusterSession {
@@ -192,20 +221,25 @@ func (s *Server) handleClusterEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
-	applied, err := sess.eng.Apply(events...)
+	var applied int
+	if sess.pool != nil {
+		applied, err = sess.pool.Apply(events...)
+	} else {
+		applied, err = sess.eng.Apply(events...)
+	}
 	if err != nil {
 		// Events before the invalid one are already part of the state —
 		// report how far the batch got alongside the error.
 		writeJSON(w, http.StatusBadRequest, map[string]any{
 			"error":   errorBody{Code: codeInvalidRequest, Message: err.Error()},
 			"applied": applied,
-			"stats":   sess.eng.State().Snapshot(),
+			"stats":   sess.stats(),
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"applied": applied,
-		"stats":   sess.eng.State().Snapshot(),
+		"stats":   sess.stats(),
 	})
 }
 
@@ -228,6 +262,17 @@ type reoptimizeResponse struct {
 	OutOfTime        bool                  `json:"outOfTime,omitempty"`
 	Stats            solve.Stats           `json:"stats"`
 	Elapsed          string                `json:"elapsed"`
+
+	// Federation extras, present only when the session runs sharded
+	// (mode "merge"): per-block pass counts, global floor-check
+	// rejections, and the merge-phase latency.
+	Shards          int    `json:"shards,omitempty"`
+	Noops           int    `json:"noops,omitempty"`
+	Deltas          int    `json:"deltas,omitempty"`
+	Fulls           int    `json:"fulls,omitempty"`
+	FloorRejections int    `json:"floorRejections,omitempty"`
+	RejectedBlocks  []int  `json:"rejectedBlocks,omitempty"`
+	MergeElapsed    string `json:"mergeElapsed,omitempty"`
 }
 
 func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request) {
@@ -247,6 +292,32 @@ func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request)
 	defer sess.mu.Unlock()
 	ctx, cancel := context.WithTimeout(s.baseCtx, 2*sess.budget+budgetGrace)
 	defer cancel()
+	if sess.pool != nil {
+		res, err := sess.pool.Reoptimize(ctx)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, codeInternal, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, reoptimizeResponse{
+			Mode:             "merge",
+			GainedAffinity:   res.GainedAffinity,
+			NormalizedGain:   res.NormalizedGain,
+			Moves:            res.Moves,
+			Changed:          res.Changed,
+			Plan:             planJSON(res.Plan),
+			PartialMigration: res.PartialMigration,
+			OutOfTime:        res.OutOfTime,
+			Elapsed:          res.Elapsed.Round(time.Microsecond).String(),
+			Shards:           sess.pool.Shards(),
+			Noops:            res.Noops,
+			Deltas:           res.Deltas,
+			Fulls:            res.Fulls,
+			FloorRejections:  res.FloorRejections,
+			RejectedBlocks:   res.RejectedBlocks,
+			MergeElapsed:     res.MergeElapsed.Round(time.Microsecond).String(),
+		})
+		return
+	}
 	res, err := sess.eng.Reoptimize(ctx)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, codeInternal, err.Error())
@@ -271,11 +342,18 @@ func (s *Server) handleClusterReoptimize(w http.ResponseWriter, r *http.Request)
 	})
 }
 
+// maxLogPageSize caps the ?limit= of one GET /v1/cluster/log page.
+// Pollers needing more pages iterate on `from`; an uncapped limit would
+// let one request serialize (and buffer) the entire log history.
+const maxLogPageSize = 10_000
+
 // handleClusterLog serves GET /v1/cluster/log?from=N&limit=K: the
 // lifetime event log from sequence number `from` (default 1, 1-based,
-// inclusive), at most `limit` entries (default 1000), plus the log head
-// and the folded state's fingerprint so pollers can detect both how far
-// behind they are and whether their replayed state matches.
+// inclusive), at most `limit` entries (default 1000, capped at
+// maxLogPageSize), plus the log head and the folded state's fingerprint
+// so pollers can detect both how far behind they are and whether their
+// replayed state matches. Negative or malformed parameters are rejected
+// with the standard error envelope.
 func (s *Server) handleClusterLog(w http.ResponseWriter, r *http.Request) {
 	sess := s.session()
 	if sess == nil {
@@ -284,6 +362,10 @@ func (s *Server) handleClusterLog(w http.ResponseWriter, r *http.Request) {
 	}
 	from := uint64(1)
 	if v := r.URL.Query().Get("from"); v != "" {
+		if strings.HasPrefix(v, "-") {
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("negative from %s (sequence numbers are 1-based)", v))
+			return
+		}
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid from: "+err.Error())
@@ -300,17 +382,31 @@ func (s *Server) handleClusterLog(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	log := sess.eng.State().Log()
-	entries := log.Entries(from)
+	if limit > maxLogPageSize {
+		limit = maxLogPageSize
+	}
+	var head uint64
+	var fingerprint string
+	var entries []lifetime.EntryJSON
+	if sess.pool != nil {
+		head = sess.pool.Head()
+		fingerprint = sess.pool.Stats().Fingerprint
+		entries = sess.pool.Entries(from)
+	} else {
+		log := sess.eng.State().Log()
+		head = log.Head()
+		fingerprint = log.Fingerprint()
+		entries = lifetime.EntriesJSON(log.Entries(from))
+	}
 	if len(entries) > limit {
 		entries = entries[:limit]
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"head":        log.Head(),
-		"fingerprint": log.Fingerprint(),
+		"head":        head,
+		"fingerprint": fingerprint,
 		"from":        from,
 		"count":       len(entries),
-		"entries":     lifetime.EntriesJSON(entries),
+		"entries":     entries,
 	})
 }
 
@@ -320,5 +416,20 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, codeNotFound, "no cluster installed")
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.eng.State().Snapshot())
+	writeJSON(w, http.StatusOK, sess.stats())
+}
+
+// handleShards serves GET /v1/shards: the federated session's versioned
+// block-to-shard map, per-shard ownership, and per-block log positions.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "no cluster installed")
+		return
+	}
+	if sess.pool == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "cluster session is unsharded (start the server with shards >= 2)")
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.pool.Status())
 }

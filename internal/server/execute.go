@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/exec"
 )
 
@@ -234,40 +235,41 @@ func (s *Server) runExecute(job *execJob, sess *clusterSession, req executeReque
 	job.status = StatusRunning
 	job.mu.Unlock()
 
-	st := sess.eng.State()
-	p := st.Problem()
+	machines := 0
+	if sess.pool != nil {
+		machines = sess.pool.Stats().Machines
+	} else {
+		machines = sess.eng.State().Problem().M()
+	}
 	for _, d := range req.Deaths {
-		if d.Machine >= p.M() {
-			job.finish(nil, fmt.Errorf("death schedule references machine %d of %d", d.Machine, p.M()))
+		if d.Machine >= machines {
+			job.finish(nil, fmt.Errorf("death schedule references machine %d of %d", d.Machine, machines))
 			return
 		}
 	}
 
-	var fab exec.Fabric
-	start := st.Assignment().Clone()
-	if req.FailureProb == 0 && req.Latency == 0 && len(req.Deaths) == 0 {
-		fab = exec.NewInstantFabric(start)
-	} else {
-		deaths := make([]exec.MachineDeath, 0, len(req.Deaths))
-		for _, d := range req.Deaths {
-			deaths = append(deaths, exec.MachineDeath{Machine: d.Machine, AfterCommands: d.AfterCommands})
-		}
-		fab = exec.NewFaultFabric(start, exec.FaultConfig{
-			FailureProb:   req.FailureProb,
-			Latency:       time.Duration(req.Latency),
-			LatencyJitter: req.LatencyJitter,
-			Deaths:        deaths,
-			Seed:          req.Seed,
-		})
-	}
-	ex := exec.New(sess.eng, fab, exec.Options{
+	execOpts := exec.Options{
 		MinAlive:       req.MinAlive,
 		MaxAttempts:    req.MaxAttempts,
 		CommandTimeout: time.Duration(req.CommandTimeout),
 		MaxReplans:     req.MaxReplans,
 		Parallelism:    req.Parallelism,
 		Seed:           req.Seed,
-	}, s.cfg.Registry)
+	}
+	fabFor := func(req executeRequest) func(start *cluster.Assignment, deaths []exec.MachineDeath, seed int64) exec.Fabric {
+		return func(start *cluster.Assignment, deaths []exec.MachineDeath, seed int64) exec.Fabric {
+			if req.FailureProb == 0 && req.Latency == 0 && len(deaths) == 0 {
+				return exec.NewInstantFabric(start)
+			}
+			return exec.NewFaultFabric(start, exec.FaultConfig{
+				FailureProb:   req.FailureProb,
+				Latency:       time.Duration(req.Latency),
+				LatencyJitter: req.LatencyJitter,
+				Deaths:        deaths,
+				Seed:          seed,
+			})
+		}
+	}(req)
 
 	// Deadline: each plan or re-plan gets the session's reoptimize
 	// allowance (2×budget + grace), and retried/latent command work is
@@ -278,6 +280,34 @@ func (s *Server) runExecute(job *execJob, sess *clusterSession, req executeReque
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, time.Duration(replans+1)*(2*sess.budget+budgetGrace))
 	defer cancel()
+
+	if sess.pool != nil {
+		// Sharded session: one executor per block. Machine-scoped fault
+		// schedules are translated into each block's local index space;
+		// per-block seeds are derived from the request seed so runs stay
+		// reproducible without every block replaying the same fault tape.
+		rep, err := sess.pool.Execute(ctx, func(blockID int, gMach []int, start *cluster.Assignment) exec.Fabric {
+			var deaths []exec.MachineDeath
+			for _, d := range req.Deaths {
+				for lm, gm := range gMach {
+					if gm == d.Machine {
+						deaths = append(deaths, exec.MachineDeath{Machine: lm, AfterCommands: d.AfterCommands})
+					}
+				}
+			}
+			return fabFor(start, deaths, req.Seed+int64(blockID))
+		}, execOpts)
+		job.finish(rep, err)
+		return
+	}
+
+	st := sess.eng.State()
+	start := st.Assignment().Clone()
+	deaths := make([]exec.MachineDeath, 0, len(req.Deaths))
+	for _, d := range req.Deaths {
+		deaths = append(deaths, exec.MachineDeath{Machine: d.Machine, AfterCommands: d.AfterCommands})
+	}
+	ex := exec.New(sess.eng, fabFor(start, deaths, req.Seed), execOpts, s.cfg.Registry)
 	job.finish(ex.Run(ctx))
 }
 
@@ -290,12 +320,9 @@ func (s *Server) handleExecuteGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no such execution %q", id))
 		return
 	}
-	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
-		d, err := time.ParseDuration(waitStr)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid wait duration: "+err.Error())
-			return
-		}
+	if d, present, ok := s.parseWait(w, r); !ok {
+		return
+	} else if present {
 		// Same stopped-timer discipline as the jobs long-poll: a
 		// disconnected client must not pin a live timer.
 		timer := time.NewTimer(d)

@@ -26,6 +26,7 @@
 //	POST /v1/cluster/events      apply a typed event batch to the live cluster
 //	POST /v1/cluster/reoptimize  delta re-solve; returns moved containers + plan
 //	GET  /v1/cluster/log         lifetime event log (paged; ?from=&limit=)
+//	GET  /v1/shards              shard topology of a federated session (-shards >= 2)
 //	GET  /metrics                Prometheus text exposition
 //	GET  /healthz                liveness + drain state
 package server
@@ -65,6 +66,16 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default snapshot.DefaultMaxBytes,
 	// 64 MiB — an M2-scale snapshot is ~3 MiB).
 	MaxBodyBytes int64
+	// MaxWait clamps ?wait= long-poll durations (default 5m). Requests
+	// asking for longer waits are served with this cap instead; negative
+	// waits are rejected.
+	MaxWait time.Duration
+	// Shards >= 2 serves the live cluster session through the federated
+	// shard pool (internal/fed): compatibility blocks hashed onto that
+	// many shard workers, scatter-gather reoptimization, and the
+	// GET /v1/shards topology endpoint. 0 or 1 keeps the single-engine
+	// session.
+	Shards int
 	// Registry receives the service metrics; nil creates a fresh one.
 	Registry *obs.Registry
 }
@@ -84,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = snapshot.DefaultMaxBytes
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 5 * time.Minute
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -169,6 +183,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/cluster/execute", s.handleExecuteSubmit)
 	s.mux.HandleFunc("GET /v1/cluster/execute", s.handleExecuteList)
 	s.mux.HandleFunc("GET /v1/cluster/execute/{id}", s.handleExecuteGet)
+	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 
@@ -415,6 +430,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parseWait reads the ?wait= long-poll duration. Absent returns (0,
+// false, true). Malformed or negative values get an invalid_request
+// envelope; durations above Config.MaxWait are clamped, not rejected —
+// a patient poller is not an error, but an unbounded one would pin
+// request handlers (and their timers) for arbitrary client-chosen
+// spans.
+func (s *Server) parseWait(w http.ResponseWriter, r *http.Request) (time.Duration, bool, bool) {
+	waitStr := r.URL.Query().Get("wait")
+	if waitStr == "" {
+		return 0, false, true
+	}
+	d, err := time.ParseDuration(waitStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid wait duration: "+err.Error())
+		return 0, false, false
+	}
+	if d < 0 {
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("negative wait duration %s", d))
+		return 0, false, false
+	}
+	if d > s.cfg.MaxWait {
+		d = s.cfg.MaxWait
+	}
+	return d, true, true
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -424,12 +465,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no such job %q", id))
 		return
 	}
-	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
-		d, err := time.ParseDuration(waitStr)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid wait duration: "+err.Error())
-			return
-		}
+	if d, present, ok := s.parseWait(w, r); !ok {
+		return
+	} else if present {
 		// A stopped timer releases its runtime resources immediately;
 		// time.After would pin them for the full wait duration even after
 		// the client disconnected, so a burst of abandoned long-polls with

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// installShardedCluster installs a two-zone cluster on a server with
+// Shards: 2 and returns the reported block count.
+func installShardedCluster(t *testing.T, s *Server) int {
+	t.Helper()
+	c, err := workload.Generate(workload.Preset{
+		Name: "shardtest", Services: 24, Containers: 160, Machines: 8,
+		Beta: 1.7, AffinityFraction: 0.6, Zones: 2, CommunitySize: 6,
+		Utilization: 0.5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshot.FromCluster(c.Problem, c.Original)
+	rec := postObj(t, s, "/v1/cluster", map[string]any{
+		"snapshot":      snap,
+		"budget":        "3s",
+		"skipMigration": true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("install: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Shards int `json:"shards"`
+		Blocks int `json:"blocks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Shards != 2 || resp.Blocks < 2 {
+		t.Fatalf("install reported shards=%d blocks=%d", resp.Shards, resp.Blocks)
+	}
+	return resp.Blocks
+}
+
+// TestShardedSessionLifecycle drives the federated session through the
+// unchanged /v1/cluster endpoints plus the new GET /v1/shards.
+func TestShardedSessionLifecycle(t *testing.T) {
+	s := New(Config{Workers: 1, Shards: 2})
+	defer s.Shutdown(t.Context())
+
+	// No cluster yet: /v1/shards is a 404.
+	if rec := getPath(t, s, "/v1/shards"); rec.Code != http.StatusNotFound {
+		t.Fatalf("shards without cluster: %d", rec.Code)
+	}
+
+	blocks := installShardedCluster(t, s)
+
+	// Topology endpoint: versioned map covering every block.
+	rec := getPath(t, s, "/v1/shards")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shards: %d %s", rec.Code, rec.Body)
+	}
+	var topo struct {
+		Version int `json:"version"`
+		Shards  []struct {
+			ID     int   `json:"id"`
+			Blocks []int `json:"blocks"`
+		} `json:"shards"`
+		Blocks []struct {
+			ID          int    `json:"id"`
+			Shard       int    `json:"shard"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"blocks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Version != 1 || len(topo.Shards) != 2 || len(topo.Blocks) != blocks {
+		t.Fatalf("topology %s", rec.Body)
+	}
+
+	// Events route through the pool; stats keep the single-engine shape.
+	rec = postObj(t, s, "/v1/cluster/events", map[string]any{
+		"events": []map[string]any{
+			{"type": "scaleService", "service": 0, "replicas": 9},
+			{"type": "drainMachine", "machine": 1},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("events: %d %s", rec.Code, rec.Body)
+	}
+	var evResp struct {
+		Applied int `json:"applied"`
+		Stats   struct {
+			EventsApplied int    `json:"eventsApplied"`
+			LogHead       uint64 `json:"logHead"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &evResp); err != nil {
+		t.Fatal(err)
+	}
+	if evResp.Applied != 2 || evResp.Stats.LogHead != 2 {
+		t.Fatalf("events response %s", rec.Body)
+	}
+
+	// Reoptimize is the scatter-gather merge pass.
+	rec = postObj(t, s, "/v1/cluster/reoptimize", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reoptimize: %d %s", rec.Code, rec.Body)
+	}
+	var reResp struct {
+		Mode            string `json:"mode"`
+		Shards          int    `json:"shards"`
+		Fulls           int    `json:"fulls"`
+		FloorRejections int    `json:"floorRejections"`
+		Moves           int    `json:"moves"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reResp); err != nil {
+		t.Fatal(err)
+	}
+	if reResp.Mode != "merge" || reResp.Shards != 2 {
+		t.Fatalf("reoptimize response %s", rec.Body)
+	}
+	if reResp.Fulls != blocks {
+		t.Fatalf("bootstrap pass ran %d fulls, want %d", reResp.Fulls, blocks)
+	}
+	if reResp.FloorRejections != 0 {
+		t.Fatalf("floor rejections on bootstrap: %s", rec.Body)
+	}
+
+	// The journal serves the routed global-index stream.
+	rec = getPath(t, s, "/v1/cluster/log?from=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("log: %d %s", rec.Code, rec.Body)
+	}
+	var logResp struct {
+		Head    uint64 `json:"head"`
+		Count   int    `json:"count"`
+		Entries []struct {
+			Seq  uint64 `json:"seq"`
+			Type string `json:"type"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &logResp); err != nil {
+		t.Fatal(err)
+	}
+	// Two routed events plus the merge pass marker.
+	if logResp.Head != 3 || logResp.Count != 3 {
+		t.Fatalf("log response %s", rec.Body)
+	}
+	if logResp.Entries[0].Type != "scaleService" || logResp.Entries[2].Type != "planCommitted" {
+		t.Fatalf("journal entries %s", rec.Body)
+	}
+
+	// Sharded execution against the instant fabric.
+	rec = postObj(t, s, "/v1/cluster/execute", map[string]any{})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("execute submit: %d %s", rec.Code, rec.Body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+	rec = getPath(t, s, "/v1/cluster/execute/"+sub.ID+"?wait=30s")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("execute get: %d %s", rec.Code, rec.Body)
+	}
+	var view struct {
+		Status string `json:"status"`
+		Report *struct {
+			Outcome         string `json:"outcome"`
+			FloorViolations int    `json:"floorViolations"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != "completed" || view.Report == nil {
+		t.Fatalf("execution %s", rec.Body)
+	}
+	if view.Report.Outcome != "completed" || view.Report.FloorViolations != 0 {
+		t.Fatalf("execution report %s", rec.Body)
+	}
+}
+
+func TestWaitClamp(t *testing.T) {
+	// MaxWait far below the requested wait: the long-poll returns at the
+	// clamp instead of hanging for the asked-for hour.
+	s := New(Config{Workers: 1, MaxWait: 50 * time.Millisecond})
+	defer s.Shutdown(t.Context())
+	installTestCluster(t, s)
+
+	rec := postObj(t, s, "/v1/cluster/execute", map[string]any{
+		// A visible latency so the run outlives the clamp.
+		"latency": "200ms",
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	rec = getPath(t, s, "/v1/cluster/execute/"+sub.ID+"?wait=1h")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: %d %s", rec.Code, rec.Body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wait=1h returned after %v; clamp did not apply", elapsed)
+	}
+
+	// Negative and malformed waits are rejected.
+	if rec := getPath(t, s, "/v1/cluster/execute/"+sub.ID+"?wait=-5s"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative wait: %d", rec.Code)
+	}
+	if rec := getPath(t, s, "/v1/cluster/execute/"+sub.ID+"?wait=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed wait: %d", rec.Code)
+	}
+}
+
+func TestLogParamValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(t.Context())
+	installTestCluster(t, s)
+
+	for _, path := range []string{
+		"/v1/cluster/log?from=-1",
+		"/v1/cluster/log?from=abc",
+		"/v1/cluster/log?limit=-3",
+		"/v1/cluster/log?limit=0",
+		"/v1/cluster/log?limit=abc",
+	} {
+		rec := getPath(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", path, rec.Code)
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s: non-envelope body %s", path, rec.Body)
+		}
+		if env.Error.Code != "invalid_request" || env.Error.Message == "" {
+			t.Fatalf("%s: envelope %s", path, rec.Body)
+		}
+	}
+
+	// An oversized limit is clamped, not rejected.
+	rec := getPath(t, s, "/v1/cluster/log?limit=999999999")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("huge limit: %d %s", rec.Code, rec.Body)
+	}
+
+	// Unsharded sessions do not expose shard topology.
+	if rec := getPath(t, s, "/v1/shards"); rec.Code != http.StatusNotFound {
+		t.Fatalf("shards on unsharded session: %d", rec.Code)
+	}
+}
