@@ -26,6 +26,9 @@
 //	                   its JSON artifact (BENCH_pr8.json schema) to FILE
 //	-shardbench FILE   run the federated shard-pool churn benchmark and write
 //	                   its JSON artifact (BENCH_pr9.json schema) to FILE
+//	-selectorbench FILE  run the online-GCN selection benchmark through the
+//	                   serving path and write its JSON artifact
+//	                   (BENCH_pr10.json schema) to FILE
 //	-replay FILE       replay a recorded lifetime trace (rasagen -record)
 //	                   and print a JSON verdict: whether the pure fold
 //	                   reproduces the recorded end-state fingerprint
@@ -58,6 +61,7 @@ func main() {
 	lifetimeBench := flag.String("lifetimebench", "", "run the event-sourced lifetime benchmark and write its JSON artifact to this file")
 	sparseBench := flag.String("sparsebench", "", "run the sparse-vs-dense LP kernel benchmark and write its JSON artifact to this file")
 	shardBench := flag.String("shardbench", "", "run the federated shard-pool churn benchmark and write its JSON artifact to this file")
+	selectorBench := flag.String("selectorbench", "", "run the online-GCN selection benchmark and write its JSON artifact to this file")
 	replay := flag.String("replay", "", "replay a recorded lifetime trace and print a JSON verdict")
 	flag.Parse()
 
@@ -118,6 +122,12 @@ func main() {
 	if *shardBench != "" {
 		if err := runShardBench(cfg, *shardBench); err != nil {
 			fail(fmt.Errorf("shardbench: %w", err))
+		}
+		benchOnly = true
+	}
+	if *selectorBench != "" {
+		if err := runSelectorBench(cfg, *selectorBench); err != nil {
+			fail(fmt.Errorf("selectorbench: %w", err))
 		}
 		benchOnly = true
 	}
@@ -261,6 +271,26 @@ func runShardBench(cfg experiments.Config, path string) error {
 	}
 	defer f.Close()
 	if err := experiments.WriteShardBenchJSON(f, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// runSelectorBench runs the PR-10 online-GCN selection benchmark and
+// writes its JSON artifact (per-arm quality/wall/race fraction through
+// the serving path, predictor-vs-oracle accuracy, trainer state).
+func runSelectorBench(cfg experiments.Config, path string) error {
+	r, err := experiments.SelectorBench(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteSelectorBenchJSON(f, r); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -51,6 +51,8 @@ func main() {
 	maxBudget := flag.Duration("max-budget", 60*time.Second, "upper clamp on per-job budgets with -serve")
 	shards := flag.Int("shards", 0, "with -serve, run the /v1/cluster session on this many federated shard workers (>= 2)")
 	maxWait := flag.Duration("max-wait", 5*time.Minute, "upper clamp on ?wait= long-poll durations with -serve")
+	policy := flag.String("policy", "heuristic", "with -serve, default algorithm-selection policy (heuristic, cg, mip, race, or gcn — the online-trained selector)")
+	minConfidence := flag.Float64("min-confidence", 0.8, "with -serve -policy gcn, race CG-vs-MIP when the model's confidence falls below this (the race outcome retrains it)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the context: in-flight solves return their
@@ -63,7 +65,7 @@ func main() {
 		return
 	}
 	if *serveAddr != "" {
-		runServe(ctx, *serveAddr, *workers, *queueDepth, *shards, *budget, *maxBudget, *maxWait)
+		runServe(ctx, *serveAddr, *workers, *queueDepth, *shards, *budget, *maxBudget, *maxWait, *policy, *minConfidence)
 		return
 	}
 	runOnce(ctx, *snapPath, *budget, *seed, *verbose)

@@ -20,7 +20,7 @@ import (
 // milliseconds, so this only matters if a solver wedges.
 const drainTimeout = 30 * time.Second
 
-func runServe(ctx context.Context, addr string, workers, queueDepth, shards int, budget, maxBudget, maxWait time.Duration) {
+func runServe(ctx context.Context, addr string, workers, queueDepth, shards int, budget, maxBudget, maxWait time.Duration, policy string, minConfidence float64) {
 	srv := server.New(server.Config{
 		Workers:       workers,
 		QueueDepth:    queueDepth,
@@ -28,16 +28,18 @@ func runServe(ctx context.Context, addr string, workers, queueDepth, shards int,
 		MaxBudget:     maxBudget,
 		MaxWait:       maxWait,
 		Shards:        shards,
+		Policy:        policy,
+		MinConfidence: minConfidence,
 	})
 	hs := &http.Server{Addr: addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	if shards >= 2 {
-		fmt.Printf("rasad: serving optimization API on %s (%d workers, queue depth %d, default budget %s, %d cluster shards)\n",
-			addr, workers, queueDepth, budget, shards)
+		fmt.Printf("rasad: serving optimization API on %s (%d workers, queue depth %d, default budget %s, policy %s, %d cluster shards)\n",
+			addr, workers, queueDepth, budget, policy, shards)
 	} else {
-		fmt.Printf("rasad: serving optimization API on %s (%d workers, queue depth %d, default budget %s)\n",
-			addr, workers, queueDepth, budget)
+		fmt.Printf("rasad: serving optimization API on %s (%d workers, queue depth %d, default budget %s, policy %s)\n",
+			addr, workers, queueDepth, budget, policy)
 	}
 
 	select {

@@ -32,15 +32,16 @@ func PlanMigration(p *Problem, from, to *Assignment, minAlive float64) (*Migrati
 
 // TrainSelector trains the GCN selection policy without cancellation.
 //
-// Deprecated: use TrainSelectorContext; the labelling races it runs
-// dominate training time and observe ctx.
+// Deprecated: use TrainPolicyContext; the labelling races dominate
+// training time and observe ctx, and the returned policy is versioned
+// and keeps learning online.
 func TrainSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
 	return TrainSelectorContext(context.Background(), clusters, labelBudget, seed)
 }
 
 // TrainMLPSelector trains the MLP baseline policy without cancellation.
 //
-// Deprecated: use TrainMLPSelectorContext.
+// Deprecated: use TrainPolicyContext with Kind "mlp".
 func TrainMLPSelector(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
 	return TrainMLPSelectorContext(context.Background(), clusters, labelBudget, seed)
 }
@@ -48,9 +49,44 @@ func TrainMLPSelector(clusters []*GeneratedCluster, labelBudget time.Duration, s
 // LabelSubproblems generates the labelled training set without
 // cancellation.
 //
-// Deprecated: use LabelSubproblemsContext.
+// Deprecated: use TrainPolicyContext, which labels and trains in one
+// call (or LabelSubproblemsContext to keep the raw examples).
 func LabelSubproblems(clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
 	return LabelSubproblemsContext(context.Background(), clusters, labelBudget, seed)
+}
+
+// TrainSelectorContext trains the GCN selection policy on the labelled
+// races of Section IV-D, returning a static (non-learning) policy.
+//
+// Deprecated: use TrainPolicyContext, which returns a versioned policy
+// backed by the online trainer.
+func TrainSelectorContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	labeled, err := LabelSubproblemsContext(ctx, clusters, labelBudget, seed)
+	if err != nil {
+		return nil, err
+	}
+	return selector.GCNPolicy{Model: selector.TrainGCN(labeled, seed)}, nil
+}
+
+// TrainMLPSelectorContext trains the topology-blind MLP baseline on the
+// same labelling procedure (the MLP-BASED row of Fig. 8).
+//
+// Deprecated: use TrainPolicyContext with Kind "mlp".
+func TrainMLPSelectorContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
+	labeled, err := LabelSubproblemsContext(ctx, clusters, labelBudget, seed)
+	if err != nil {
+		return nil, err
+	}
+	return selector.MLPPolicy{Model: selector.TrainMLP(labeled, seed)}, nil
+}
+
+// LabelSubproblemsContext generates the labelled CG-vs-MIP training set
+// by racing both algorithms on every subproblem of every cluster.
+//
+// Deprecated: use TrainPolicyContext, which consumes the same labelling
+// loop and returns the trained policy directly.
+func LabelSubproblemsContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
+	return labelClusters(ctx, clusters, labelBudget, 3, seed)
 }
 
 // Simulate runs one production-simulation scenario without

@@ -129,10 +129,15 @@ type Result struct {
 	// Partition reports the partitioning phase.
 	Partition *partition.Result
 	// SubResults holds the per-subproblem solver outcomes, aligned with
-	// Partition.Subproblems.
+	// Partition.Subproblems. A raced subproblem's entry reports the
+	// winning arm as Algorithm and the head-to-head in Race.
 	SubResults []pool.Result
-	// Selected records the algorithm chosen per subproblem.
+	// Selected records the algorithm chosen per subproblem (pool.Race
+	// when the policy asked for a head-to-head).
 	Selected []pool.Algorithm
+	// Decisions records each subproblem's confidence-aware policy
+	// decision, aligned with Selected.
+	Decisions []selector.Decision
 	// OutOfTime reports that the solver phase produced nothing: every
 	// subproblem exhausted the budget without placements (the paper's
 	// OOT outcome — e.g. NO-PARTITION beyond small clusters). Individual
@@ -328,16 +333,22 @@ func Optimize(ctx context.Context, p *cluster.Problem, current *cluster.Assignme
 	}
 
 	// Phase 2: algorithm selection + parallel solving under the
-	// remaining budget.
+	// remaining budget. Policies decide per subproblem; a decision of
+	// pool.Race (a learned policy below its confidence threshold, or the
+	// explicit always-race policy) makes the solve layer run both
+	// algorithms head to head.
+	decisions := make([]selector.Decision, len(pres.Subproblems))
 	selected := make([]pool.Algorithm, len(pres.Subproblems))
 	for i, sp := range pres.Subproblems {
 		if opts.Strategy == NoPartition {
 			// NO-PARTITION is defined as handing the whole problem to
 			// the solver (Section V-B).
+			decisions[i] = selector.Decision{Algorithm: pool.MIP, Confidence: 1, Source: "no-partition"}
 			selected[i] = pool.MIP
 			continue
 		}
-		selected[i] = opts.Policy.Select(sp)
+		decisions[i] = opts.Policy.Decide(sp)
+		selected[i] = decisions[i].Algorithm
 	}
 	remaining := opts.Budget - time.Since(start)
 	if remaining < minSolveBudget {
@@ -347,6 +358,16 @@ func Optimize(ctx context.Context, p *cluster.Problem, current *cluster.Assignme
 		remaining = minSolveBudget
 	}
 	results := pool.SolveAll(ctx, pres.Subproblems, func(i int) pool.Algorithm { return selected[i] }, remaining, opts.Parallelism)
+
+	// Raced subproblems produced oracle labels; feed them back to a
+	// learning policy so low-confidence regions shrink over time.
+	if learner, ok := opts.Policy.(selector.Observer); ok {
+		for i, r := range results {
+			if r.Race != nil {
+				learner.ObserveRace(selector.FromRace(pres.Subproblems[i], r.Race))
+			}
+		}
+	}
 
 	// Phase 3: merge and migration path.
 	newAssign := sched.Merge(p, current, pres, results)
@@ -364,6 +385,7 @@ func Optimize(ctx context.Context, p *cluster.Problem, current *cluster.Assignme
 		Partition:        pres,
 		SubResults:       results,
 		Selected:         selected,
+		Decisions:        decisions,
 	}
 	if len(results) > 0 {
 		res.OutOfTime = true

@@ -1,0 +1,512 @@
+// Selector benchmark (BENCH_pr10.json): the online-learned GCN-first
+// policy against the always-race and heuristic arms, end to end through
+// the HTTP serving path. Every arm drives the identical job stream
+// through its own server instance (POST /v1/jobs with a structured
+// options object, long-poll to completion); the gcn arm starts with an
+// empty trainer, races everything during the warmup jobs, and serves
+// the measured jobs with whatever model those races taught it. The
+// artifact records per-arm affinity quality, wall/solver seconds over
+// the measured window, the gcn arm's race fraction and decision-source
+// mix, and per-arm predictor accuracy against a sequentially-labelled
+// holdout the serving path never saw.
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/gnn"
+	"github.com/cloudsched/rasa/internal/learn"
+	"github.com/cloudsched/rasa/internal/partition"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/selector"
+	"github.com/cloudsched/rasa/internal/server"
+	"github.com/cloudsched/rasa/internal/snapshot"
+	"github.com/cloudsched/rasa/internal/workload"
+)
+
+// SelectorBenchResult is the schema of BENCH_pr10.json.
+type SelectorBenchResult struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	Budget string `json:"budget"`
+
+	// WarmupJobs are submitted first and untimed (the gcn arm learns on
+	// them); MeasuredJobs is the per-arm measurement window. Every arm
+	// sees the identical job stream.
+	WarmupJobs   int `json:"warmupJobs"`
+	MeasuredJobs int `json:"measuredJobs"`
+	// HoldoutExamples is the decisively-labelled (non-tie) holdout size
+	// behind the predictor-accuracy columns; HoldoutTies were raced but
+	// excluded as oracle-ambiguous.
+	HoldoutExamples int `json:"holdoutExamples"`
+	HoldoutTies     int `json:"holdoutTies"`
+
+	Arms []SelectorBenchArm `json:"arms"`
+
+	// GCNRaceFraction is the gcn arm's raced share of measured
+	// subproblems (acceptance ceiling 0.5); SpeedupVsRace its measured-
+	// window wall-clock speedup over the always-race arm (floor 1.0);
+	// QualityDeltaPercent the relative gap between the gcn and race
+	// arms' mean normalized gains (positive = gcn ahead).
+	GCNRaceFraction     float64 `json:"gcnRaceFraction"`
+	SpeedupVsRace       float64 `json:"speedupVsRace"`
+	QualityDeltaPercent float64 `json:"qualityDeltaPercent"`
+
+	// Final online-trainer state of the gcn arm (GET /v1/policy).
+	FinalModelVersion    int     `json:"finalModelVersion"`
+	FinalHoldoutAccuracy float64 `json:"finalHoldoutAccuracy"`
+	Retrains             int64   `json:"retrains"`
+	Rollbacks            int64   `json:"rollbacks"`
+}
+
+// SelectorBenchArm is one policy kind driven through the job stream.
+type SelectorBenchArm struct {
+	// Name is the options.policy.kind the arm submits with.
+	Name string `json:"name"`
+
+	// Measured-window aggregates.
+	Jobs        int `json:"jobs"`
+	Subproblems int `json:"subproblems"`
+	Raced       int `json:"raced"`
+	// RaceFraction is Raced/Subproblems over the measured window.
+	RaceFraction float64 `json:"raceFraction"`
+	// WallSeconds is client-observed submit-to-completion time over the
+	// measured window; SolverSeconds sums the winning solvers' in-solver
+	// wall across its subproblems.
+	WallSeconds   float64 `json:"wallSeconds"`
+	SolverSeconds float64 `json:"solverSeconds"`
+	// MeanNormalizedGain averages gainedAffinity/totalAffinity over the
+	// measured jobs.
+	MeanNormalizedGain float64 `json:"meanNormalizedGain"`
+	// PredictorAccuracy scores the arm's selection rule against the
+	// sequentially-labelled holdout: the final online model for gcn, the
+	// containers-vs-machines rule for heuristic, and 1.0 by construction
+	// for the race arm (it always runs both arms and keeps the winner).
+	PredictorAccuracy float64 `json:"predictorAccuracy"`
+	// DecisionSources counts the policy decision sources over the
+	// measured window (e.g. gcn, gcn-lowconf, heuristic, race).
+	DecisionSources map[string]int `json:"decisionSources"`
+}
+
+// selectorBenchShape scales one synthetic job shape.
+type selectorBenchShape struct {
+	services, containers, machines int
+}
+
+// selectorBenchJob is one pre-serialized POST /v1/jobs body.
+type selectorBenchJob struct {
+	body  []byte
+	total float64 // total affinity weight, for normalization
+}
+
+func selectorBenchShapes(small bool) []selectorBenchShape {
+	if small {
+		return []selectorBenchShape{
+			{40, 220, 12},
+			{48, 260, 14},
+		}
+	}
+	return []selectorBenchShape{
+		{64, 360, 18},
+		{80, 420, 20},
+		{96, 520, 24},
+	}
+}
+
+// selectorMinConfidence is the gcn arm's request-level race threshold
+// (options.policy.minConfidence) over the measured window. The
+// CG-vs-MIP labels carry genuine noise near the decision boundary, so
+// the bench races below a softer bar than the 0.8 server default —
+// predictions the online model is actually sure about are served
+// directly, and the solve layer's MIP anytime floor bounds the cost of
+// trusting a borderline prediction.
+const selectorMinConfidence = 0.55
+
+// selectorExploreConfidence is the warmup jobs' threshold: close
+// enough to 1 that the gcn arm keeps racing (and labelling) even after
+// its first model installs, instead of letting an undertrained
+// classifier's confidence shut off its own training stream.
+const selectorExploreConfidence = 0.97
+
+func selectorBenchPreset(sh selectorBenchShape, idx int, seed int64) workload.Preset {
+	return workload.Preset{
+		Name:     fmt.Sprintf("SEL-%d", idx),
+		Services: sh.services, Containers: sh.containers, Machines: sh.machines,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55,
+		Seed: seed,
+	}
+}
+
+// buildSelectorJobs generates jobsPerShape clusters per shape (distinct
+// seeds) and serializes each as a structured-options job submission for
+// the given policy kind.
+func buildSelectorJobs(cfg Config, shapes []selectorBenchShape, jobsPerShape int, seedBase int64, kind string, minConfidence float64) ([]selectorBenchJob, error) {
+	var jobs []selectorBenchJob
+	for r := 0; r < jobsPerShape; r++ {
+		for si, sh := range shapes {
+			seed := seedBase + int64(si*97+r*1009)
+			c, err := getCluster(selectorBenchPreset(sh, si, seed))
+			if err != nil {
+				return nil, err
+			}
+			policy := map[string]any{"kind": kind}
+			if kind == "gcn" {
+				policy["minConfidence"] = minConfidence
+			}
+			req := map[string]any{
+				"snapshot": snapshot.FromCluster(c.Problem, c.Original),
+				"options": map[string]any{
+					"policy":        policy,
+					"skipMigration": true,
+					"seed":          seed,
+					"budget":        cfg.Budget.String(),
+				},
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, selectorBenchJob{body: body, total: c.Problem.Affinity.TotalWeight()})
+		}
+	}
+	return jobs, nil
+}
+
+// buildSelectorHoldout labels held-out clusters with the *sequential*
+// oracle: CG alone, then MIP alone, each with the full label budget and
+// no sibling contending for the core. That is the question every
+// single-pick policy actually answers in the serving path ("which arm
+// is better when it runs by itself?") — a concurrent race on one core
+// starves CG and would grade predictors against a contention artifact
+// instead. Within-RaceMargin finishes are oracle-ambiguous and counted
+// as ties, not scored.
+func buildSelectorHoldout(cfg Config, shapes []selectorBenchShape) (labeled []selector.Labeled, ties int, err error) {
+	for si, sh := range shapes {
+		for r := 0; r < 3; r++ {
+			seed := cfg.Seed + int64(si*131+r*17) + 777
+			c, err := getCluster(selectorBenchPreset(sh, si, seed))
+			if err != nil {
+				return nil, 0, err
+			}
+			// Default partition options: the holdout must mirror the
+			// subproblem distribution the serving path produces.
+			pres, err := partition.Multistage(cfg.Ctx, c.Problem, c.Original, partition.Options{Seed: seed})
+			if err != nil {
+				return nil, 0, err
+			}
+			// Each arm gets the slice of the job budget a subproblem of
+			// this partition would see in the serving path — a more
+			// generous per-arm budget would grade predictors against a
+			// time regime the server never runs them in.
+			perArm := cfg.Budget / time.Duration(len(pres.Subproblems))
+			for _, sp := range pres.Subproblems {
+				l, err := sequentialLabel(cfg, sp, perArm)
+				if err != nil {
+					return nil, 0, err
+				}
+				if l.Tie {
+					ties++
+					continue
+				}
+				labeled = append(labeled, l)
+			}
+		}
+	}
+	return labeled, ties, nil
+}
+
+// sequentialLabel runs each arm alone under the per-arm budget and
+// picks the better objective; MIP must clear CG by RaceMargin (ties go
+// to CG), mirroring the race verdict rule without the CPU contention.
+func sequentialLabel(cfg Config, sp *cluster.Subproblem, perArm time.Duration) (selector.Labeled, error) {
+	cg, err := pool.SolveCG(cfg.Ctx, sp, time.Now().Add(perArm))
+	if err != nil {
+		return selector.Labeled{}, err
+	}
+	mip, err := pool.SolveMIP(cfg.Ctx, sp, time.Now().Add(perArm))
+	if err != nil {
+		return selector.Labeled{}, err
+	}
+	l := selector.Labeled{Sub: sp, Winner: pool.CG, CGObj: cg.Objective, MIPObj: mip.Objective}
+	if cg.Objective != 0 {
+		l.Margin = (mip.Objective - cg.Objective) / cg.Objective
+	}
+	switch {
+	case !mip.OutOfTime && mip.Objective > cg.Objective*(1+pool.RaceMargin)+1e-9:
+		l.Winner = pool.MIP
+	case mip.Objective >= cg.Objective*(1-pool.RaceMargin)-1e-9:
+		l.Tie = true
+	}
+	return l, nil
+}
+
+// selectorClient wraps one arm's in-process server.
+type selectorClient struct {
+	ts *httptest.Server
+}
+
+func (c *selectorClient) submitWait(wait time.Duration, body []byte) (*server.JobResult, error) {
+	resp, err := http.Post(c.ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var acc struct {
+		ID string `json:"id"`
+		Er *struct {
+			Code, Message string
+		} `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("submit: status %d (%+v)", resp.StatusCode, acc.Er)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?wait=%s", c.ts.URL, acc.ID, 10*time.Second))
+		if err != nil {
+			return nil, err
+		}
+		var view struct {
+			Status string            `json:"status"`
+			Error  string            `json:"error"`
+			Result *server.JobResult `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch view.Status {
+		case "completed":
+			return view.Result, nil
+		case "failed":
+			return nil, fmt.Errorf("job %s failed: %s", acc.ID, view.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s still %s after %s", acc.ID, view.Status, wait)
+		}
+	}
+}
+
+// policyState mirrors the GET /v1/policy body.
+type policyState struct {
+	Trainer learn.Stats `json:"trainer"`
+	Model   *gnn.GCN    `json:"model"`
+}
+
+func (c *selectorClient) policy() (*policyState, error) {
+	resp, err := http.Get(c.ts.URL + "/v1/policy")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st policyState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// runSelectorArm drives the full job stream through one fresh server.
+// Warmup jobs run untimed; the measured tail is aggregated.
+func runSelectorArm(cfg Config, kind string, warmup, measured []selectorBenchJob) (*SelectorBenchArm, *policyState, error) {
+	srv := server.New(server.Config{
+		Workers:       1,
+		DefaultBudget: cfg.Budget,
+		MaxBudget:     10 * cfg.Budget,
+		Policy:        "heuristic",
+		MinConfidence: 0.8,
+		// Retrain eagerly: the warmup window is tens of races, not the
+		// default server's hundreds.
+		Learner: learn.Options{RetrainEvery: 16, MinExamples: 12, Epochs: 800, Seed: cfg.Seed},
+	})
+	client := &selectorClient{ts: httptest.NewServer(srv)}
+	defer client.ts.Close()
+	maxWait := 20 * cfg.Budget
+	if maxWait < time.Minute {
+		maxWait = time.Minute
+	}
+
+	for _, j := range warmup {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if _, err := client.submitWait(maxWait, j.body); err != nil {
+			return nil, nil, fmt.Errorf("selectorbench: %s warmup: %w", kind, err)
+		}
+	}
+
+	arm := &SelectorBenchArm{Name: kind, DecisionSources: map[string]int{}}
+	start := time.Now()
+	for _, j := range measured {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := client.submitWait(maxWait, j.body)
+		if err != nil {
+			return nil, nil, fmt.Errorf("selectorbench: %s: %w", kind, err)
+		}
+		arm.Jobs++
+		if j.total > 0 {
+			arm.MeanNormalizedGain += res.GainedAffinity / j.total
+		}
+		for _, sr := range res.SubResults {
+			arm.Subproblems++
+			if sr.Raced {
+				arm.Raced++
+			}
+			arm.SolverSeconds += sr.Stats.Wall.Seconds()
+			if sr.Source != "" {
+				arm.DecisionSources[sr.Source]++
+			}
+		}
+	}
+	arm.WallSeconds = time.Since(start).Seconds()
+	if arm.Jobs > 0 {
+		arm.MeanNormalizedGain /= float64(arm.Jobs)
+	}
+	if arm.Subproblems > 0 {
+		arm.RaceFraction = float64(arm.Raced) / float64(arm.Subproblems)
+	}
+	st, err := client.policy()
+	if err != nil {
+		return nil, nil, err
+	}
+	return arm, st, nil
+}
+
+// SelectorBench runs the identical job stream through always-race,
+// heuristic, and online-gcn servers and scores each arm's selection
+// rule against a sequentially-labelled holdout. The gcn arm must match the
+// always-race arm's affinity quality while racing under half of its
+// measured subproblems — the cost of the Section IV-D oracle collapses
+// onto the shrinking low-confidence region.
+func SelectorBench(cfg Config) (*SelectorBenchResult, error) {
+	cfg = cfg.withDefaults()
+	// Floor the job budget: with a starved budget the in-job races
+	// time-slice MIP into mislabelling its own wins, and the trainer
+	// learns a contention artifact instead of the solver tradeoff
+	// (shardbench floors its per-pass budget for the same reason).
+	if cfg.Budget < 3*time.Second {
+		cfg.Budget = 3 * time.Second
+	}
+	small := os.Getenv("RASA_BENCH_SMALL") == "1"
+	shapes := selectorBenchShapes(small)
+	warmupPerShape, measuredPerShape := 4, 3
+	if small {
+		warmupPerShape, measuredPerShape = 3, 2
+	}
+
+	res := &SelectorBenchResult{
+		Schema: "rasa-selector-bench/1",
+		Seed:   cfg.Seed,
+		Budget: cfg.Budget.String(),
+	}
+
+	holdout, ties, err := buildSelectorHoldout(cfg, shapes)
+	if err != nil {
+		return nil, err
+	}
+	res.HoldoutExamples = len(holdout)
+	res.HoldoutTies = ties
+
+	header(cfg.Out, "SELECTOR-BENCH", "online-GCN vs always-race vs heuristic through the serving path (BENCH_pr10.json)")
+	row(cfg.Out, "arm", "jobs", "subs", "raced", "frac", "wall s", "solver s", "gain", "pred acc")
+
+	var gcnState *policyState
+	for _, kind := range []string{"race", "heuristic", "gcn"} {
+		var warmup []selectorBenchJob
+		if kind == "gcn" {
+			// Only the learning arm needs the warmup stream: the fixed
+			// arms carry no state, and the measured window is timed
+			// separately anyway. Warmup jobs race at the exploration
+			// threshold so the trainer keeps collecting labels past its
+			// first model install.
+			if warmup, err = buildSelectorJobs(cfg, shapes, warmupPerShape, cfg.Seed, kind, selectorExploreConfidence); err != nil {
+				return nil, err
+			}
+			res.WarmupJobs = len(warmup)
+		}
+		measured, err := buildSelectorJobs(cfg, shapes, measuredPerShape, cfg.Seed+50_000, kind, selectorMinConfidence)
+		if err != nil {
+			return nil, err
+		}
+		res.MeasuredJobs = len(measured)
+		arm, st, err := runSelectorArm(cfg, kind, warmup, measured)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "race":
+			// The race arm runs the labelling oracle on every subproblem;
+			// its "prediction" is the oracle by construction.
+			arm.PredictorAccuracy = 1
+		case "heuristic":
+			arm.PredictorAccuracy = heuristicAccuracy(holdout)
+		case "gcn":
+			gcnState = st
+			if st.Model != nil {
+				arm.PredictorAccuracy = st.Model.Accuracy(selector.ToSamples(holdout))
+			}
+		}
+		res.Arms = append(res.Arms, *arm)
+		row(cfg.Out, arm.Name, arm.Jobs, arm.Subproblems, arm.Raced, arm.RaceFraction,
+			arm.WallSeconds, arm.SolverSeconds, arm.MeanNormalizedGain, arm.PredictorAccuracy)
+	}
+
+	race, gcn := res.Arms[0], res.Arms[2]
+	res.GCNRaceFraction = gcn.RaceFraction
+	if gcn.WallSeconds > 0 {
+		res.SpeedupVsRace = race.WallSeconds / gcn.WallSeconds
+	}
+	if race.MeanNormalizedGain > 0 {
+		res.QualityDeltaPercent = 100 * (gcn.MeanNormalizedGain - race.MeanNormalizedGain) / race.MeanNormalizedGain
+	}
+	if gcnState != nil {
+		res.FinalModelVersion = gcnState.Trainer.Version
+		res.FinalHoldoutAccuracy = gcnState.Trainer.HoldoutAccuracy
+		res.Retrains = gcnState.Trainer.Retrains
+		res.Rollbacks = gcnState.Trainer.Rollbacks
+	}
+	if res.FinalModelVersion == 0 {
+		return nil, fmt.Errorf("selectorbench: gcn arm never trained a model (observed %d races)", gcnState.Trainer.Observed)
+	}
+	fmt.Fprintf(cfg.Out, "gcn race fraction %.3f; speedup vs always-race %.2fx; quality delta %+.3f%%; model v%d (holdout acc %.2f, %d retrains, %d rollbacks)\n",
+		res.GCNRaceFraction, res.SpeedupVsRace, res.QualityDeltaPercent,
+		res.FinalModelVersion, res.FinalHoldoutAccuracy, res.Retrains, res.Rollbacks)
+	return res, nil
+}
+
+// heuristicAccuracy scores the containers-vs-machines rule against the
+// holdout labels.
+func heuristicAccuracy(holdout []selector.Labeled) float64 {
+	if len(holdout) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, l := range holdout {
+		if (selector.Heuristic{}).Select(l.Sub) == l.Winner {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(holdout))
+}
+
+// WriteSelectorBenchJSON writes the BENCH_pr10.json artifact.
+func WriteSelectorBenchJSON(w io.Writer, r *SelectorBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

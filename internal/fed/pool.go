@@ -23,7 +23,11 @@ type Options struct {
 	// session is the better fit — the server only builds a pool for
 	// -shards >= 2).
 	Shards int
-	// Engine configures every block's incremental engine.
+	// Engine configures every block's incremental engine. A single
+	// Engine.Policy value is shared by all blocks, so a learned policy
+	// (selector.Observer) aggregates race outcomes from every shard into
+	// one trainer — the federated session feeds the same learning loop
+	// as a single-engine one.
 	Engine incr.Options
 }
 

@@ -16,6 +16,23 @@ type Sample struct {
 	AHat  *Mat // normalized adjacency D^-1/2 (A+I) D^-1/2
 	X     *Mat // node features, n x inDim
 	Label int
+	// Weight scales this sample's loss gradient. Zero means 1 (the
+	// pre-weighting default); race ties labelled by solver timing noise
+	// are handed in with small weights so they stop teaching a false
+	// preference. Samples with negative weight are skipped entirely.
+	Weight float64
+}
+
+// effectiveWeight maps the Weight field to a gradient scale: zero is
+// the unweighted default, negatives mean "skip".
+func (s Sample) effectiveWeight() float64 {
+	if s.Weight == 0 {
+		return 1
+	}
+	if s.Weight < 0 {
+		return 0
+	}
+	return s.Weight
 }
 
 // GCN is the two-layer graph convolutional network of Section IV-D:
@@ -213,9 +230,14 @@ func (g *GCN) Fit(samples []Sample, cfg TrainConfig) float64 {
 		var total float64
 		for _, i := range perm {
 			s := samples[i]
+			w := s.effectiveWeight()
+			if w == 0 {
+				continue
+			}
 			c := g.forward(s.AHat, s.X)
 			gr := g.backward(s, c)
-			total += gr.loss
+			total += w * gr.loss
+			scaleGrads(w, gr.w0.V, gr.w1.V, gr.wOut.V, gr.b0, gr.b1, gr.b)
 			g.opt.w0.step(g.W0.V, gr.w0.V, cfg.LR)
 			g.opt.w1.step(g.W1.V, gr.w1.V, cfg.LR)
 			g.opt.wOut.step(g.WOut.V, gr.wOut.V, cfg.LR)
@@ -228,6 +250,18 @@ func (g *GCN) Fit(samples []Sample, cfg TrainConfig) float64 {
 		}
 	}
 	return lastLoss
+}
+
+// scaleGrads multiplies every gradient slice by w (no-op at w == 1).
+func scaleGrads(w float64, grads ...[]float64) {
+	if w == 1 {
+		return
+	}
+	for _, g := range grads {
+		for i := range g {
+			g[i] *= w
+		}
+	}
 }
 
 // Accuracy returns the fraction of samples whose argmax prediction

@@ -120,9 +120,13 @@ func (m *MLP) Fit(samples []Sample, cfg TrainConfig) float64 {
 		var total float64
 		for _, i := range perm {
 			s := samples[i]
+			w := s.effectiveWeight()
+			if w == 0 {
+				continue
+			}
 			in := MeanRows(s.X)
 			c := m.forward(in)
-			total += -math.Log(math.Max(c.probs[s.Label], 1e-12))
+			total += w * -math.Log(math.Max(c.probs[s.Label], 1e-12))
 
 			dLogits := append([]float64(nil), c.probs...)
 			dLogits[s.Label] -= 1
@@ -151,6 +155,7 @@ func (m *MLP) Fit(samples []Sample, cfg TrainConfig) float64 {
 					gW0.Set(i2, k, in[i2]*dz0[k])
 				}
 			}
+			scaleGrads(w, gW0.V, gW1.V, gWOut.V, dz0, dz1, dLogits)
 			m.opt.w0.step(m.W0.V, gW0.V, cfg.LR)
 			m.opt.w1.step(m.W1.V, gW1.V, cfg.LR)
 			m.opt.wOut.step(m.WOut.V, gWOut.V, cfg.LR)

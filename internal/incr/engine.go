@@ -320,12 +320,23 @@ func (e *Engine) reoptimize(ctx context.Context, adopt bool) (*Result, error) {
 	}
 	selected := make([]pool.Algorithm, len(subs))
 	for i, sp := range subs {
-		selected[i] = e.opts.Policy.Select(sp)
+		selected[i] = e.opts.Policy.Decide(sp).Algorithm
 	}
 	results := pool.SolveAllWarm(ctx, subs,
 		func(i int) pool.Algorithm { return selected[i] },
 		func(i int) *pool.WarmStart { return st.warmFor(dirtyIdx[i]) },
 		e.opts.DeltaBudget, e.opts.Parallelism)
+
+	// Low-confidence decisions raced both arms; the outcomes are oracle
+	// labels for a learning policy (shared across every engine — and, in
+	// the federated pool, every block — that holds the same Policy).
+	if learner, ok := e.opts.Policy.(selector.Observer); ok {
+		for i, r := range results {
+			if r.Race != nil {
+				learner.ObserveRace(selector.FromRace(subs[i], r.Race))
+			}
+		}
+	}
 
 	next := sched.Merge(p, cur, &partition.Result{Subproblems: subs}, results)
 	core.ReconcileSLA(p, cur, next)

@@ -1,0 +1,286 @@
+// Package learn closes the paper's learning loop online: race outcomes
+// observed in the serving path (core passes, incr delta re-optimizations,
+// fed blocks) stream into a bounded replay buffer, a trainer
+// periodically refits the Section IV-D GCN classifier on the buffer, and
+// the refreshed model is hot-swapped atomically under running decisions
+// — with a rollback gate that refuses any candidate whose holdout
+// accuracy regresses. The learned policy races only where the current
+// model is unsure, so the 2x labelling cost of Section IV-D's offline
+// procedure is paid only on the shrinking low-confidence region.
+package learn
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cloudsched/rasa/internal/cluster"
+	"github.com/cloudsched/rasa/internal/gnn"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/selector"
+)
+
+// Options tunes a Trainer.
+type Options struct {
+	// Capacity bounds the replay buffer (oldest examples evicted first).
+	// Default 256.
+	Capacity int
+	// HoldoutEvery reserves every k-th observed example for the holdout
+	// split that gates hot-swaps; those examples are never trained on.
+	// Default 5 (20% holdout).
+	HoldoutEvery int
+	// RetrainEvery triggers a retrain after this many fresh non-tie
+	// examples. Default 32.
+	RetrainEvery int
+	// MinExamples is the smallest training split a retrain will fit on.
+	// Default 24.
+	MinExamples int
+	// Epochs and LR parameterize each refit. Defaults 300 and 0.002
+	// (see selector.TrainGCN for why the rate is small).
+	Epochs int
+	LR     float64
+	// Hidden is the GCN hidden width. Default 16.
+	Hidden int
+	// Seed drives weight init and shuffling; the model version is mixed
+	// in so successive refits explore different initializations.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 256
+	}
+	if o.HoldoutEvery <= 1 {
+		o.HoldoutEvery = 5
+	}
+	if o.RetrainEvery <= 0 {
+		o.RetrainEvery = 32
+	}
+	if o.MinExamples <= 0 {
+		o.MinExamples = 24
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 300
+	}
+	if o.LR <= 0 {
+		o.LR = 0.002
+	}
+	if o.Hidden <= 0 {
+		o.Hidden = 16
+	}
+	return o
+}
+
+// Model is one immutable trained-model version. Decisions load it with
+// a single atomic pointer read; retraining installs a fresh value, so a
+// model observed mid-decision stays valid for that decision's lifetime.
+type Model struct {
+	GCN *gnn.GCN
+	// Version counts installed models (imports included), starting at 1.
+	Version int
+	// HoldoutAccuracy is the model's accuracy on the holdout split at
+	// install time (predictor-vs-oracle, ties excluded).
+	HoldoutAccuracy float64
+}
+
+// Stats is a point-in-time snapshot of the trainer for /v1/policy and
+// the rasa_policy_* metrics.
+type Stats struct {
+	Version         int     `json:"version"`
+	HoldoutAccuracy float64 `json:"holdoutAccuracy"`
+	Observed        int64   `json:"observed"`
+	Ties            int64   `json:"ties"`
+	Buffered        int     `json:"buffered"`
+	HoldoutSize     int     `json:"holdoutSize"`
+	Retrains        int64   `json:"retrains"`
+	Rollbacks       int64   `json:"rollbacks"`
+}
+
+// Trainer is the online learning loop: a bounded replay buffer of race
+// outcomes plus a versioned, atomically hot-swapped GCN. All methods
+// are safe for concurrent use; Model is wait-free.
+type Trainer struct {
+	opts  Options
+	model atomic.Pointer[Model]
+
+	mu         sync.Mutex
+	train      []gnn.Sample // replay ring, training split
+	trainNext  int
+	holdout    []gnn.Sample // replay ring, holdout split
+	holdNext   int
+	observed   int64
+	ties       int64
+	sinceTrain int
+	retrains   int64
+	rollbacks  int64
+	version    int
+}
+
+// NewTrainer builds a trainer with no model: a Policy on top of it
+// races everything until the first retrain installs one.
+func NewTrainer(opts Options) *Trainer {
+	return &Trainer{opts: opts.withDefaults()}
+}
+
+// Model returns the current model version, or nil before the first
+// install. The returned value is immutable.
+func (t *Trainer) Model() *Model { return t.model.Load() }
+
+// Stats snapshots the trainer state.
+func (t *Trainer) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{
+		Observed:    t.observed,
+		Ties:        t.ties,
+		Buffered:    len(t.train),
+		HoldoutSize: len(t.holdout),
+		Retrains:    t.retrains,
+		Rollbacks:   t.rollbacks,
+	}
+	if m := t.model.Load(); m != nil {
+		s.Version = m.Version
+		s.HoldoutAccuracy = m.HoldoutAccuracy
+	}
+	return s
+}
+
+// Observe feeds one labelled race outcome into the replay buffer and
+// retrains when enough fresh examples accumulated. Tied races carry a
+// mostly-noise winner label (see selector.Labeled.Tie): they train at
+// selector.TieWeight, never land in the holdout split (which scores
+// predictor-vs-oracle on decisive labels only), and do not advance the
+// retrain cadence. Retraining happens synchronously on the calling
+// goroutine; concurrent observers queue on the trainer lock while
+// decisions keep reading the old model lock-free.
+func (t *Trainer) Observe(l selector.Labeled) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observed++
+	aHat, x := gnn.FeatureGraph(l.Sub)
+	s := gnn.Sample{AHat: aHat, X: x, Label: labelClass(l.Winner)}
+	if l.Tie {
+		t.ties++
+		s.Weight = selector.TieWeight
+		pushRing(&t.train, &t.trainNext, s, t.opts.Capacity)
+		return
+	}
+	if t.opts.HoldoutEvery > 1 && t.observed%int64(t.opts.HoldoutEvery) == 0 {
+		pushRing(&t.holdout, &t.holdNext, s, t.opts.Capacity/t.opts.HoldoutEvery+1)
+	} else {
+		pushRing(&t.train, &t.trainNext, s, t.opts.Capacity)
+	}
+	t.sinceTrain++
+	if t.sinceTrain >= t.opts.RetrainEvery && len(t.train) >= t.opts.MinExamples {
+		t.retrainLocked()
+	}
+}
+
+// ObserveRace implements selector.Observer, so a bare Trainer can be
+// handed anywhere an observing policy is expected.
+func (t *Trainer) ObserveRace(l selector.Labeled) { t.Observe(l) }
+
+// Retrain forces a refit on the current buffer regardless of cadence
+// (warmup and tests). It reports whether a new model was installed —
+// false when the buffer is still short or the candidate was rolled
+// back.
+func (t *Trainer) Retrain() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.train) < t.opts.MinExamples {
+		return false
+	}
+	return t.retrainLocked()
+}
+
+// retrainLocked fits a candidate on the training split and installs it
+// only if its holdout accuracy does not regress the incumbent's. Called
+// with t.mu held.
+func (t *Trainer) retrainLocked() bool {
+	t.sinceTrain = 0
+	t.retrains++
+	seed := t.opts.Seed + int64(t.version)*7919
+	rng := rand.New(rand.NewSource(seed))
+	cand := gnn.NewGCN(2, t.opts.Hidden, 2, rng)
+	cand.Fit(t.train, gnn.TrainConfig{Epochs: t.opts.Epochs, LR: t.opts.LR, Seed: seed})
+
+	candAcc := cand.Accuracy(t.holdout)
+	if cur := t.model.Load(); cur != nil && len(t.holdout) > 0 {
+		// Re-score the incumbent on today's holdout: its install-time
+		// accuracy may be stale after buffer churn.
+		if curAcc := cur.GCN.Accuracy(t.holdout); candAcc < curAcc {
+			t.rollbacks++
+			return false
+		}
+	}
+	t.installLocked(cand, candAcc)
+	return true
+}
+
+// Install hot-swaps an externally supplied model (PUT /v1/policy),
+// bypassing the rollback gate — the operator asked for exactly this
+// model. Its holdout accuracy is scored on the current holdout split.
+func (t *Trainer) Install(g *gnn.GCN) *Model {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.installLocked(g, g.Accuracy(t.holdout))
+	return t.model.Load()
+}
+
+func (t *Trainer) installLocked(g *gnn.GCN, holdoutAcc float64) {
+	t.version++
+	t.model.Store(&Model{GCN: g, Version: t.version, HoldoutAccuracy: holdoutAcc})
+}
+
+// pushRing appends s to a capacity-bounded ring, evicting oldest-first.
+func pushRing(buf *[]gnn.Sample, next *int, s gnn.Sample, capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if len(*buf) < capacity {
+		*buf = append(*buf, s)
+		return
+	}
+	(*buf)[*next] = s
+	*next = (*next + 1) % capacity
+}
+
+func labelClass(a pool.Algorithm) int {
+	if a == pool.MIP {
+		return 1
+	}
+	return 0
+}
+
+// Policy is the learned serving policy: GCN-first with the trainer's
+// current model, racing only when the model is missing or unsure. It
+// implements selector.Policy and selector.Observer, so any solve path
+// it is plugged into both consults it and feeds raced outcomes back —
+// one Policy value (or several sharing a Trainer) closes the loop.
+type Policy struct {
+	Trainer *Trainer
+	// MinConfidence is the race threshold: predictions whose winning-
+	// class probability falls below it are raced instead of trusted.
+	// Zero disables the gate (never race once a model exists).
+	MinConfidence float64
+}
+
+// Decide implements selector.Policy.
+func (p *Policy) Decide(sp *cluster.Subproblem) selector.Decision {
+	if !selector.MIPTractable(sp) {
+		// Racing an intractable formulation would burn the MIP arm's CPU
+		// for a foregone conclusion; don't even when untrained.
+		return selector.Decision{Algorithm: pool.CG, Confidence: 1, Source: "tractability-guard"}
+	}
+	m := p.Trainer.Model()
+	if m == nil {
+		return selector.Decision{Algorithm: pool.Race, Confidence: 0, Source: "race-untrained"}
+	}
+	return selector.GCNPolicy{Model: m.GCN, MinConfidence: p.MinConfidence}.Decide(sp)
+}
+
+// ObserveRace implements selector.Observer.
+func (p *Policy) ObserveRace(l selector.Labeled) { p.Trainer.Observe(l) }
+
+// Name implements selector.Policy.
+func (p *Policy) Name() string { return "LEARNED-GCN" }

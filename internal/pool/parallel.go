@@ -28,12 +28,12 @@ func SolveAll(ctx context.Context, subs []*cluster.Subproblem, algFor func(i int
 // seeded from (and refreshes) warmFor(i). Each cache entry is touched
 // only by its own subproblem's goroutine, so callers may hand out
 // entries from a plain map built before the call.
-func SolveAllWarm(ctx context.Context, subs []*cluster.Subproblem, algFor func(i int) Algorithm, warmFor func(i int) *WarmStart, budget time.Duration, parallelism int) []Result {
+func SolveAllWarm(parent context.Context, subs []*cluster.Subproblem, algFor func(i int) Algorithm, warmFor func(i int) *WarmStart, budget time.Duration, parallelism int) []Result {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	deadline := time.Now().Add(budget)
-	ctx, cancel := context.WithDeadline(ctx, deadline)
+	ctx, cancel := context.WithDeadline(parent, deadline)
 	defer cancel()
 	results := make([]Result, len(subs))
 	var wg sync.WaitGroup
@@ -54,9 +54,30 @@ func SolveAllWarm(ctx context.Context, subs []*cluster.Subproblem, algFor func(i
 			} else {
 				res, err = Solve(ctx, subs[i], alg, deadline)
 			}
-			if err != nil {
-				results[i] = Result{Algorithm: alg, OutOfTime: true}
-				return
+			switch {
+			case err != nil:
+				res = Result{Algorithm: alg, OutOfTime: true}
+			case alg == MIP && len(res.Placements) == 0:
+				// CG and Race picks are anytime — they always return an
+				// incumbent — but a MIP pick that hits the shared
+				// deadline (or the size guard) before rounding its
+				// first integral solution returns nothing, and the
+				// merge would leave the subproblem on its original
+				// assignment. Give it CG's greedy floor: a bounded
+				// overtime slice on the parent context, so a starved
+				// (or mispredicted) MIP pick degrades to roughly a CG
+				// solve instead of a hole in the new assignment.
+				if parent.Err() == nil {
+					stats := res.Stats
+					if cg, cgErr := SolveCG(parent, subs[i], time.Now().Add(mipFloorBudget)); cgErr == nil && len(cg.Placements) > 0 {
+						res = cg
+						// Still a MIP pick, still out of time — the
+						// floor only fills the placement hole.
+						res.Algorithm = MIP
+						res.OutOfTime = true
+						res.Stats.Merge(stats)
+					}
+				}
 			}
 			results[i] = res
 		}(i)
@@ -64,3 +85,7 @@ func SolveAllWarm(ctx context.Context, subs []*cluster.Subproblem, algFor func(i
 	wg.Wait()
 	return results
 }
+
+// mipFloorBudget bounds the per-subproblem overtime a placement-less
+// MIP pick may spend computing its CG greedy floor.
+const mipFloorBudget = 150 * time.Millisecond

@@ -24,6 +24,11 @@ type Algorithm int
 const (
 	CG  Algorithm = iota // column generation (Section IV-C2)
 	MIP                  // direct MIP via branch and bound (Section IV-C1)
+	// Race runs both members concurrently and keeps the better result
+	// (Section IV-D's labelling procedure). It costs up to 2x the CPU of
+	// a single arm, but its outcome doubles as an oracle-labelled
+	// training example for the online selector.
+	Race
 )
 
 func (a Algorithm) String() string {
@@ -32,6 +37,8 @@ func (a Algorithm) String() string {
 		return "CG"
 	case MIP:
 		return "MIP"
+	case Race:
+		return "RACE"
 	}
 	return "unknown"
 }
@@ -45,6 +52,12 @@ type Result struct {
 	// Stats is the solver effort behind this result: iteration counts,
 	// per-phase wall time, and the cause that stopped the solve.
 	Stats solve.Stats
+	// Race, set only when the subproblem was solved by racing both pool
+	// members (Algorithm Race, or a policy decision below its confidence
+	// threshold), records the head-to-head outcome; Algorithm then names
+	// the winning arm. It is the labelled example the learning loop
+	// trains on.
+	Race *RaceOutcome
 }
 
 // maxMIPCells bounds the direct-MIP formulation size (rows * columns of
@@ -64,6 +77,8 @@ func Solve(ctx context.Context, sp *cluster.Subproblem, alg Algorithm, deadline 
 		return SolveCG(ctx, sp, deadline)
 	case MIP:
 		return SolveMIP(ctx, sp, deadline)
+	case Race:
+		return SolveRace(ctx, sp, deadline)
 	}
 	return Result{}, fmt.Errorf("pool: unknown algorithm %d", alg)
 }

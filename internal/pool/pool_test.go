@@ -123,3 +123,47 @@ func TestSolveAllExpiredBudgetStillReturns(t *testing.T) {
 		t.Fatalf("results = %d", len(results))
 	}
 }
+
+// TestSolveAllMIPFloor checks a MIP pick that cannot produce a single
+// integral incumbent inside the shared budget still returns placements:
+// the solve layer fills the hole with CG's greedy floor (bounded
+// overtime) instead of leaving the subproblem on its original
+// assignment. A cancelled parent context must NOT trigger the floor.
+func TestSolveAllMIPFloor(t *testing.T) {
+	c, err := workload.Generate(workload.Preset{
+		Name: "floor", Services: 60, Containers: 300, Machines: 16,
+		Beta: 1.6, AffinityFraction: 0.6, Zones: 1, Utilization: 0.55, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := partition.Multistage(context.Background(), c.Problem, c.Original, partition.Options{TargetSize: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := pres.Subproblems
+
+	// A nanosecond budget expires before any MIP can round an
+	// incumbent.
+	results := SolveAll(context.Background(), subs, func(int) Algorithm { return MIP }, time.Nanosecond, 2)
+	for i, r := range results {
+		if r.Algorithm != MIP || !r.OutOfTime {
+			t.Fatalf("result %d: %v OutOfTime=%v, want starved MIP", i, r.Algorithm, r.OutOfTime)
+		}
+		if len(r.Placements) == 0 {
+			t.Fatalf("result %d has no placements: the anytime floor is gone", i)
+		}
+	}
+
+	// With the parent context already cancelled there is no overtime to
+	// spend: results come back empty rather than stretching the
+	// cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results = SolveAll(ctx, subs, func(int) Algorithm { return MIP }, time.Nanosecond, 2)
+	for i, r := range results {
+		if len(r.Placements) != 0 {
+			t.Fatalf("result %d solved after parent cancellation", i)
+		}
+	}
+}

@@ -5,13 +5,17 @@
 // baseline of the Section V-C ablation (always-CG, always-MIP, the
 // empirical heuristic, and the topology-blind MLP), and the labelling
 // harness that generates training data by racing both algorithms.
+//
+// Policies are confidence-aware: Decide returns a Decision carrying the
+// chosen algorithm, the policy's confidence in it, and a source tag. A
+// policy that is unsure may return pool.Race — the solve layer then runs
+// both algorithms and the head-to-head outcome flows back to the policy
+// through the Observer interface, closing the online learning loop.
 package selector
 
 import (
 	"context"
-	"math"
 	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/cluster"
@@ -20,22 +24,96 @@ import (
 	"github.com/cloudsched/rasa/internal/pool"
 )
 
+// Decision is a confidence-aware algorithm choice for one subproblem.
+type Decision struct {
+	// Algorithm to run; pool.Race means "unsure — run both and learn
+	// from the outcome".
+	Algorithm pool.Algorithm
+	// Confidence in [0, 1]: a classifier reports its winning-class
+	// probability, deterministic rules report 1, an explicit race 0.
+	Confidence float64
+	// Source tags where the choice came from ("gcn", "gcn-lowconf",
+	// "heuristic", "fixed", "race", "tractability-guard",
+	// "heuristic-fallback") for the decision-mix metrics.
+	Source string
+}
+
 // Policy selects a pool algorithm for each subproblem.
 type Policy interface {
+	// Decide returns the confidence-aware algorithm choice for the
+	// subproblem.
+	Decide(sp *cluster.Subproblem) Decision
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// LegacyPolicy is the pre-Decision policy shape: a bare Select with no
+// confidence channel. Built-in policies still implement it; external
+// implementations adapt through AsPolicy.
+type LegacyPolicy interface {
 	// Select returns the algorithm to run on the subproblem.
 	Select(sp *cluster.Subproblem) pool.Algorithm
 	// Name identifies the policy in experiment output.
 	Name() string
 }
 
+// AsPolicy adapts a Select-only policy to the Decision API. Adapted
+// decisions carry confidence 1 and the policy's name as source, so they
+// never trigger a race.
+func AsPolicy(p LegacyPolicy) Policy {
+	if dp, ok := p.(Policy); ok {
+		return dp
+	}
+	return legacyAdapter{p}
+}
+
+type legacyAdapter struct{ p LegacyPolicy }
+
+func (a legacyAdapter) Decide(sp *cluster.Subproblem) Decision {
+	return Decision{Algorithm: a.p.Select(sp), Confidence: 1, Source: a.p.Name()}
+}
+
+func (a legacyAdapter) Name() string { return a.p.Name() }
+
+// Observer is implemented by policies that learn online: whenever the
+// solve layer races both algorithms on a subproblem — because the
+// policy returned pool.Race, or the caller forced a race — the labelled
+// outcome is fed back through ObserveRace. Implementations must be
+// safe for concurrent use; subproblem solves run in parallel.
+type Observer interface {
+	ObserveRace(l Labeled)
+}
+
 // Fixed always picks the same algorithm (the CG and MIP rows of Fig. 8).
 type Fixed struct{ Algorithm pool.Algorithm }
 
-// Select implements Policy.
+// Decide implements Policy.
+func (f Fixed) Decide(*cluster.Subproblem) Decision {
+	return Decision{Algorithm: f.Algorithm, Confidence: 1, Source: "fixed"}
+}
+
+// Select implements LegacyPolicy.
 func (f Fixed) Select(*cluster.Subproblem) pool.Algorithm { return f.Algorithm }
 
 // Name implements Policy.
 func (f Fixed) Name() string { return f.Algorithm.String() }
+
+// Race always races both pool algorithms (the labelling configuration,
+// and the always-race arm of the selector benchmark). It burns up to 2x
+// the CPU of a single arm but is its own oracle.
+type Race struct{}
+
+// Decide implements Policy.
+func (Race) Decide(*cluster.Subproblem) Decision {
+	return Decision{Algorithm: pool.Race, Confidence: 0, Source: "race"}
+}
+
+// Select implements LegacyPolicy. Legacy callers cannot dispatch a
+// race, so the compat path degrades to CG, the cheaper arm.
+func (Race) Select(*cluster.Subproblem) pool.Algorithm { return pool.CG }
+
+// Name implements Policy.
+func (Race) Name() string { return "RACE" }
 
 // Heuristic is the empirical rule of Section V-C: compare the average
 // container count per service with the average machine count per machine
@@ -43,7 +121,13 @@ func (f Fixed) Name() string { return f.Algorithm.String() }
 // otherwise.
 type Heuristic struct{}
 
-// Select implements Policy.
+// Decide implements Policy. The rule is deterministic, so it reports
+// full confidence.
+func (h Heuristic) Decide(sp *cluster.Subproblem) Decision {
+	return Decision{Algorithm: h.Select(sp), Confidence: 1, Source: "heuristic"}
+}
+
+// Select implements LegacyPolicy.
 func (Heuristic) Select(sp *cluster.Subproblem) pool.Algorithm {
 	if len(sp.Services) == 0 {
 		return pool.MIP
@@ -77,9 +161,11 @@ func (Heuristic) Name() string { return "HEURISTIC" }
 // within it.
 const mipTractableCells = 1_500_000
 
-// mipTractable estimates the simplex-tableau size of the subproblem's
-// direct MIP formulation without building it.
-func mipTractable(sp *cluster.Subproblem) bool {
+// MIPTractable estimates the simplex-tableau size of the subproblem's
+// direct MIP formulation without building it and reports whether a
+// learned policy may send it to MIP at all. Exported for the online
+// trainer, whose learned policies apply the same regime guard.
+func MIPTractable(sp *cluster.Subproblem) bool {
 	nS, nM := len(sp.Services), len(sp.Machines)
 	inSub := make(map[int]bool, nS)
 	for _, s := range sp.Services {
@@ -98,26 +184,96 @@ func mipTractable(sp *cluster.Subproblem) bool {
 
 // GCNPolicy selects with the trained graph classifier. Class indices
 // follow labelAlgorithms: 0 => CG, 1 => MIP.
-type GCNPolicy struct{ Model *gnn.GCN }
+type GCNPolicy struct {
+	Model *gnn.GCN
+	// MinConfidence gates the prediction: when the winning-class
+	// probability falls below it, Decide returns pool.Race so the solve
+	// layer runs both arms and the outcome becomes a training example.
+	// Zero disables the gate (always trust the argmax).
+	MinConfidence float64
+}
 
-// Select implements Policy.
+// Decide implements Policy. With a nil model it falls back to the
+// empirical heuristic at confidence 0 (the untrained-server bootstrap
+// path); predictions outside the MIP-tractable regime are forced to CG.
+func (p GCNPolicy) Decide(sp *cluster.Subproblem) Decision {
+	if p.Model == nil {
+		return Decision{Algorithm: Heuristic{}.Select(sp), Confidence: 0, Source: "heuristic-fallback"}
+	}
+	if !MIPTractable(sp) {
+		return Decision{Algorithm: pool.CG, Confidence: 1, Source: "tractability-guard"}
+	}
+	alg, conf := p.predict(sp)
+	if p.MinConfidence > 0 && conf < p.MinConfidence {
+		return Decision{Algorithm: pool.Race, Confidence: conf, Source: "gcn-lowconf"}
+	}
+	return Decision{Algorithm: alg, Confidence: conf, Source: "gcn"}
+}
+
+func (p GCNPolicy) predict(sp *cluster.Subproblem) (pool.Algorithm, float64) {
+	aHat, x := gnn.FeatureGraph(sp)
+	probs := p.Model.Predict(aHat, x)
+	best := 0
+	for i := range probs {
+		if probs[i] > probs[best] {
+			best = i
+		}
+	}
+	return classToAlgorithm(best), probs[best]
+}
+
+// Select implements LegacyPolicy: the argmax prediction with no
+// confidence gate (and the heuristic when no model is loaded).
 func (p GCNPolicy) Select(sp *cluster.Subproblem) pool.Algorithm {
-	if !mipTractable(sp) {
+	if p.Model == nil {
+		return Heuristic{}.Select(sp)
+	}
+	if !MIPTractable(sp) {
 		return pool.CG
 	}
-	aHat, x := gnn.FeatureGraph(sp)
-	return classToAlgorithm(p.Model.PredictLabel(aHat, x))
+	alg, _ := p.predict(sp)
+	return alg
 }
 
 // Name implements Policy.
 func (GCNPolicy) Name() string { return "GCN-BASED" }
 
 // MLPPolicy selects with the mean-pooled MLP baseline.
-type MLPPolicy struct{ Model *gnn.MLP }
+type MLPPolicy struct {
+	Model *gnn.MLP
+	// MinConfidence gates the prediction exactly like GCNPolicy's.
+	MinConfidence float64
+}
 
-// Select implements Policy.
+// Decide implements Policy.
+func (p MLPPolicy) Decide(sp *cluster.Subproblem) Decision {
+	if p.Model == nil {
+		return Decision{Algorithm: Heuristic{}.Select(sp), Confidence: 0, Source: "heuristic-fallback"}
+	}
+	if !MIPTractable(sp) {
+		return Decision{Algorithm: pool.CG, Confidence: 1, Source: "tractability-guard"}
+	}
+	_, x := gnn.FeatureGraph(sp)
+	probs := p.Model.Predict(x)
+	best := 0
+	for i := range probs {
+		if probs[i] > probs[best] {
+			best = i
+		}
+	}
+	alg, conf := classToAlgorithm(best), probs[best]
+	if p.MinConfidence > 0 && conf < p.MinConfidence {
+		return Decision{Algorithm: pool.Race, Confidence: conf, Source: "mlp-lowconf"}
+	}
+	return Decision{Algorithm: alg, Confidence: conf, Source: "mlp"}
+}
+
+// Select implements LegacyPolicy.
 func (p MLPPolicy) Select(sp *cluster.Subproblem) pool.Algorithm {
-	if !mipTractable(sp) {
+	if p.Model == nil {
+		return Heuristic{}.Select(sp)
+	}
+	if !MIPTractable(sp) {
 		return pool.CG
 	}
 	_, x := gnn.FeatureGraph(sp)
@@ -148,70 +304,62 @@ type Labeled struct {
 	Winner pool.Algorithm
 	CGObj  float64
 	MIPObj float64
+	// Tie reports that both arms finished within pool.RaceMargin of each
+	// other: the Winner label (CG, the cheaper arm) is solver timing
+	// noise, not signal, and training skips or down-weights it.
+	Tie bool
+	// Margin is the relative objective gap (MIP-CG)/max(|CG|, eps) the
+	// race observed; see pool.RaceOutcome.
+	Margin float64
 }
 
-// winnerMargin is how clearly MIP must beat CG to win a label: near-ties
-// are dominated by solver timing noise, and mislabelled ties poison the
-// classifier. Ties go to CG, the cheaper algorithm.
-const winnerMargin = 0.01
+// FromRace converts a race outcome observed in the solve path into a
+// labelled training example.
+func FromRace(sp *cluster.Subproblem, ro *pool.RaceOutcome) Labeled {
+	return Labeled{
+		Sub:    sp,
+		Winner: ro.Winner,
+		CGObj:  ro.CGObjective,
+		MIPObj: ro.MIPObjective,
+		Tie:    ro.Tie,
+		Margin: ro.Margin,
+	}
+}
 
 // Label races both pool algorithms on the subproblem with the given
 // per-algorithm budget and returns the labelled example (Section IV-D:
 // "we attempt each subproblem with the two candidate algorithms and
 // choose the one that returns better objective within a time limit").
-// The two arms run concurrently: CG on its own goroutine, MIP on the
-// calling one. Once CG finishes, its objective feeds the MIP solve as a
-// cutoff, so the branch and bound stops the moment its proven upper
-// bound shows it cannot beat CG by winnerMargin — the losing arm is
-// cancelled instead of running out its budget. Ties go to CG.
+// The race itself is pool.SolveRace: CG on its own goroutine, MIP with
+// CG's objective as a branch-and-bound cutoff. Ties go to CG but are
+// flagged as such, so near-ties decided by timing noise stop teaching a
+// false CG preference.
 func Label(ctx context.Context, sp *cluster.Subproblem, budget time.Duration) (Labeled, error) {
-	deadline := time.Now().Add(budget)
-
-	var (
-		cgObjBits atomic.Uint64
-		cgDone    = make(chan struct{})
-		cgRes     pool.Result
-		cgErr     error
-	)
-	go func() {
-		defer close(cgDone)
-		cgRes, cgErr = pool.SolveCG(ctx, sp, deadline)
-		if cgErr == nil {
-			cgObjBits.Store(math.Float64bits(cgRes.Objective))
-		}
-	}()
-
-	cutoff := func() (float64, bool) {
-		select {
-		case <-cgDone:
-		default:
-			return 0, false
-		}
-		return math.Float64frombits(cgObjBits.Load()) * (1 + winnerMargin), true
+	res, err := pool.SolveRace(ctx, sp, time.Now().Add(budget))
+	if err != nil {
+		return Labeled{}, err
 	}
-	mipRes, mipErr := pool.SolveMIPCutoff(ctx, sp, deadline, cutoff)
-	<-cgDone
-	if cgErr != nil {
-		return Labeled{}, cgErr
-	}
-	if mipErr != nil {
-		return Labeled{}, mipErr
-	}
-	out := Labeled{Sub: sp, CGObj: cgRes.Objective, MIPObj: mipRes.Objective, Winner: pool.CG}
-	// A MIP arm stopped by the cutoff has a proven bound below the margin
-	// threshold, so this comparison cannot falsely promote it.
-	if !mipRes.OutOfTime && mipRes.Objective > cgRes.Objective*(1+winnerMargin)+1e-9 {
-		out.Winner = pool.MIP
-	}
-	return out, nil
+	return FromRace(sp, res.Race), nil
 }
 
+// TieWeight is the training weight of a tied race. A tie's winner
+// label (CG, the cheaper arm) is mostly solver timing noise, so it
+// contributes a fraction of a decisive example's gradient — enough to
+// keep the prior that CG suffices when both arms land together, without
+// letting noisy labels dominate the decisive ones.
+const TieWeight = 0.25
+
 // ToSamples converts labelled subproblems into GCN training samples.
+// Tied races are down-weighted by TieWeight rather than dropped.
 func ToSamples(labeled []Labeled) []gnn.Sample {
 	out := make([]gnn.Sample, 0, len(labeled))
 	for _, l := range labeled {
 		aHat, x := gnn.FeatureGraph(l.Sub)
-		out = append(out, gnn.Sample{AHat: aHat, X: x, Label: algorithmToClass(l.Winner)})
+		s := gnn.Sample{AHat: aHat, X: x, Label: algorithmToClass(l.Winner)}
+		if l.Tie {
+			s.Weight = TieWeight
+		}
+		out = append(out, s)
 	}
 	return out
 }

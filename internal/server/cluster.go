@@ -45,9 +45,13 @@ func (sess *clusterSession) stats() incr.Stats {
 }
 
 // installRequest is the POST /v1/cluster body: a snapshot (wrapped or
-// bare, like POST /v1/jobs) plus incremental-engine options.
+// bare, like POST /v1/jobs) plus incremental-engine options. The
+// structured Options object is the current form; the top-level
+// Strategy/Policy strings are deprecated (still accepted, answered with
+// a Deprecation header).
 type installRequest struct {
 	Snapshot       *snapshot.Snapshot `json:"snapshot"`
+	Options        *optionsJSON       `json:"options,omitempty"`
 	Budget         duration           `json:"budget,omitempty"`
 	DeltaBudget    duration           `json:"deltaBudget,omitempty"`
 	DriftThreshold float64            `json:"driftThreshold,omitempty"`
@@ -99,12 +103,20 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalidRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
 		return
 	}
-	strategy, err := parseStrategy(req.Strategy)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
-		return
+	ro, deprecated, err := s.decodeOptions(req.Options, req.Strategy, req.Policy, optionsJSON{
+		Budget:         req.Budget,
+		DeltaBudget:    req.DeltaBudget,
+		DriftThreshold: req.DriftThreshold,
+		MaxDirtyRatio:  req.MaxDirtyRatio,
+		MinAlive:       req.MinAlive,
+		SkipMigration:  req.SkipMigration,
+		Parallelism:    req.Parallelism,
+		Seed:           req.Seed,
+		ForceFull:      req.ForceFull,
+	})
+	if deprecated {
+		markDeprecated(w)
 	}
-	policy, err := parsePolicy(req.Policy)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
@@ -114,38 +126,28 @@ func (s *Server) handleClusterInstall(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
 		return
 	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	bootstrap := current == nil
 	if bootstrap {
-		current, err = sched.Original(p, seed)
+		current, err = sched.Original(p, ro.seed)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, codeInvalidProblem, "cannot bootstrap initial assignment: "+err.Error())
 			return
 		}
 	}
-	budget := time.Duration(req.Budget)
-	if budget <= 0 {
-		budget = s.cfg.DefaultBudget
-	}
-	if budget > s.cfg.MaxBudget {
-		budget = s.cfg.MaxBudget
-	}
+	budget := ro.budget
 	opts := incr.Options{
 		Budget:         budget,
-		DeltaBudget:    time.Duration(req.DeltaBudget),
-		DriftThreshold: req.DriftThreshold,
-		MaxDirtyRatio:  req.MaxDirtyRatio,
-		Strategy:       strategy,
-		Policy:         policy,
-		MinAlive:       req.MinAlive,
-		SkipMigration:  req.SkipMigration,
-		Parallelism:    req.Parallelism,
-		ForceFull:      req.ForceFull,
+		DeltaBudget:    ro.deltaBudget,
+		DriftThreshold: ro.driftThreshold,
+		MaxDirtyRatio:  ro.maxDirtyRatio,
+		Strategy:       ro.strategy,
+		Policy:         ro.policy,
+		MinAlive:       ro.minAlive,
+		SkipMigration:  ro.skipMigration,
+		Parallelism:    ro.parallelism,
+		ForceFull:      ro.forceFull,
 	}
-	opts.Partition.Seed = seed
+	opts.Partition.Seed = ro.seed
 
 	sess := &clusterSession{budget: budget}
 	if s.cfg.Shards >= 2 {

@@ -110,10 +110,20 @@ type JobResult struct {
 
 // SubResultJSON is one subproblem's outcome.
 type SubResultJSON struct {
-	Algorithm string      `json:"algorithm"`
-	Objective float64     `json:"objective"`
-	OutOfTime bool        `json:"outOfTime,omitempty"`
-	Stats     solve.Stats `json:"stats"`
+	// Algorithm is the algorithm that produced the result — for a raced
+	// subproblem, the winning arm.
+	Algorithm string  `json:"algorithm"`
+	Objective float64 `json:"objective"`
+	// Raced reports both pool algorithms ran head-to-head on this
+	// subproblem (an explicit race policy, or a learned decision below
+	// its confidence threshold).
+	Raced bool `json:"raced,omitempty"`
+	// Source and Confidence echo the policy decision that dispatched
+	// this subproblem.
+	Source     string      `json:"source,omitempty"`
+	Confidence float64     `json:"confidence,omitempty"`
+	OutOfTime  bool        `json:"outOfTime,omitempty"`
+	Stats      solve.Stats `json:"stats"`
 }
 
 // PlanJSON is a migration plan in wire form.
@@ -158,13 +168,19 @@ func buildResult(p *cluster.Problem, res *core.Result) *JobResult {
 		Stats:            res.Stats,
 		Plan:             planJSON(res.Plan),
 	}
-	for _, sr := range res.SubResults {
-		out.SubResults = append(out.SubResults, SubResultJSON{
+	for i, sr := range res.SubResults {
+		srj := SubResultJSON{
 			Algorithm: sr.Algorithm.String(),
 			Objective: sr.Objective,
+			Raced:     sr.Race != nil,
 			OutOfTime: sr.OutOfTime,
 			Stats:     sr.Stats,
-		})
+		}
+		if i < len(res.Decisions) {
+			srj.Source = res.Decisions[i].Source
+			srj.Confidence = res.Decisions[i].Confidence
+		}
+		out.SubResults = append(out.SubResults, srj)
 	}
 	res.Assignment.EachPlacement(func(s, m, count int) {
 		out.Assignment = append(out.Assignment, snapshot.PlacementJSON{Service: s, Machine: m, Count: count})

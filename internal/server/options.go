@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/learn"
+	"github.com/cloudsched/rasa/internal/pool"
+	"github.com/cloudsched/rasa/internal/selector"
+)
+
+// optionsJSON is the structured "options" object of POST /v1/jobs and
+// POST /v1/cluster:
+//
+//	{"options": {"partition": "multistage",
+//	             "policy": {"kind": "gcn", "minConfidence": 0.8},
+//	             "budget": "2s", ...}}
+//
+// It replaces the legacy stringly top-level "strategy"/"policy" request
+// fields; those are still accepted (a request using them gets a
+// `Deprecation: true` response header) but cannot be mixed with an
+// options object in one request. Fields the object leaves unset fall
+// back to the matching top-level field, then to the server defaults.
+type optionsJSON struct {
+	// Partition picks the partitioner: multistage (default), random,
+	// kway, or none.
+	Partition string `json:"partition,omitempty"`
+	// Policy picks the algorithm-selection policy; see policyJSON.
+	Policy *policyJSON `json:"policy,omitempty"`
+	// Budget is the per-job (or full-pipeline, for the cluster session)
+	// optimization budget.
+	Budget        duration `json:"budget,omitempty"`
+	MinAlive      float64  `json:"minAlive,omitempty"`
+	SkipMigration bool     `json:"skipMigration,omitempty"`
+	Parallelism   int      `json:"parallelism,omitempty"`
+	Seed          int64    `json:"seed,omitempty"`
+
+	// Incremental-session knobs (POST /v1/cluster only; ignored by
+	// /v1/jobs like their legacy top-level counterparts).
+	DeltaBudget    duration `json:"deltaBudget,omitempty"`
+	DriftThreshold float64  `json:"driftThreshold,omitempty"`
+	MaxDirtyRatio  float64  `json:"maxDirtyRatio,omitempty"`
+	ForceFull      bool     `json:"forceFull,omitempty"`
+}
+
+// policyJSON selects an algorithm-selection policy.
+type policyJSON struct {
+	// Kind: heuristic (default), cg, mip, race, or gcn (the online-
+	// trained classifier; requires nothing to be pre-loaded — an
+	// untrained server races and learns).
+	Kind string `json:"kind"`
+	// MinConfidence overrides the server's race threshold for kind gcn:
+	// predictions below it are raced CG-vs-MIP and the outcome feeds the
+	// trainer. Unset uses the server default; explicit 0 disables
+	// racing.
+	MinConfidence *float64 `json:"minConfidence,omitempty"`
+}
+
+// reqOptions is the validated, resolved form every option-carrying
+// request decodes into.
+type reqOptions struct {
+	strategy       core.Strategy
+	policy         selector.Policy
+	policyKind     string
+	budget         time.Duration
+	minAlive       float64
+	skipMigration  bool
+	parallelism    int
+	seed           int64
+	deltaBudget    time.Duration
+	driftThreshold float64
+	maxDirtyRatio  float64
+	forceFull      bool
+}
+
+// overlay returns base with every field o sets replaced by o's value.
+func (o *optionsJSON) overlay(base optionsJSON) optionsJSON {
+	if o == nil {
+		return base
+	}
+	if o.Partition != "" {
+		base.Partition = o.Partition
+	}
+	if o.Policy != nil {
+		base.Policy = o.Policy
+	}
+	if o.Budget != 0 {
+		base.Budget = o.Budget
+	}
+	if o.MinAlive != 0 {
+		base.MinAlive = o.MinAlive
+	}
+	if o.SkipMigration {
+		base.SkipMigration = true
+	}
+	if o.Parallelism != 0 {
+		base.Parallelism = o.Parallelism
+	}
+	if o.Seed != 0 {
+		base.Seed = o.Seed
+	}
+	if o.DeltaBudget != 0 {
+		base.DeltaBudget = o.DeltaBudget
+	}
+	if o.DriftThreshold != 0 {
+		base.DriftThreshold = o.DriftThreshold
+	}
+	if o.MaxDirtyRatio != 0 {
+		base.MaxDirtyRatio = o.MaxDirtyRatio
+	}
+	if o.ForceFull {
+		base.ForceFull = true
+	}
+	return base
+}
+
+// decodeOptions is the single validated options decoder behind both
+// POST /v1/jobs and POST /v1/cluster. It merges the structured options
+// object with the legacy top-level fields (rejecting requests that mix
+// the deprecated strategy/policy strings with an options object),
+// validates every field, clamps the budget, and reports whether the
+// deprecated form was used so handlers can set the Deprecation header.
+func (s *Server) decodeOptions(structured *optionsJSON, legacyStrategy, legacyPolicy string, legacy optionsJSON) (reqOptions, bool, error) {
+	deprecated := legacyStrategy != "" || legacyPolicy != ""
+	if deprecated {
+		if structured != nil {
+			return reqOptions{}, true, fmt.Errorf(`request mixes the deprecated top-level "strategy"/"policy" fields with an "options" object; move them into options.partition / options.policy`)
+		}
+		legacy.Partition = legacyStrategy
+		if legacyPolicy != "" {
+			legacy.Policy = &policyJSON{Kind: legacyPolicy}
+		}
+	}
+	eff := structured.overlay(legacy)
+
+	var out reqOptions
+	var err error
+	if out.strategy, err = parsePartition(eff.Partition); err != nil {
+		return reqOptions{}, deprecated, err
+	}
+	if out.policy, out.policyKind, err = s.parsePolicy(eff.Policy); err != nil {
+		return reqOptions{}, deprecated, err
+	}
+	if eff.MinAlive < 0 || eff.MinAlive > 1 {
+		return reqOptions{}, deprecated, fmt.Errorf("minAlive %v outside [0, 1]", eff.MinAlive)
+	}
+	out.budget = time.Duration(eff.Budget)
+	if out.budget <= 0 {
+		out.budget = s.cfg.DefaultBudget
+	}
+	if out.budget > s.cfg.MaxBudget {
+		out.budget = s.cfg.MaxBudget
+	}
+	out.minAlive = eff.MinAlive
+	out.skipMigration = eff.SkipMigration
+	out.parallelism = eff.Parallelism
+	out.seed = eff.Seed
+	if out.seed == 0 {
+		out.seed = 1
+	}
+	out.deltaBudget = time.Duration(eff.DeltaBudget)
+	out.driftThreshold = eff.DriftThreshold
+	out.maxDirtyRatio = eff.MaxDirtyRatio
+	out.forceFull = eff.ForceFull
+	return out, deprecated, nil
+}
+
+// parsePartition maps the wire partitioner name to a core.Strategy.
+func parsePartition(s string) (core.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "", "multistage", "multi-stage", "multi-stage-partition":
+		return core.Multistage, nil
+	case "random", "random-partition":
+		return core.RandomPartition, nil
+	case "kway", "k-way", "kahip":
+		return core.KWayPartition, nil
+	case "none", "no-partition":
+		return core.NoPartition, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want multistage, random, kway, or none)", s)
+}
+
+// parsePolicy builds the selection policy for one request. A nil spec
+// uses the server's configured default kind. Kind "gcn" binds the
+// request to the server's shared online trainer: every gcn job feeds
+// (and benefits from) the same replay buffer and hot-swapped model,
+// with the request's minConfidence deciding how eagerly it races.
+func (s *Server) parsePolicy(spec *policyJSON) (selector.Policy, string, error) {
+	kind := s.cfg.Policy
+	minConf := s.cfg.MinConfidence
+	if spec != nil {
+		if spec.Kind != "" {
+			kind = spec.Kind
+		}
+		if spec.MinConfidence != nil {
+			if *spec.MinConfidence < 0 || *spec.MinConfidence > 1 {
+				return nil, "", fmt.Errorf("policy minConfidence %v outside [0, 1]", *spec.MinConfidence)
+			}
+			minConf = *spec.MinConfidence
+		}
+	}
+	switch strings.ToLower(kind) {
+	case "", "heuristic":
+		return selector.Heuristic{}, "heuristic", nil
+	case "cg":
+		return selector.Fixed{Algorithm: pool.CG}, "cg", nil
+	case "mip":
+		return selector.Fixed{Algorithm: pool.MIP}, "mip", nil
+	case "race":
+		return selector.Race{}, "race", nil
+	case "gcn":
+		return &learn.Policy{Trainer: s.trainer, MinConfidence: minConf}, "gcn", nil
+	}
+	return nil, "", fmt.Errorf("unknown policy %q (want heuristic, cg, mip, race, or gcn)", kind)
+}
+
+// markDeprecated flags a response to a request that used the legacy
+// top-level strategy/policy fields (RFC 9745 Deprecation header).
+func markDeprecated(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", "true")
+}

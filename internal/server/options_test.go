@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cloudsched/rasa/internal/gnn"
+)
+
+// postRaw posts JSON and returns the raw response (for header checks)
+// plus the decoded body.
+func postRaw(t *testing.T, url string, body []byte) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+// TestOptionsFormsAndDeprecation drives the same submission through the
+// legacy top-level strategy/policy fields and the structured options
+// object: both must be accepted and solve identically, the legacy form
+// must be flagged with `Deprecation: true` (RFC 9745), the new form
+// must not be, and mixing the two in one request must be rejected.
+func TestOptionsFormsAndDeprecation(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, DefaultBudget: 300 * time.Millisecond})
+	snap := testSnapshot(t, 5)
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		deprecated bool
+		wantErr    string
+	}{
+		{
+			name:       "legacy top-level strategy and policy",
+			body:       `{"snapshot": %s, "strategy": "random", "policy": "cg", "skipMigration": true}`,
+			wantStatus: http.StatusAccepted,
+			deprecated: true,
+		},
+		{
+			name:       "structured options object",
+			body:       `{"snapshot": %s, "options": {"partition": "random", "policy": {"kind": "cg"}, "skipMigration": true}}`,
+			wantStatus: http.StatusAccepted,
+			deprecated: false,
+		},
+		{
+			name:       "options with non-policy legacy siblings",
+			body:       `{"snapshot": %s, "budget": "250ms", "options": {"policy": {"kind": "cg"}, "skipMigration": true}}`,
+			wantStatus: http.StatusAccepted,
+			deprecated: false,
+		},
+		{
+			name:       "mixed legacy strings and options object",
+			body:       `{"snapshot": %s, "strategy": "random", "options": {"policy": {"kind": "cg"}}}`,
+			wantStatus: http.StatusBadRequest,
+			deprecated: true,
+			wantErr:    "mixes the deprecated",
+		},
+		{
+			name:       "bad options policy kind",
+			body:       `{"snapshot": %s, "options": {"policy": {"kind": "quantum"}}}`,
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "unknown policy",
+		},
+		{
+			name:       "bad options minConfidence",
+			body:       `{"snapshot": %s, "options": {"policy": {"kind": "gcn", "minConfidence": 1.5}}}`,
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "minConfidence",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postRaw(t, ts.URL+"/v1/jobs", []byte(fmt.Sprintf(tc.body, snap)))
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d: %v", resp.StatusCode, tc.wantStatus, body)
+			}
+			if got := resp.Header.Get("Deprecation") == "true"; got != tc.deprecated {
+				t.Fatalf("Deprecation header %q, want flagged=%v", resp.Header.Get("Deprecation"), tc.deprecated)
+			}
+			if tc.wantErr != "" {
+				if _, msg := errEnvelope(body); !strings.Contains(msg, tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", msg, tc.wantErr)
+				}
+				return
+			}
+			id, _ := body["id"].(string)
+			_, v := getJob(t, ts.URL, id, "?wait=30s")
+			if v.Status != StatusCompleted {
+				t.Fatalf("job status %q, error %q", v.Status, v.Error)
+			}
+			for i, sr := range v.Result.SubResults {
+				if sr.Algorithm != "CG" {
+					t.Fatalf("policy cg ignored: subresult %d solved with %s", i, sr.Algorithm)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterLegacyFormDeprecated checks the cluster-session endpoint
+// flags the legacy form too — both option-carrying endpoints share the
+// decoder.
+func TestClusterLegacyFormDeprecated(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, DefaultBudget: 300 * time.Millisecond})
+	var body bytes.Buffer
+	fmt.Fprintf(&body, `{"snapshot": %s, "policy": "cg", "skipMigration": true}`, testSnapshot(t, 6))
+	resp, out := postRaw(t, ts.URL+"/v1/cluster", body.Bytes())
+	if resp.StatusCode >= 400 {
+		t.Fatalf("cluster install status %d: %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy cluster form not flagged deprecated")
+	}
+}
+
+// TestPolicyRoundTrip exercises GET /v1/policy (trainer state + model
+// export) and PUT /v1/policy (model import, hot-swap, gate bypass),
+// including re-importing the exported body.
+func TestPolicyRoundTrip(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, Policy: "gcn", MinConfidence: 0.75})
+
+	getPolicy := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/policy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/policy status %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Fresh server: defaults visible, no model yet.
+	st := getPolicy()
+	if st["defaultKind"] != "gcn" {
+		t.Fatalf("defaultKind %v", st["defaultKind"])
+	}
+	if st["defaultMinConfidence"] != 0.75 {
+		t.Fatalf("defaultMinConfidence %v", st["defaultMinConfidence"])
+	}
+	if _, ok := st["model"]; ok {
+		t.Fatalf("untrained server exported a model: %v", st["model"])
+	}
+
+	// Import a model; the operator path bypasses the rollback gate.
+	m := gnn.NewGCN(2, 16, 2, rand.New(rand.NewSource(1)))
+	body, err := json.Marshal(map[string]any{"model": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(b []byte) (int, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/policy", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+	code, out := put(body)
+	if code != http.StatusOK || out["version"] != float64(1) {
+		t.Fatalf("PUT status %d body %v, want version 1", code, out)
+	}
+
+	// Export now carries the model; piping the bare model object back
+	// in (the documented round trip) installs the next version.
+	st = getPolicy()
+	model, ok := st["model"].(map[string]any)
+	if !ok {
+		t.Fatalf("no model in export: %v", st)
+	}
+	bare, err := json.Marshal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out = put(bare)
+	if code != http.StatusOK || out["version"] != float64(2) {
+		t.Fatalf("bare re-import status %d body %v, want version 2", code, out)
+	}
+
+	// Garbage is rejected with the unified envelope.
+	code, out = put([]byte(`{"model": "nope"}`))
+	if code != http.StatusBadRequest {
+		t.Fatalf("garbage import status %d body %v", code, out)
+	}
+}

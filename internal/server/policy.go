@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"github.com/cloudsched/rasa/internal/gnn"
+	"github.com/cloudsched/rasa/internal/learn"
+)
+
+// policyView is the GET /v1/policy response: the server's default
+// policy configuration, the online trainer's state, and (when a model
+// is installed) the full model weights — the export half of the
+// export/import round trip.
+type policyView struct {
+	// DefaultKind and DefaultMinConfidence are the server-level policy
+	// defaults (rasad -policy / -min-confidence); individual requests
+	// override them per job via options.policy.
+	DefaultKind          string  `json:"defaultKind"`
+	DefaultMinConfidence float64 `json:"defaultMinConfidence"`
+	// Trainer is the online learning loop's state: model version,
+	// holdout accuracy, buffer fill, retrain/rollback counts.
+	Trainer learn.Stats `json:"trainer"`
+	// Model is the installed GCN's weights (null before the first
+	// retrain or import). PUT the same shape back to restore it.
+	Model *gnn.GCN `json:"model,omitempty"`
+}
+
+func (s *Server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
+	view := policyView{
+		DefaultKind:          s.cfg.Policy,
+		DefaultMinConfidence: s.cfg.MinConfidence,
+		Trainer:              s.trainer.Stats(),
+	}
+	if m := s.trainer.Model(); m != nil {
+		view.Model = m.GCN
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// policyPutRequest is the PUT /v1/policy body: a trained model to
+// install ({"model": {...}}, or the bare GCN weight object itself).
+type policyPutRequest struct {
+	Model *gnn.GCN `json:"model"`
+}
+
+// handlePolicyPut imports a trained model and hot-swaps it in as the
+// next version, bypassing the rollback gate — the operator asked for
+// exactly this model. Weight-shape validation happens in the GCN
+// unmarshaller; a corrupt body never reaches the trainer.
+func (s *Server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "server is draining")
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req policyPutRequest
+	if err := json.Unmarshal(raw, &req); err != nil || req.Model == nil {
+		// A failed decode can leave a half-populated model behind —
+		// discard it before trying the fallback shape.
+		req.Model = nil
+		// Accept the bare GET /v1/policy "model" object piped back in.
+		var g gnn.GCN
+		if err2 := json.Unmarshal(raw, &g); err2 == nil && g.InDim > 0 {
+			req.Model = &g
+		} else if err == nil {
+			err = err2
+		}
+		if req.Model == nil {
+			msg := `missing model (send {"model": {...}} or the bare model object from GET /v1/policy)`
+			if err != nil {
+				msg = "malformed model: " + err.Error()
+			}
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, msg)
+			return
+		}
+	}
+	m := s.trainer.Install(req.Model)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":         m.Version,
+		"holdoutAccuracy": m.HoldoutAccuracy,
+	})
+}

@@ -27,6 +27,8 @@
 //	POST /v1/cluster/reoptimize  delta re-solve; returns moved containers + plan
 //	GET  /v1/cluster/log         lifetime event log (paged; ?from=&limit=)
 //	GET  /v1/shards              shard topology of a federated session (-shards >= 2)
+//	GET  /v1/policy              selection-policy state + model export
+//	PUT  /v1/policy              install (import) a trained selection model
 //	GET  /metrics                Prometheus text exposition
 //	GET  /healthz                liveness + drain state
 package server
@@ -36,16 +38,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/core"
+	"github.com/cloudsched/rasa/internal/learn"
 	"github.com/cloudsched/rasa/internal/obs"
-	"github.com/cloudsched/rasa/internal/pool"
 	"github.com/cloudsched/rasa/internal/sched"
-	"github.com/cloudsched/rasa/internal/selector"
 	"github.com/cloudsched/rasa/internal/snapshot"
 )
 
@@ -76,6 +76,17 @@ type Config struct {
 	// GET /v1/shards topology endpoint. 0 or 1 keeps the single-engine
 	// session.
 	Shards int
+	// Policy is the default algorithm-selection policy kind for requests
+	// that don't pick one: heuristic (default), cg, mip, race, or gcn
+	// (the online-trained classifier; rasad -serve -policy gcn).
+	Policy string
+	// MinConfidence is the default race threshold for the gcn policy:
+	// predictions whose confidence falls below it run both solvers and
+	// feed the outcome back to the trainer. Default 0.8.
+	MinConfidence float64
+	// Learner tunes the online trainer behind the gcn policy (replay
+	// capacity, retrain cadence, holdout split).
+	Learner learn.Options
 	// Registry receives the service metrics; nil creates a fresh one.
 	Registry *obs.Registry
 }
@@ -98,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWait <= 0 {
 		c.MaxWait = 5 * time.Minute
+	}
+	if c.Policy == "" {
+		c.Policy = "heuristic"
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.8
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -138,12 +155,19 @@ type Server struct {
 	// optimize is swappable for deterministic tests.
 	optimize func(ctx context.Context, p *cluster.Problem, cur *cluster.Assignment, opts core.Options) (*core.Result, error)
 
-	jobsTotal *obs.CounterVec
-	inflight  *obs.Gauge
-	jobSecs   *obs.Histogram
-	queueSecs *obs.Histogram
-	subStops  *obs.CounterVec
-	solver    *obs.SolveCollector
+	// trainer is the shared online learning loop behind every gcn-policy
+	// request: one replay buffer, one hot-swapped model per server.
+	trainer *learn.Trainer
+
+	jobsTotal  *obs.CounterVec
+	inflight   *obs.Gauge
+	jobSecs    *obs.Histogram
+	queueSecs  *obs.Histogram
+	subStops   *obs.CounterVec
+	solver     *obs.SolveCollector
+	decisions  *obs.CounterVec
+	confidence *obs.Histogram
+	races      *obs.Counter
 }
 
 // New builds the service and starts its worker pool. Call Shutdown to
@@ -171,6 +195,22 @@ func New(cfg Config) *Server {
 	s.subStops = reg.CounterVec("rasa_subsolve_stop_total", "Subproblem solves by stop cause.", "cause")
 	s.solver = obs.NewSolveCollector(reg, "rasa")
 
+	s.trainer = learn.NewTrainer(cfg.Learner)
+	s.decisions = reg.CounterVec("rasa_policy_decisions_total", "Algorithm-selection decisions by source and chosen algorithm.", "source", "algorithm")
+	s.confidence = reg.Histogram("rasa_policy_confidence", "Confidence of algorithm-selection decisions.",
+		[]float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1})
+	s.races = reg.Counter("rasa_policy_races_total", "Subproblems solved by racing both pool algorithms.")
+	reg.GaugeFunc("rasa_policy_model_version", "Version of the installed selection model (0 = untrained).",
+		func() float64 { return float64(s.trainer.Stats().Version) })
+	reg.GaugeFunc("rasa_policy_holdout_accuracy", "Predictor-vs-oracle accuracy of the installed model on the holdout split.",
+		func() float64 { return s.trainer.Stats().HoldoutAccuracy })
+	reg.GaugeFunc("rasa_policy_retrains_total", "Online retrains attempted by the policy trainer.",
+		func() float64 { return float64(s.trainer.Stats().Retrains) })
+	reg.GaugeFunc("rasa_policy_rollbacks_total", "Retrained candidates rejected for regressing holdout accuracy.",
+		func() float64 { return float64(s.trainer.Stats().Rollbacks) })
+	reg.GaugeFunc("rasa_policy_examples_observed_total", "Race outcomes observed by the policy trainer (ties included).",
+		func() float64 { return float64(s.trainer.Stats().Observed) })
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -184,6 +224,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/cluster/execute", s.handleExecuteList)
 	s.mux.HandleFunc("GET /v1/cluster/execute/{id}", s.handleExecuteGet)
 	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
+	s.mux.HandleFunc("GET /v1/policy", s.handlePolicyGet)
+	s.mux.HandleFunc("PUT /v1/policy", s.handlePolicyPut)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 
@@ -277,14 +319,26 @@ func (s *Server) runJob(job *Job) {
 	s.solver.Observe(res.Stats)
 	for _, sr := range res.SubResults {
 		s.subStops.With(sr.Stats.Stop.String()).Inc()
+		if sr.Race != nil {
+			s.races.Inc()
+		}
+	}
+	for _, d := range res.Decisions {
+		// The algorithm label is what the policy asked for — RACE counts
+		// as its own arm; the winning side is visible per subResult.
+		s.decisions.With(d.Source, d.Algorithm.String()).Inc()
+		s.confidence.Observe(d.Confidence)
 	}
 }
 
 // submitRequest is the wrapped POST /v1/jobs body. A bare snapshot
 // (top-level "version"/"services") is also accepted, with every option
-// at its default.
+// at its default. The structured Options object is the current form;
+// the top-level Strategy/Policy strings are the deprecated one (still
+// accepted, answered with a Deprecation header).
 type submitRequest struct {
 	Snapshot      *snapshot.Snapshot `json:"snapshot"`
+	Options       *optionsJSON       `json:"options,omitempty"`
 	Budget        duration           `json:"budget,omitempty"`
 	Strategy      string             `json:"strategy,omitempty"`
 	Policy        string             `json:"policy,omitempty"`
@@ -292,32 +346,6 @@ type submitRequest struct {
 	SkipMigration bool               `json:"skipMigration,omitempty"`
 	Parallelism   int                `json:"parallelism,omitempty"`
 	Seed          int64              `json:"seed,omitempty"`
-}
-
-func parseStrategy(s string) (core.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "", "multistage", "multi-stage", "multi-stage-partition":
-		return core.Multistage, nil
-	case "random", "random-partition":
-		return core.RandomPartition, nil
-	case "kway", "k-way", "kahip":
-		return core.KWayPartition, nil
-	case "none", "no-partition":
-		return core.NoPartition, nil
-	}
-	return 0, fmt.Errorf("unknown strategy %q (want multistage, random, kway, or none)", s)
-}
-
-func parsePolicy(s string) (selector.Policy, error) {
-	switch strings.ToLower(s) {
-	case "", "heuristic":
-		return selector.Heuristic{}, nil
-	case "cg":
-		return selector.Fixed{Algorithm: pool.CG}, nil
-	case "mip":
-		return selector.Fixed{Algorithm: pool.MIP}, nil
-	}
-	return nil, fmt.Errorf("unknown policy %q (want heuristic, cg, or mip)", s)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -343,22 +371,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Snapshot == nil {
-		writeErr(w, http.StatusBadRequest, codeInvalidRequest, `missing snapshot (send {"snapshot": {...}, ...options} or a bare snapshot object)`)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, `missing snapshot (send {"snapshot": {...}, "options": {...}} or a bare snapshot object)`)
 		return
 	}
-	budget := time.Duration(req.Budget)
-	if budget <= 0 {
-		budget = s.cfg.DefaultBudget
+	ro, deprecated, err := s.decodeOptions(req.Options, req.Strategy, req.Policy, optionsJSON{
+		Budget:        req.Budget,
+		MinAlive:      req.MinAlive,
+		SkipMigration: req.SkipMigration,
+		Parallelism:   req.Parallelism,
+		Seed:          req.Seed,
+	})
+	if deprecated {
+		markDeprecated(w)
 	}
-	if budget > s.cfg.MaxBudget {
-		budget = s.cfg.MaxBudget
-	}
-	strategy, err := parseStrategy(req.Strategy)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
-		return
-	}
-	policy, err := parsePolicy(req.Policy)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
@@ -368,19 +393,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalidProblem, err.Error())
 		return
 	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	if current == nil {
 		// Snapshot without a recorded deployment: bootstrap with the
 		// ORIGINAL scheduler, like the one-shot CLI path.
-		current, err = sched.Original(p, seed)
+		current, err = sched.Original(p, ro.seed)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, codeInvalidProblem, "cannot bootstrap initial assignment: "+err.Error())
 			return
 		}
 	}
+	budget := ro.budget
 	job := &Job{
 		submitted: time.Now(),
 		budget:    budget,
@@ -388,15 +410,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		current:   current,
 		opts: core.Options{
 			Budget:        budget,
-			Strategy:      strategy,
-			Policy:        policy,
-			MinAlive:      req.MinAlive,
-			SkipMigration: req.SkipMigration,
-			Parallelism:   req.Parallelism,
+			Strategy:      ro.strategy,
+			Policy:        ro.policy,
+			MinAlive:      ro.minAlive,
+			SkipMigration: ro.skipMigration,
+			Parallelism:   ro.parallelism,
 		},
 		done: make(chan struct{}),
 	}
-	job.opts.Partition.Seed = seed
+	job.opts.Partition.Seed = ro.seed
 
 	// Register and enqueue under the lock so a concurrent Shutdown
 	// either sees this job in the queue or rejected it here.

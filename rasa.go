@@ -37,11 +37,13 @@ package rasa
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"github.com/cloudsched/rasa/internal/cluster"
 	"github.com/cloudsched/rasa/internal/core"
 	"github.com/cloudsched/rasa/internal/graph"
+	"github.com/cloudsched/rasa/internal/learn"
 	"github.com/cloudsched/rasa/internal/migrate"
 	"github.com/cloudsched/rasa/internal/partition"
 	"github.com/cloudsched/rasa/internal/pool"
@@ -227,39 +229,139 @@ func EvaluationPresets() []Preset { return workload.EvaluationPresets() }
 // selector.
 func TrainingPresets() []Preset { return workload.TrainingPresets() }
 
-// TrainSelectorContext builds the GCN-based algorithm-selection policy
-// of Section IV-D: it partitions each training cluster several times
-// with varying subproblem sizes, labels every subproblem by racing CG
-// against MIP under labelBudget, and trains the graph classifier on the
-// result. ctx cancels the labelling races (training itself is fast and
-// uninterruptible).
-func TrainSelectorContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
-	labeled, err := LabelSubproblemsContext(ctx, clusters, labelBudget, seed)
+// TrainingConfig configures TrainPolicyContext.
+type TrainingConfig struct {
+	// Clusters to label; nil generates the paper's T1–T4 training
+	// presets.
+	Clusters []*GeneratedCluster
+	// Kind picks the classifier: "gcn" (default, Section IV-D) or "mlp"
+	// (the topology-blind baseline of Fig. 8).
+	Kind string
+	// LabelBudget is the per-subproblem CG-vs-MIP race budget. Default
+	// 200ms.
+	LabelBudget time.Duration
+	// Rounds partitions each cluster this many times with increasing
+	// subproblem sizes, widening the training distribution. Default 3.
+	Rounds int
+	// MinConfidence is the returned policy's race threshold: serving-
+	// path predictions below it race CG-vs-MIP instead of trusting the
+	// model (and, for kind "gcn", feed the outcome back into the
+	// trainer). Zero never races.
+	MinConfidence float64
+	// Seed drives partitioning, labelling, and weight init.
+	Seed int64
+}
+
+func (c TrainingConfig) withDefaults() TrainingConfig {
+	if c.Kind == "" {
+		c.Kind = "gcn"
+	}
+	if c.LabelBudget <= 0 {
+		c.LabelBudget = 200 * time.Millisecond
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	return c
+}
+
+// TrainedPolicy is a versioned, ready-to-serve selection policy
+// returned by TrainPolicyContext.
+type TrainedPolicy struct {
+	// Policy is the live selection policy. For kind "gcn" it stays
+	// online: plugged into Options.Policy, low-confidence subproblems
+	// are raced and the outcomes retrain the model in place (versions
+	// advance past the Version recorded here).
+	Policy
+	// Version is the model version right after offline training (1 for
+	// a fresh trainer).
+	Version int
+	// HoldoutAccuracy is predictor-vs-oracle accuracy on the held-out
+	// labelled split (ties excluded).
+	HoldoutAccuracy float64
+	// Examples is the number of labelled races the training consumed.
+	Examples int
+}
+
+// TrainPolicyContext builds the learned algorithm-selection policy of
+// Section IV-D end to end: it partitions each training cluster several
+// times with varying subproblem sizes, labels every subproblem by
+// racing CG against MIP under cfg.LabelBudget, fits the classifier, and
+// returns it as a versioned policy. ctx cancels the labelling races
+// (the fit itself is fast and uninterruptible).
+//
+// For the default kind "gcn" the returned policy wraps an online
+// trainer seeded with the offline examples, so serving it keeps
+// improving the model; see TrainedPolicy.Policy. It replaces the
+// deprecated TrainSelectorContext / TrainMLPSelectorContext /
+// LabelSubproblemsContext trio.
+func TrainPolicyContext(ctx context.Context, cfg TrainingConfig) (*TrainedPolicy, error) {
+	cfg = cfg.withDefaults()
+	clusters := cfg.Clusters
+	if clusters == nil {
+		for _, ps := range TrainingPresets() {
+			c, err := Generate(ps)
+			if err != nil {
+				return nil, wrapErr(err)
+			}
+			clusters = append(clusters, c)
+		}
+	}
+	labeled, err := labelClusters(ctx, clusters, cfg.LabelBudget, cfg.Rounds, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return selector.GCNPolicy{Model: selector.TrainGCN(labeled, seed)}, nil
-}
-
-// TrainMLPSelectorContext trains the topology-blind MLP baseline on the
-// same labelling procedure (the MLP-BASED row of Fig. 8).
-func TrainMLPSelectorContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) (Policy, error) {
-	labeled, err := LabelSubproblemsContext(ctx, clusters, labelBudget, seed)
-	if err != nil {
-		return nil, err
+	switch cfg.Kind {
+	case "gcn":
+		trainer := learn.NewTrainer(learn.Options{
+			Capacity: max(256, len(labeled)),
+			// One forced fit below instead of cadence-triggered refits
+			// mid-feed.
+			RetrainEvery: len(labeled) + 1,
+			Epochs:       800,
+			Seed:         cfg.Seed,
+		})
+		for _, l := range labeled {
+			trainer.Observe(l)
+		}
+		trainer.Retrain()
+		out := &TrainedPolicy{
+			Policy:   &learn.Policy{Trainer: trainer, MinConfidence: cfg.MinConfidence},
+			Examples: len(labeled),
+		}
+		if m := trainer.Model(); m != nil {
+			out.Version = m.Version
+			out.HoldoutAccuracy = m.HoldoutAccuracy
+		}
+		return out, nil
+	case "mlp":
+		// Mirror the trainer's every-5th holdout split so the reported
+		// accuracy is comparable across kinds.
+		var train, holdout []selector.Labeled
+		for i, l := range labeled {
+			if !l.Tie && (i+1)%5 == 0 {
+				holdout = append(holdout, l)
+			} else {
+				train = append(train, l)
+			}
+		}
+		m := selector.TrainMLP(train, cfg.Seed)
+		return &TrainedPolicy{
+			Policy:          selector.MLPPolicy{Model: m, MinConfidence: cfg.MinConfidence},
+			Version:         1,
+			HoldoutAccuracy: m.Accuracy(selector.ToSamples(holdout)),
+			Examples:        len(labeled),
+		}, nil
 	}
-	return selector.MLPPolicy{Model: selector.TrainMLP(labeled, seed)}, nil
+	return nil, wrapErr(fmt.Errorf("%w: unknown policy kind %q (want gcn or mlp)", ErrInvalidProblem, cfg.Kind))
 }
 
-// LabelSubproblemsContext generates the labelled training set used by
-// TrainSelectorContext; exposed for experiment harnesses that train
-// both models on identical data. Each CG-vs-MIP race observes ctx, and
-// the races themselves run the two algorithms concurrently, cancelling
-// the MIP arm early once the CG result is provably unbeatable.
-func LabelSubproblemsContext(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, seed int64) ([]selector.Labeled, error) {
+// labelClusters is the shared labelling loop behind TrainPolicyContext
+// and the deprecated label/train trio in compat.go.
+func labelClusters(ctx context.Context, clusters []*GeneratedCluster, labelBudget time.Duration, rounds int, seed int64) ([]selector.Labeled, error) {
 	var labeled []selector.Labeled
 	for ci, c := range clusters {
-		for round := 0; round < 3; round++ {
+		for round := 0; round < rounds; round++ {
 			pres, err := partition.Multistage(ctx, c.Problem, c.Original, partition.Options{
 				TargetSize: 6 + 4*round,
 				Seed:       seed + int64(ci*10+round),
